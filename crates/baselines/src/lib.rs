@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # eim-baselines
+//!
+//! The systems the paper compares eIM against, reimplemented from their
+//! published designs over the same simulated-GPU substrate:
+//!
+//! * [`GimEngine`] — gIM (Shahrouz, Salehkaleybar & Hashemi, TPDS '21):
+//!   single-GPU IMM with per-warp BFS queues in *shared memory* that spill
+//!   to dynamically-allocated global memory, an uncompressed RRR store, a
+//!   per-block temporary RRR buffer, and warp-per-set selection scans.
+//! * [`CuRipplesEngine`] — cuRipples (Minutoli et al., ICS '20): CPU+GPU
+//!   hybrid that offloads RRR sets to *host* memory during sampling and
+//!   streams them back (and overflows onto CPU cores) during selection —
+//!   scalable, but paying PCIe transfer costs that dominate at scale.
+//! * [`greedy_mc`] / [`greedy_mc_celf`] — the classic Kempe-Kleinberg-Tardos
+//!   greedy hill-climbing with Monte-Carlo spread evaluation (and its CELF
+//!   lazy variant), the quality ground truth on small graphs.
+//!
+//! All engines implement [`eim_imm::ImmEngine`], so the *identical* IMM
+//! driver runs each of them — the controlled comparison behind Figures 7–8
+//! and Tables 2–5.
+
+mod curipples;
+mod gim;
+mod greedy;
+
+pub use curipples::{CuRipplesEngine, HostSpec};
+pub use gim::GimEngine;
+pub use greedy::{greedy_mc, greedy_mc_celf, GreedyResult};

@@ -1,0 +1,91 @@
+//! Host-kernel benches for log encoding: pack, decode, random access, and
+//! packed binary search vs. their plain-array equivalents — quantifying the
+//! paper's "fast decompression" claim for the bit-packed layout.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eim_bitpack::{binary_search_packed, PackedArray};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn values(n: usize, max: u64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack/encode");
+    for n in [1 << 12, 1 << 16, 1 << 20] {
+        let vals = values(n, 1 << 20, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &vals, |b, vals| {
+            b.iter(|| PackedArray::from_values(black_box(vals)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack/decode");
+    for n in [1 << 16, 1 << 20] {
+        let vals = values(n, 1 << 20, 2);
+        let packed = PackedArray::from_values(&vals);
+        g.bench_with_input(BenchmarkId::new("packed", n), &packed, |b, p| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..p.len() {
+                    acc = acc.wrapping_add(p.get(i));
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("plain", n), &vals, |b, v| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &x in v.iter() {
+                    acc = acc.wrapping_add(x);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack/binary_search");
+    let n = 1 << 20;
+    let mut vals = values(n, 1 << 30, 3);
+    vals.sort_unstable();
+    vals.dedup();
+    let packed = PackedArray::from_values(&vals);
+    let probes = values(1024, 1 << 30, 4);
+    g.bench_function("packed", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &p in &probes {
+                if binary_search_packed(&packed, 0, packed.len(), black_box(p)).is_ok() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &p in &probes {
+                if vals.binary_search(black_box(&p)).is_ok() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack, bench_decode, bench_search
+}
+criterion_main!(benches);

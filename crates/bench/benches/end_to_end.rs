@@ -1,0 +1,45 @@
+//! Whole-pipeline wall-time benches: eIM end-to-end on a registry network
+//! at two accuracies, and the CPU reference for context.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eim_core::EimBuilder;
+use eim_graph::{Dataset, WeightModel};
+use eim_imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let dataset = Dataset::by_abbrev("SE").unwrap();
+    let graph = dataset.generate(1.0 / 1024.0, WeightModel::WeightedCascade, 6);
+    let mut group = c.benchmark_group("end_to_end");
+    for eps in [0.3, 0.1] {
+        group.bench_with_input(BenchmarkId::new("eim", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                black_box(
+                    EimBuilder::new(&graph)
+                        .k(20)
+                        .epsilon(eps)
+                        .seed(3)
+                        .run()
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_imm", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let cfg = ImmConfig::paper_default()
+                    .with_k(20)
+                    .with_epsilon(eps)
+                    .with_seed(3);
+                let mut e = CpuEngine::new(&graph, cfg, CpuParallelism::Rayon);
+                black_box(run_imm(&mut e, &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_runs
+}
+criterion_main!(benches);

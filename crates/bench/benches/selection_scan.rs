@@ -1,0 +1,48 @@
+//! Figure 3's host-side counterpart: wall time of the device-model
+//! selection with thread-per-set vs warp-per-set strategies, and the CPU
+//! reference selection, as the store grows. Ablation #2 of DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eim_core::select::{select_on_device, ScanStrategy};
+use eim_gpusim::{Device, DeviceSpec};
+use eim_imm::{select_seeds, PlainRrrStore, RrrStoreBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn store(num_sets: usize, n: usize, seed: u64) -> PlainRrrStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut s = PlainRrrStore::new(n);
+    for _ in 0..num_sets {
+        let len = rng.gen_range(2..12);
+        let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+        set.sort_unstable();
+        set.dedup();
+        s.append_set(&set);
+    }
+    s
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let device = Device::new(DeviceSpec::rtx_a6000());
+    let mut group = c.benchmark_group("selection/strategy");
+    for num_sets in [1 << 14, 1 << 17] {
+        let s = store(num_sets, 1 << 14, 5);
+        group.bench_with_input(BenchmarkId::new("thread", num_sets), &s, |b, s| {
+            b.iter(|| black_box(select_on_device(&device, s, 20, ScanStrategy::ThreadPerSet)))
+        });
+        group.bench_with_input(BenchmarkId::new("warp", num_sets), &s, |b, s| {
+            b.iter(|| black_box(select_on_device(&device, s, 20, ScanStrategy::WarpPerSet)))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_reference", num_sets), &s, |b, s| {
+            b.iter(|| black_box(select_seeds(s, 20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Ablation of eIM's design choices (DESIGN.md §4): full eIM vs eIM with
+//! one optimization removed at a time, on simulated time and device store
+//! bytes. Quantifies what each §3 contribution is worth in isolation.
+
+use eim_core::{EimEngine, ScanStrategy};
+use eim_gpusim::Device;
+use eim_graph::Dataset;
+use eim_imm::{run_imm, ImmConfig, ImmEngine};
+
+use crate::{HarnessConfig, Table};
+
+fn run_variant(
+    cfg: &HarnessConfig,
+    d: &Dataset,
+    imm: &ImmConfig,
+    scan: ScanStrategy,
+) -> Option<(f64, usize, usize)> {
+    let mut time = 0.0;
+    let mut bytes = 0usize;
+    let mut sets = 0usize;
+    for run in 0..cfg.runs {
+        let g = cfg.graph(d, run);
+        let imm_run = imm.with_seed(imm.seed ^ ((run as u64) << 8));
+        let mut e = EimEngine::new(&g, imm_run, Device::new(cfg.device_spec()), scan).ok()?;
+        let r = run_imm(&mut e, &imm_run).ok()?;
+        time += e.elapsed_us();
+        bytes += r.store_bytes;
+        sets += r.num_sets;
+    }
+    let c = cfg.runs.max(1);
+    Some((time / c as f64, bytes / c, sets / c))
+}
+
+/// Builds the ablation table for the given datasets.
+pub fn ablation(cfg: &HarnessConfig, datasets: &[&Dataset], imm: &ImmConfig) -> Table {
+    let mut t = Table::new([
+        "Dataset",
+        "variant",
+        "time (ms)",
+        "slowdown vs full",
+        "store (KB)",
+        "sets",
+    ]);
+    let variants: [(&str, ImmConfig, ScanStrategy); 4] = [
+        (
+            "full eIM",
+            imm.with_packed(true).with_source_elimination(true),
+            ScanStrategy::ThreadPerSet,
+        ),
+        (
+            "- log encoding",
+            imm.with_packed(false).with_source_elimination(true),
+            ScanStrategy::ThreadPerSet,
+        ),
+        (
+            "- source elim",
+            imm.with_packed(true).with_source_elimination(false),
+            ScanStrategy::ThreadPerSet,
+        ),
+        (
+            "- thread scan (warp)",
+            imm.with_packed(true).with_source_elimination(true),
+            ScanStrategy::WarpPerSet,
+        ),
+    ];
+    for d in datasets {
+        let mut baseline: Option<f64> = None;
+        for (name, c, scan) in &variants {
+            match run_variant(cfg, d, c, *scan) {
+                Some((us, bytes, sets)) => {
+                    let base = *baseline.get_or_insert(us);
+                    t.row([
+                        d.abbrev.to_string(),
+                        name.to_string(),
+                        format!("{:.2}", us / 1000.0),
+                        format!("{:.2}x", us / base),
+                        format!("{:.0}", bytes as f64 / 1024.0),
+                        sets.to_string(),
+                    ]);
+                }
+                None => t.row([
+                    d.abbrev.to_string(),
+                    name.to_string(),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn removing_source_elim_costs_time_on_singleton_heavy_networks() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 4096.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let imm = ImmConfig::paper_default().with_k(10).with_epsilon(0.2);
+        let ee = DATASETS.iter().find(|d| d.abbrev == "EE").unwrap();
+        let t = ablation(&cfg, &[ee], &imm);
+        let csv = t.to_csv();
+        let row = csv
+            .lines()
+            .find(|l| l.contains("- source elim"))
+            .expect("variant row");
+        let slowdown: f64 = row
+            .split(',')
+            .nth(3)
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(slowdown > 1.1, "source elim worth only {slowdown}x ({row})");
+    }
+}

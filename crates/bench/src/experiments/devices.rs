@@ -1,0 +1,73 @@
+//! Device sensitivity: the same eIM workload across simulated GPU
+//! generations (V100 / A6000 / A100). Demonstrates that the execution
+//! model responds to hardware parameters (SMs, clock, slots, PCIe) the way
+//! the algorithms' phase structure predicts.
+
+use eim_core::{EimEngine, ScanStrategy};
+use eim_gpusim::{Device, DeviceSpec};
+use eim_graph::Dataset;
+use eim_imm::{run_imm, ImmConfig, ImmEngine};
+
+use crate::{HarnessConfig, Table};
+
+/// Builds the device-sensitivity table for one dataset per row and the
+/// three preset devices per column group.
+pub fn device_sensitivity(cfg: &HarnessConfig, datasets: &[&Dataset], imm: &ImmConfig) -> Table {
+    let presets: [(&str, DeviceSpec); 3] = [
+        ("V100", DeviceSpec::tesla_v100()),
+        ("A6000", DeviceSpec::rtx_a6000()),
+        ("A100", DeviceSpec::a100_80g()),
+    ];
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(presets.iter().map(|(n, _)| format!("{n} (ms)")));
+    let mut t = Table::new(header);
+    for d in datasets {
+        let g = cfg.graph(d, 0);
+        if imm.k >= g.num_vertices() {
+            continue;
+        }
+        let mut row = vec![d.abbrev.to_string()];
+        for (_, spec) in &presets {
+            let cell = EimEngine::new(&g, *imm, Device::new(*spec), ScanStrategy::ThreadPerSet)
+                .ok()
+                .and_then(|mut e| run_imm(&mut e, imm).ok().map(|_| e.elapsed_us()));
+            row.push(cell.map_or("OOM".into(), |us| format!("{:.2}", us / 1000.0)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn bigger_devices_are_not_slower() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 2048.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let imm = ImmConfig::paper_default().with_k(10).with_epsilon(0.2);
+        let cy = DATASETS.iter().find(|d| d.abbrev == "CY").unwrap();
+        let t = device_sensitivity(&cfg, &[cy], &imm);
+        let csv = t.to_csv();
+        let row: Vec<f64> = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        // A100 (most SMs/threads) should not lose to V100.
+        assert!(
+            row[2] <= row[0] * 1.05,
+            "A100 {} vs V100 {}",
+            row[2],
+            row[0]
+        );
+    }
+}

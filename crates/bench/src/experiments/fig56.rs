@@ -1,0 +1,116 @@
+//! Figures 5 & 6: the source-vertex-elimination heuristic (§3.4).
+//!
+//! Per dataset, eIM runs with the heuristic off and on. Figure 5 plots the
+//! speedup against the fraction of samples that were singletons; Figure 6
+//! reports the percent change in `R` storage (negative = saved; the paper
+//! averages −8.65 % and notes a few networks grow).
+
+use eim_graph::Dataset;
+use eim_imm::ImmConfig;
+
+use crate::{run_algo, AlgoKind, HarnessConfig, RunOutcome, Table};
+
+/// Builds the combined Figure 5 + 6 table.
+pub fn fig56_source_elimination(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    imm: &ImmConfig,
+) -> Table {
+    let mut t = Table::new([
+        "Dataset",
+        "singleton %",
+        "speedup (off/on)",
+        "R bytes off",
+        "R bytes on",
+        "R change %",
+        "sets off",
+        "sets on",
+    ]);
+    for d in datasets {
+        let mut acc: Option<(f64, f64, f64, f64, f64, usize, usize)> = None;
+        let mut completed = 0usize;
+        for run in 0..cfg.runs {
+            let g = cfg.graph(d, run);
+            let seed = imm.seed ^ ((run as u64) << 8);
+            let off_cfg = imm.with_seed(seed).with_source_elimination(false);
+            let on_cfg = imm.with_seed(seed).with_source_elimination(true);
+            let off = run_algo(&g, &off_cfg, cfg.device_spec(), AlgoKind::Eim);
+            let on = run_algo(&g, &on_cfg, cfg.device_spec(), AlgoKind::Eim);
+            let (off, on) = match (off, on) {
+                (RunOutcome::Ok(a), RunOutcome::Ok(b)) => (a, b),
+                _ => continue,
+            };
+            let singleton_frac = if off.sampled == 0 {
+                0.0
+            } else {
+                off.singletons as f64 / off.sampled as f64
+            };
+            let e = acc.get_or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0, 0));
+            e.0 += singleton_frac;
+            e.1 += off.sim_us / on.sim_us;
+            e.2 += off.store_bytes as f64;
+            e.3 += on.store_bytes as f64;
+            e.4 += 100.0 * (on.store_bytes as f64 - off.store_bytes as f64)
+                / off.store_bytes.max(1) as f64;
+            e.5 += off.num_sets;
+            e.6 += on.num_sets;
+            completed += 1;
+        }
+        match acc {
+            Some(e) if completed > 0 => {
+                let c = completed as f64;
+                t.row([
+                    d.abbrev.to_string(),
+                    format!("{:.1}", 100.0 * e.0 / c),
+                    format!("{:.2}", e.1 / c),
+                    format!("{:.0}", e.2 / c),
+                    format!("{:.0}", e.3 / c),
+                    format!("{:+.1}", e.4 / c),
+                    (e.5 / completed).to_string(),
+                    (e.6 / completed).to_string(),
+                ]);
+            }
+            _ => t.row([
+                d.abbrev.to_string(),
+                "-".into(),
+                "OOM".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_diffusion::DiffusionModel;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn singleton_heavy_dataset_sees_fewer_sets_with_elimination() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 4096.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let imm = ImmConfig::paper_default()
+            .with_k(5)
+            .with_epsilon(0.4)
+            .with_model(DiffusionModel::IndependentCascade);
+        // EE: 72 % periphery, mostly singleton samples.
+        let ee = DATASETS.iter().find(|d| d.abbrev == "EE").unwrap();
+        let t = fig56_source_elimination(&cfg, &[ee], &imm);
+        let csv = t.to_csv();
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let singleton: f64 = row[1].parse().unwrap();
+        let sets_off: f64 = row[6].parse().unwrap();
+        let sets_on: f64 = row[7].parse().unwrap();
+        assert!(singleton > 40.0, "singleton {singleton}");
+        assert!(sets_on < sets_off, "off {sets_off} on {sets_on}");
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per paper table/figure. Every `run` function returns a
+//! [`crate::Table`] that the `reproduce` binary prints and saves as CSV.
+
+mod ablation;
+mod csc_memory;
+mod devices;
+mod fig3;
+mod fig4;
+mod fig56;
+mod multigpu;
+mod phases;
+mod quality;
+mod speedups;
+mod sweeps;
+mod table1;
+
+pub use ablation::ablation;
+pub use csc_memory::csc_memory;
+pub use devices::device_sensitivity;
+pub use fig3::fig3_scan_scaling;
+pub use fig4::fig4_log_encoding;
+pub use fig56::fig56_source_elimination;
+pub use multigpu::multigpu_scaling;
+pub use phases::phase_breakdown;
+pub use quality::quality_check;
+pub use speedups::{fig7_ic_speedups, fig8_lt_speedups};
+pub use sweeps::{table2_ic_k, table3_ic_eps, table4_lt_k, table5_lt_eps, EPS_SWEEP, K_SWEEP};
+pub use table1::table1;

@@ -1,0 +1,77 @@
+//! Diagnostic: per-phase time attribution for each algorithm on one
+//! configuration. Not a paper artifact, but the tool used to calibrate the
+//! cost model and to explain where each speedup comes from.
+
+use eim_baselines::{CuRipplesEngine, GimEngine, HostSpec};
+use eim_core::{EimEngine, ScanStrategy};
+use eim_gpusim::Device;
+use eim_graph::Dataset;
+use eim_imm::{run_imm, ImmConfig, ImmResult};
+
+use crate::{HarnessConfig, Table};
+
+/// Builds the phase-attribution table for every algorithm on `dataset`.
+pub fn phase_breakdown(cfg: &HarnessConfig, dataset: &Dataset, imm: &ImmConfig) -> Table {
+    let g = cfg.graph(dataset, 0);
+    let spec = cfg.device_spec();
+    let mut t = Table::new([
+        "Algo",
+        "estimation (ms)",
+        "sampling (ms)",
+        "selection (ms)",
+        "total (ms)",
+        "sets",
+        "|R|",
+    ]);
+    let mut push = |name: &str, r: Option<ImmResult>| match r {
+        Some(r) => t.row([
+            name.to_string(),
+            format!("{:.3}", r.phases.estimation_us / 1000.0),
+            format!("{:.3}", r.phases.sampling_us / 1000.0),
+            format!("{:.3}", r.phases.selection_us / 1000.0),
+            format!("{:.3}", r.elapsed_us() / 1000.0),
+            r.num_sets.to_string(),
+            r.total_elements.to_string(),
+        ]),
+        None => t.row([
+            name.to_string(),
+            "OOM".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]),
+    };
+    let base = imm.with_packed(false).with_source_elimination(false);
+    push(
+        "eIM",
+        EimEngine::new(&g, *imm, Device::new(spec), ScanStrategy::ThreadPerSet)
+            .ok()
+            .and_then(|mut e| run_imm(&mut e, imm).ok()),
+    );
+    push(
+        "gIM",
+        GimEngine::new(&g, base, Device::new(spec))
+            .ok()
+            .and_then(|mut e| run_imm(&mut e, &base).ok()),
+    );
+    push(
+        "cuRipples",
+        CuRipplesEngine::new(&g, base, Device::new(spec), HostSpec::default())
+            .ok()
+            .and_then(|mut e| run_imm(&mut e, &base).ok()),
+    );
+    push("eIM (no elim)", {
+        let c = imm.with_source_elimination(false);
+        EimEngine::new(&g, c, Device::new(spec), ScanStrategy::ThreadPerSet)
+            .ok()
+            .and_then(|mut e| run_imm(&mut e, &c).ok())
+    });
+    push("eIM (warp scan)", {
+        EimEngine::new(&g, *imm, Device::new(spec), ScanStrategy::WarpPerSet)
+            .ok()
+            .and_then(|mut e| run_imm(&mut e, imm).ok())
+    });
+    t
+}

@@ -1,0 +1,85 @@
+//! §4.1 quality statement: "the quality of solutions provided by eIM
+//! remains the same as the one by cuRipples and gIM."
+//!
+//! Per dataset, run all three algorithms plus the CPU reference and score
+//! every seed set with the same Monte-Carlo spread estimator; report the
+//! spreads side by side (they should agree within sampling noise).
+
+use eim_diffusion::estimate_spread;
+use eim_graph::Dataset;
+use eim_imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig};
+
+use crate::{run_algo, AlgoKind, HarnessConfig, RunOutcome, Table};
+
+/// Builds the quality-comparison table.
+pub fn quality_check(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    imm: &ImmConfig,
+    sims: usize,
+) -> Table {
+    let mut t = Table::new([
+        "Dataset",
+        "eIM spread",
+        "gIM spread",
+        "cuRipples spread",
+        "CPU-IMM spread",
+        "max rel diff %",
+    ]);
+    for d in datasets {
+        let g = cfg.graph(d, 0);
+        let spec = cfg.device_spec();
+        let score = |seeds: &[u32]| estimate_spread(&g, seeds, imm.model, sims, cfg.seed ^ 0x5ca1e);
+        let mut spreads: Vec<Option<f64>> = Vec::new();
+        for algo in [AlgoKind::Eim, AlgoKind::Gim, AlgoKind::CuRipples] {
+            spreads.push(match run_algo(&g, imm, spec, algo) {
+                RunOutcome::Ok(data) => Some(score(&data.seeds)),
+                RunOutcome::Oom => None,
+            });
+        }
+        let cpu = {
+            let mut engine = CpuEngine::new(&g, *imm, CpuParallelism::Rayon);
+            run_imm(&mut engine, imm).ok().map(|r| score(&r.seeds))
+        };
+        spreads.push(cpu);
+        let known: Vec<f64> = spreads.iter().flatten().copied().collect();
+        let max_rel = if known.len() >= 2 {
+            let max = known.iter().cloned().fold(f64::MIN, f64::max);
+            let min = known.iter().cloned().fold(f64::MAX, f64::min);
+            100.0 * (max - min) / max.max(1.0)
+        } else {
+            0.0
+        };
+        let fmt = |s: &Option<f64>| s.map_or("OOM".to_string(), |v| format!("{v:.1}"));
+        t.row([
+            d.abbrev.to_string(),
+            fmt(&spreads[0]),
+            fmt(&spreads[1]),
+            fmt(&spreads[2]),
+            fmt(&spreads[3]),
+            format!("{max_rel:.1}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn spreads_agree_across_algorithms() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 4096.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let imm = ImmConfig::paper_default().with_k(5).with_epsilon(0.4);
+        let t = quality_check(&cfg, &[&DATASETS[1]], &imm, 200);
+        let csv = t.to_csv();
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let max_rel: f64 = row[5].parse().unwrap();
+        assert!(max_rel < 10.0, "spread divergence {max_rel}% ({row:?})");
+    }
+}

@@ -1,0 +1,121 @@
+//! Figures 7 & 8: eIM speedups over cuRipples and gIM (k = 50,
+//! eps = 0.05 in the paper; both parameterized here) under IC and LT.
+
+use eim_diffusion::DiffusionModel;
+use eim_graph::Dataset;
+use eim_imm::ImmConfig;
+
+use crate::{run_algo, AlgoKind, HarnessConfig, RunOutcome, Table};
+
+fn speedup_figure(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    imm: &ImmConfig,
+    model: DiffusionModel,
+) -> Table {
+    let mut t = Table::new([
+        "Dataset",
+        "eIM (ms)",
+        "gIM (ms)",
+        "cuRipples (ms)",
+        "vs gIM",
+        "vs cuRipples",
+    ]);
+    let imm = imm.with_model(model);
+    for d in datasets {
+        let mut eim_us = 0.0f64;
+        let mut gim_us: Option<f64> = Some(0.0);
+        let mut cur_us = 0.0f64;
+        let mut completed = 0usize;
+        for run in 0..cfg.runs {
+            let g = cfg.graph(d, run);
+            let imm_run = imm.with_seed(imm.seed ^ ((run as u64) << 8));
+            let spec = cfg.device_spec();
+            let e = match run_algo(&g, &imm_run, spec, AlgoKind::Eim) {
+                RunOutcome::Ok(e) => e,
+                RunOutcome::Oom => continue,
+            };
+            let c = match run_algo(&g, &imm_run, spec, AlgoKind::CuRipples) {
+                RunOutcome::Ok(c) => c,
+                RunOutcome::Oom => continue,
+            };
+            match run_algo(&g, &imm_run, spec, AlgoKind::Gim) {
+                RunOutcome::Ok(gd) => {
+                    if let Some(acc) = gim_us.as_mut() {
+                        *acc += gd.sim_us;
+                    }
+                }
+                RunOutcome::Oom => gim_us = None,
+            }
+            eim_us += e.sim_us;
+            cur_us += c.sim_us;
+            completed += 1;
+        }
+        if completed == 0 {
+            t.row([
+                d.abbrev.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let c = completed as f64;
+        let (eim_ms, cur_ms) = (eim_us / c / 1000.0, cur_us / c / 1000.0);
+        let (gim_ms, vs_gim) = match gim_us {
+            Some(us) => {
+                let ms = us / c / 1000.0;
+                (format!("{ms:.2}"), format!("{:.2}", ms / eim_ms))
+            }
+            None => ("OOM".to_string(), format!("OOM/{:.3}s", eim_us / c / 1e6)),
+        };
+        t.row([
+            d.abbrev.to_string(),
+            format!("{eim_ms:.2}"),
+            gim_ms,
+            format!("{cur_ms:.2}"),
+            vs_gim,
+            format!("{:.0}", cur_ms / eim_ms),
+        ]);
+    }
+    t
+}
+
+/// Figure 7: IC-model speedups.
+pub fn fig7_ic_speedups(cfg: &HarnessConfig, datasets: &[&Dataset], imm: &ImmConfig) -> Table {
+    speedup_figure(cfg, datasets, imm, DiffusionModel::IndependentCascade)
+}
+
+/// Figure 8: LT-model speedups.
+pub fn fig8_lt_speedups(cfg: &HarnessConfig, datasets: &[&Dataset], imm: &ImmConfig) -> Table {
+    speedup_figure(cfg, datasets, imm, DiffusionModel::LinearThreshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn eim_beats_curipples_by_a_wide_margin() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 2048.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let imm = ImmConfig::paper_default().with_k(10).with_epsilon(0.15);
+        let t = fig7_ic_speedups(&cfg, &[&DATASETS[4]], &imm);
+        let csv = t.to_csv();
+        let row: Vec<String> = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .map(String::from)
+            .collect();
+        let vs_cur: f64 = row[5].parse().unwrap();
+        assert!(vs_cur > 2.0, "vs cuRipples only {vs_cur}x ({row:?})");
+    }
+}

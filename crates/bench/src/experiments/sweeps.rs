@@ -1,0 +1,165 @@
+//! Tables 2–5: eIM-over-gIM speedup sweeps.
+//!
+//! * Table 2 — IC, k in {20, 40, 60, 80, 100}, eps = 0.05.
+//! * Table 3 — IC, eps in {0.5 ... 0.05}, k = 100.
+//! * Table 4 — LT, k sweep.
+//! * Table 5 — LT, eps sweep.
+//!
+//! OOM cells follow the paper's convention: `OOM/<eIM seconds>` — gIM ran
+//! out of device memory while eIM completed in the stated time.
+
+use eim_diffusion::DiffusionModel;
+use eim_graph::Dataset;
+use eim_imm::ImmConfig;
+
+use crate::{run_algo, AlgoKind, HarnessConfig, RunOutcome, Table};
+
+/// The paper's k sweep.
+pub const K_SWEEP: [usize; 5] = [20, 40, 60, 80, 100];
+/// The paper's epsilon sweep.
+pub const EPS_SWEEP: [f64; 10] = [0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05];
+
+/// One sweep cell: mean eIM/gIM simulated times across `cfg.runs` graphs.
+fn cell(cfg: &HarnessConfig, d: &Dataset, imm: &ImmConfig) -> String {
+    if imm.k >= d.scaled_vertices(cfg.scale) {
+        // k exceeds the scaled vertex count (tiny networks at small
+        // scales); the cell is meaningless.
+        return "-".to_string();
+    }
+    let mut eim_us = 0.0f64;
+    let mut gim_us: Option<f64> = Some(0.0);
+    let mut completed = 0usize;
+    for run in 0..cfg.runs {
+        let g = cfg.graph(d, run);
+        let imm_run = imm.with_seed(imm.seed ^ ((run as u64) << 8));
+        let spec = cfg.device_spec();
+        let e = match run_algo(&g, &imm_run, spec, AlgoKind::Eim) {
+            RunOutcome::Ok(e) => e,
+            RunOutcome::Oom => return "eIM-OOM".to_string(),
+        };
+        eim_us += e.sim_us;
+        match run_algo(&g, &imm_run, spec, AlgoKind::Gim) {
+            RunOutcome::Ok(gd) => {
+                if let Some(acc) = gim_us.as_mut() {
+                    *acc += gd.sim_us;
+                }
+            }
+            RunOutcome::Oom => gim_us = None,
+        }
+        completed += 1;
+    }
+    if completed == 0 {
+        return "-".to_string();
+    }
+    let c = completed as f64;
+    match gim_us {
+        Some(us) => format!("{:.2}", (us / c) / (eim_us / c)),
+        None => format!("OOM/{:.3}", eim_us / c / 1e6),
+    }
+}
+
+fn k_sweep(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    model: DiffusionModel,
+    epsilon: f64,
+    ks: &[usize],
+) -> Table {
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(ks.iter().map(|k| format!("k={k}")));
+    let mut t = Table::new(header);
+    for d in datasets {
+        let mut row = vec![d.abbrev.to_string()];
+        for &k in ks {
+            let imm = ImmConfig::paper_default()
+                .with_k(k)
+                .with_epsilon(epsilon)
+                .with_model(model);
+            row.push(cell(cfg, d, &imm));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn eps_sweep(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    model: DiffusionModel,
+    k: usize,
+    epsilons: &[f64],
+) -> Table {
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(epsilons.iter().map(|e| format!("eps={e}")));
+    let mut t = Table::new(header);
+    for d in datasets {
+        let mut row = vec![d.abbrev.to_string()];
+        for &eps in epsilons {
+            let imm = ImmConfig::paper_default()
+                .with_k(k)
+                .with_epsilon(eps)
+                .with_model(model);
+            row.push(cell(cfg, d, &imm));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 2: IC model, increasing k, eps fixed.
+pub fn table2_ic_k(cfg: &HarnessConfig, datasets: &[&Dataset], eps: f64, ks: &[usize]) -> Table {
+    k_sweep(cfg, datasets, DiffusionModel::IndependentCascade, eps, ks)
+}
+
+/// Table 3: IC model, decreasing eps, k fixed.
+pub fn table3_ic_eps(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    k: usize,
+    epsilons: &[f64],
+) -> Table {
+    eps_sweep(
+        cfg,
+        datasets,
+        DiffusionModel::IndependentCascade,
+        k,
+        epsilons,
+    )
+}
+
+/// Table 4: LT model, increasing k, eps fixed.
+pub fn table4_lt_k(cfg: &HarnessConfig, datasets: &[&Dataset], eps: f64, ks: &[usize]) -> Table {
+    k_sweep(cfg, datasets, DiffusionModel::LinearThreshold, eps, ks)
+}
+
+/// Table 5: LT model, decreasing eps, k fixed.
+pub fn table5_lt_eps(
+    cfg: &HarnessConfig,
+    datasets: &[&Dataset],
+    k: usize,
+    epsilons: &[f64],
+) -> Table {
+    eps_sweep(cfg, datasets, DiffusionModel::LinearThreshold, k, epsilons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn small_sweep_produces_numeric_or_oom_cells() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 8192.0,
+            runs: 1,
+            ..Default::default()
+        };
+        let t = table2_ic_k(&cfg, &[&DATASETS[1]], 0.4, &[5, 10]);
+        let csv = t.to_csv();
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        for cell in &row[1..] {
+            let ok = cell.parse::<f64>().is_ok() || cell.starts_with("OOM");
+            assert!(ok, "unexpected cell {cell}");
+        }
+    }
+}

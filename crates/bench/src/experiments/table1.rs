@@ -1,0 +1,59 @@
+//! Table 1: graph statistics — published numbers beside the scaled
+//! synthetic stand-ins actually used.
+
+use eim_graph::{Dataset, GraphStats};
+
+use crate::{HarnessConfig, Table};
+
+/// Builds Table 1.
+pub fn table1(cfg: &HarnessConfig, datasets: &[&Dataset]) -> Table {
+    let mut t = Table::new([
+        "Abbrev",
+        "Dataset",
+        "#Vertices",
+        "#Edges",
+        "n (scaled)",
+        "m (scaled)",
+        "zero-in %",
+        "max in-deg",
+    ]);
+    for d in datasets {
+        let g = cfg.graph(d, 0);
+        let s = GraphStats::of(&g);
+        t.row([
+            d.abbrev.to_string(),
+            d.name.to_string(),
+            d.vertices.to_string(),
+            d.edges.to_string(),
+            s.vertices.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.zero_in_fraction() * 100.0),
+            s.in_degree.max.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::DATASETS;
+
+    #[test]
+    fn covers_requested_datasets() {
+        let cfg = HarnessConfig {
+            scale: 1.0 / 4096.0,
+            ..Default::default()
+        };
+        let picks: Vec<&Dataset> = DATASETS.iter().take(2).collect();
+        let t = table1(&cfg, &picks);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("wiki-Vote"));
+        assert!(
+            rendered.contains("103689")
+                || rendered.contains("103,689")
+                || rendered.contains("103689")
+        );
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # eim-bench
+//!
+//! The reproduction harness: everything needed to regenerate the paper's
+//! evaluation (Figures 3–8, Tables 1–5, and the §4.2 memory numbers) on
+//! synthetic stand-ins of the 16 SNAP networks.
+//!
+//! The library half holds the shared machinery — dataset scaling, the
+//! algorithm runner, result tables — and `src/bin/reproduce.rs` is the
+//! command-line entry point. Criterion benches under `benches/` measure the
+//! real host-side kernels (bit-packing, sampling, selection scans).
+
+pub mod experiments;
+mod harness;
+mod runner;
+mod table;
+
+pub use harness::HarnessConfig;
+pub use runner::{run_algo, AlgoKind, RunData, RunOutcome};
+pub use table::{write_csv, Table};

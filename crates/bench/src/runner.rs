@@ -1,0 +1,189 @@
+//! One entry point to run any of the three GPU algorithms on a graph and
+//! collect comparable measurements.
+
+use eim_baselines::{CuRipplesEngine, GimEngine, HostSpec};
+use eim_core::{EimEngine, ScanStrategy};
+use eim_gpusim::{Device, DeviceSpec};
+use eim_graph::{Graph, VertexId};
+use eim_imm::{run_imm, EngineError, ImmConfig, ImmEngine};
+
+/// Which implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The paper's contribution.
+    Eim,
+    /// gIM baseline.
+    Gim,
+    /// cuRipples baseline.
+    CuRipples,
+}
+
+impl std::fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoKind::Eim => write!(f, "eIM"),
+            AlgoKind::Gim => write!(f, "gIM"),
+            AlgoKind::CuRipples => write!(f, "cuRipples"),
+        }
+    }
+}
+
+/// Comparable measurements from one completed run.
+#[derive(Clone, Debug)]
+pub struct RunData {
+    /// Simulated device/host time, microseconds.
+    pub sim_us: f64,
+    /// Selected seeds.
+    pub seeds: Vec<VertexId>,
+    /// Final RRR-set count.
+    pub num_sets: usize,
+    /// Total elements in `R`.
+    pub total_elements: usize,
+    /// Store bytes as laid out by the algorithm.
+    pub store_bytes: usize,
+    /// Coverage fraction of the seeds.
+    pub coverage: f64,
+    /// Singleton samples observed (eIM only; 0 otherwise).
+    pub singletons: usize,
+    /// Total samples drawn (eIM only; 0 otherwise).
+    pub sampled: usize,
+}
+
+/// A run either completes or hits device OOM (the paper's "OOM" cells).
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Completed with measurements.
+    Ok(RunData),
+    /// Out of device memory.
+    Oom,
+}
+
+impl RunOutcome {
+    /// The data, if the run completed.
+    pub fn ok(&self) -> Option<&RunData> {
+        match self {
+            RunOutcome::Ok(d) => Some(d),
+            RunOutcome::Oom => None,
+        }
+    }
+}
+
+/// Runs `algo` on `graph` under `config` with a fresh device of `spec`.
+///
+/// eIM gets its two heuristics from `config` (`packed`,
+/// `source_elimination`); the baselines always run plain/no-elimination as
+/// their papers describe, regardless of those flags.
+pub fn run_algo(graph: &Graph, config: &ImmConfig, spec: DeviceSpec, algo: AlgoKind) -> RunOutcome {
+    let baseline_config = config.with_packed(false).with_source_elimination(false);
+    let result = match algo {
+        AlgoKind::Eim => {
+            let device = Device::new(spec);
+            EimEngine::new(graph, *config, device, ScanStrategy::ThreadPerSet).and_then(
+                |mut engine| {
+                    let imm = run_imm(&mut engine, config)?;
+                    let counters = engine.counters();
+                    Ok(RunData {
+                        sim_us: engine.elapsed_us(),
+                        seeds: imm.seeds,
+                        num_sets: imm.num_sets,
+                        total_elements: imm.total_elements,
+                        store_bytes: imm.store_bytes,
+                        coverage: imm.coverage,
+                        singletons: counters.singletons,
+                        sampled: counters.sampled,
+                    })
+                },
+            )
+        }
+        AlgoKind::Gim => {
+            let device = Device::new(spec);
+            GimEngine::new(graph, baseline_config, device).and_then(|mut engine| {
+                let imm = run_imm(&mut engine, &baseline_config)?;
+                Ok(RunData {
+                    sim_us: engine.elapsed_us(),
+                    seeds: imm.seeds,
+                    num_sets: imm.num_sets,
+                    total_elements: imm.total_elements,
+                    store_bytes: imm.store_bytes,
+                    coverage: imm.coverage,
+                    singletons: 0,
+                    sampled: 0,
+                })
+            })
+        }
+        AlgoKind::CuRipples => {
+            let device = Device::new(spec);
+            CuRipplesEngine::new(graph, baseline_config, device, HostSpec::default()).and_then(
+                |mut engine| {
+                    let imm = run_imm(&mut engine, &baseline_config)?;
+                    Ok(RunData {
+                        sim_us: engine.elapsed_us(),
+                        seeds: imm.seeds,
+                        num_sets: imm.num_sets,
+                        total_elements: imm.total_elements,
+                        store_bytes: imm.store_bytes,
+                        coverage: imm.coverage,
+                        singletons: 0,
+                        sampled: 0,
+                    })
+                },
+            )
+        }
+    };
+    match result {
+        Ok(data) => RunOutcome::Ok(data),
+        Err(EngineError::OutOfMemory { .. }) => RunOutcome::Oom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::{generators, WeightModel};
+
+    #[test]
+    fn all_three_algorithms_complete_and_agree_on_seeds() {
+        let g = generators::rmat(
+            300,
+            1_800,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            4,
+        );
+        let c = ImmConfig::paper_default()
+            .with_k(3)
+            .with_epsilon(0.35)
+            .with_source_elimination(false)
+            .with_packed(false);
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let eim = run_algo(&g, &c, spec, AlgoKind::Eim);
+        let gim = run_algo(&g, &c, spec, AlgoKind::Gim);
+        let cur = run_algo(&g, &c, spec, AlgoKind::CuRipples);
+        let (e, g_, c_) = (
+            eim.ok().expect("eim"),
+            gim.ok().expect("gim"),
+            cur.ok().expect("curipples"),
+        );
+        assert_eq!(e.seeds, g_.seeds);
+        assert_eq!(e.seeds, c_.seeds);
+        // Structural ordering: cuRipples pays transfers, so it is slowest.
+        assert!(c_.sim_us > e.sim_us);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let g = generators::rmat(
+            2_000,
+            12_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            4,
+        );
+        let c = ImmConfig::paper_default().with_k(3).with_epsilon(0.3);
+        let spec = DeviceSpec::rtx_a6000_with_mem(64 << 10);
+        assert!(matches!(
+            run_algo(&g, &c, spec, AlgoKind::Gim),
+            RunOutcome::Oom
+        ));
+    }
+}

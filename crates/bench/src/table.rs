@@ -1,0 +1,136 @@
+//! Minimal aligned-text table + CSV emission for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A rectangular results table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned monospace table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(escape).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(escape).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Writes a table's CSV under `dir/name.csv`, creating the directory.
+pub fn write_csv(table: &Table, dir: &Path, name: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["Dataset", "Speedup"]);
+        t.row(["WV", "19.23"]);
+        t.row(["email-EuAll", "23.02"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Dataset"));
+        assert!(lines[3].contains("email-EuAll"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "plain"]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["1", "2"]);
+        let dir = std::env::temp_dir().join("eim_bench_test");
+        write_csv(&t, &dir, "unit").unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(content.starts_with("k,v"));
+    }
+}

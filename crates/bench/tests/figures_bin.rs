@@ -1,0 +1,73 @@
+//! Integration test for the `figures` renderer: synthetic CSVs in, valid
+//! HTML/SVG out.
+
+use std::fs;
+use std::process::Command;
+
+#[test]
+fn renders_all_five_figures_from_csvs() {
+    let dir = std::env::temp_dir().join("eim_figures_test");
+    let out = dir.join("figures");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("fig3.csv"),
+        "N (sets),thread-based (ms),warp-based (ms),warp/thread\n\
+         4096,1.0,0.9,0.9\n8192,1.1,1.2,1.09\n16384,1.2,1.9,1.58\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("fig56.csv"),
+        "Dataset,singleton %,speedup (off/on),R bytes off,R bytes on,R change %,sets off,sets on\n\
+         WV,68.6,1.03,132848,49304,-62.9,36059,10767\n\
+         EE,81.4,1.89,1314392,140760,-89.3,325843,28214\n\
+         XX,20.0,1.01,1000,1100,+10.0,50,40\n",
+    )
+    .unwrap();
+    for name in ["fig7", "fig8"] {
+        fs::write(
+            dir.join(format!("{name}.csv")),
+            "Dataset,eIM (ms),gIM (ms),cuRipples (ms),vs gIM,vs cuRipples\n\
+             WV,0.2,0.3,3.7,1.55,19\n\
+             SL,7.4,OOM,451.1,OOM/0.007s,61\n",
+        )
+        .unwrap();
+    }
+    let status = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "--in",
+            dir.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("figures binary runs");
+    assert!(status.success());
+    for name in ["fig3", "fig5", "fig6", "fig7", "fig8"] {
+        let html = fs::read_to_string(out.join(format!("{name}.html")))
+            .unwrap_or_else(|e| panic!("{name}.html missing: {e}"));
+        assert!(html.contains("<svg"), "{name}: no svg");
+        assert!(html.contains("<table>"), "{name}: no table view");
+        assert!(html.contains("data-tip"), "{name}: no hover layer");
+        assert!(
+            html.contains("prefers-color-scheme: dark"),
+            "{name}: no dark mode"
+        );
+    }
+    // The diverging figure must carry both polarities.
+    let fig6 = fs::read_to_string(out.join("fig6.html")).unwrap();
+    assert!(fig6.contains("--div-neg") && fig6.contains("--div-pos"));
+    // The OOM row renders as a label, not a dot.
+    let fig7 = fs::read_to_string(out.join("fig7.html")).unwrap();
+    assert!(fig7.contains("OOM (gIM)"));
+}
+
+#[test]
+fn missing_csvs_are_skipped_gracefully() {
+    let dir = std::env::temp_dir().join("eim_figures_empty");
+    fs::create_dir_all(&dir).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--in", dir.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "renderer must not fail on absent inputs");
+}

@@ -1,0 +1,78 @@
+//! Integration test for the `reproduce` harness binary: fast experiments
+//! end-to-end, CSV emission, and option handling.
+
+use std::fs;
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn table1_and_csc_run_quickly_and_emit_csv() {
+    let out = std::env::temp_dir().join("eim_reproduce_test");
+    let _ = fs::remove_dir_all(&out);
+    let output = reproduce()
+        .args([
+            "table1",
+            "csc",
+            "--datasets",
+            "WV,PG",
+            "--scale",
+            "0.0002",
+            "--runs",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let table1 = fs::read_to_string(out.join("table1.csv")).expect("table1.csv");
+    assert!(table1.contains("wiki-Vote"));
+    assert_eq!(table1.lines().count(), 3); // header + 2 datasets
+    let csc = fs::read_to_string(out.join("csc_memory.csv")).expect("csc_memory.csv");
+    assert!(csc.lines().count() == 3);
+}
+
+#[test]
+fn fig56_on_one_tiny_dataset() {
+    let out = std::env::temp_dir().join("eim_reproduce_fig56");
+    let output = reproduce()
+        .args([
+            "fig56", "--datasets", "EE", "--scale", "0.0002", "--runs", "1", "--eps", "0.4",
+            "--k", "5", "--out", out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = fs::read_to_string(out.join("fig56.csv")).unwrap();
+    let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+    assert_eq!(row[0], "EE");
+    let speedup: f64 = row[2].parse().unwrap();
+    assert!(speedup > 0.5, "implausible speedup {speedup}");
+}
+
+#[test]
+fn unknown_dataset_fails_loudly() {
+    let output = reproduce()
+        .args(["table1", "--datasets", "NOPE"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+}
+
+#[test]
+fn help_exits_zero() {
+    let output = reproduce().arg("--help").output().unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("reproduce"));
+}

@@ -1,0 +1,244 @@
+//! Thread-safe log encoding.
+//!
+//! §3.1 calls for a "thread-safe implementation of log encoding" because
+//! many GPU blocks write their RRR sets into the shared array `R`
+//! concurrently. The write pattern is *disjoint-slot*: each block reserves a
+//! contiguous range with an atomic bump of the global offset, then fills its
+//! own slots. Under that contract, `fetch_or` on the underlying 64-bit words
+//! is linearizable per word and no lock is needed even when two blocks' slots
+//! share a boundary word.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::nbits::mask;
+use crate::PackedArray;
+
+/// A fixed-capacity packed array supporting concurrent single-writer-per-slot
+/// writes and wait-free reads.
+///
+/// Slots start at zero. [`AtomicPackedArray::set`] ORs the value in, so each
+/// slot must be written at most once (re-writing a slot with a different
+/// value produces the OR of the two — the same contract CUDA code relies on
+/// when filling a zeroed buffer).
+#[derive(Debug)]
+pub struct AtomicPackedArray {
+    words: Vec<AtomicU64>,
+    len: usize,
+    nbits: u32,
+}
+
+impl AtomicPackedArray {
+    /// Allocates a zeroed packed array of `len` slots at `nbits` bits each.
+    ///
+    /// # Panics
+    /// Panics if `nbits` is outside `1..=64`.
+    pub fn zeroed(len: usize, nbits: u32) -> Self {
+        assert!((1..=64).contains(&nbits), "bits per value must be 1..=64");
+        let total_bits = len * nbits as usize;
+        let mut words = Vec::with_capacity(total_bits.div_ceil(64));
+        words.resize_with(total_bits.div_ceil(64), || AtomicU64::new(0));
+        Self { words, len, nbits }
+    }
+
+    /// Slot count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per slot.
+    #[inline]
+    pub fn bits_per_value(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Writes `value` into slot `i` (ORs into the zeroed slot; see the type
+    /// docs for the single-write contract).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or `value` does not fit.
+    #[inline]
+    pub fn set(&self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let m = mask(self.nbits);
+        assert!(
+            value <= m,
+            "value {value} does not fit in {} bits",
+            self.nbits
+        );
+        let bit = i * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        self.words[word].fetch_or(value << off, Ordering::Relaxed);
+        if off + self.nbits > 64 {
+            self.words[word + 1].fetch_or(value >> (64 - off), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads slot `i`. Reads racing a concurrent `set` of the *same* slot may
+    /// observe a partial value (same as on the device); reads of slots whose
+    /// writes happened-before are exact.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let bit = i * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let lo = self.words[word].load(Ordering::Relaxed) >> off;
+        let v = if off + self.nbits > 64 {
+            lo | (self.words[word + 1].load(Ordering::Relaxed) << (64 - off))
+        } else {
+            lo
+        };
+        v & mask(self.nbits)
+    }
+
+    /// Heap bytes of the packed words.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Freezes into an immutable [`PackedArray`] (no copy of the bit stream
+    /// semantics; the words move as-is).
+    pub fn into_packed(self) -> PackedArray {
+        let words: Vec<u64> = self.words.into_iter().map(AtomicU64::into_inner).collect();
+        PackedArray::from_raw(words, self.len, self.nbits)
+    }
+
+    /// Freezes a prefix of `prefix_len` slots — used when capacity was an
+    /// upper bound and fewer slots were actually filled.
+    pub fn into_packed_prefix(self, prefix_len: usize) -> PackedArray {
+        assert!(prefix_len <= self.len);
+        let needed_words = (prefix_len * self.nbits as usize).div_ceil(64);
+        let mut words: Vec<u64> = self.words.into_iter().map(AtomicU64::into_inner).collect();
+        words.truncate(needed_words);
+        PackedArray::from_raw(words, prefix_len, self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn set_then_get() {
+        let a = AtomicPackedArray::zeroed(10, 7);
+        for i in 0..10 {
+            a.set(i, (i as u64 * 11) % 128);
+        }
+        for i in 0..10 {
+            assert_eq!(a.get(i), (i as u64 * 11) % 128);
+        }
+    }
+
+    #[test]
+    fn unwritten_slots_read_zero() {
+        let a = AtomicPackedArray::zeroed(5, 13);
+        a.set(2, 4321);
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(2), 4321);
+        assert_eq!(a.get(4), 0);
+    }
+
+    #[test]
+    fn freeze_matches_live_reads() {
+        let a = AtomicPackedArray::zeroed(100, 17);
+        for i in 0..100 {
+            a.set(i, (i as u64 * 131) & 0x1ffff);
+        }
+        let expected: Vec<u64> = (0..100).map(|i| a.get(i)).collect();
+        let frozen = a.into_packed();
+        assert_eq!(frozen.decode(), expected);
+    }
+
+    #[test]
+    fn prefix_freeze_truncates() {
+        let a = AtomicPackedArray::zeroed(64, 9);
+        for i in 0..40 {
+            a.set(i, i as u64);
+        }
+        let p = a.into_packed_prefix(40);
+        assert_eq!(p.len(), 40);
+        assert_eq!(p.decode(), (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_produce_exact_array() {
+        // 8 threads each own a contiguous slot range that deliberately does
+        // NOT align with word boundaries (nbits = 11), so neighbouring
+        // threads share boundary words — the exact hazard fetch_or absorbs.
+        let n = 8 * 1000;
+        let a = AtomicPackedArray::zeroed(n, 11);
+        let expected: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..n).map(|_| rng.gen_range(0..(1 << 11))).collect()
+        };
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let a = &a;
+                let expected = &expected;
+                s.spawn(move || {
+                    for (i, &v) in expected.iter().enumerate().skip(t * 1000).take(1000) {
+                        a.set(i, v);
+                    }
+                });
+            }
+        });
+        let got: Vec<u64> = (0..n).map(|i| a.get(i)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn interleaved_writers_on_same_words() {
+        // Threads write interleaved (stride-8) slots: every word is shared
+        // by several threads. fetch_or must still compose losslessly.
+        let n = 4096;
+        let a = AtomicPackedArray::zeroed(n, 13);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let a = &a;
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < n {
+                        a.set(i, (i as u64 * 7) & 0x1fff);
+                        i += 8;
+                    }
+                });
+            }
+        });
+        for i in 0..n {
+            assert_eq!(a.get(i), (i as u64 * 7) & 0x1fff, "slot {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_bounds_checked() {
+        let a = AtomicPackedArray::zeroed(3, 4);
+        a.set(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn set_width_checked() {
+        let a = AtomicPackedArray::zeroed(3, 4);
+        a.set(0, 16);
+    }
+
+    #[test]
+    fn empty_capacity() {
+        let a = AtomicPackedArray::zeroed(0, 8);
+        assert!(a.is_empty());
+        assert_eq!(a.bytes(), 0);
+        assert_eq!(a.into_packed().len(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Growable packed buffer: sequential append at a fixed bit width.
+//!
+//! [`crate::PackedArray`] is immutable and [`crate::AtomicPackedArray`] has a
+//! fixed capacity; IMM's estimation phase instead *grows* the RRR array
+//! round by round. `PackedBuf` supports that: single-threaded `push` with the
+//! same bit layout, freezable into a [`crate::PackedArray`].
+
+use crate::nbits::mask;
+use crate::PackedArray;
+
+/// An appendable bit-packed vector with a fixed width per element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedBuf {
+    words: Vec<u64>,
+    len: usize,
+    nbits: u32,
+}
+
+impl PackedBuf {
+    /// An empty buffer storing `nbits`-bit values.
+    ///
+    /// # Panics
+    /// Panics if `nbits` is outside `1..=64`.
+    pub fn new(nbits: u32) -> Self {
+        assert!((1..=64).contains(&nbits), "bits per value must be 1..=64");
+        Self {
+            words: Vec::new(),
+            len: 0,
+            nbits,
+        }
+    }
+
+    /// An empty buffer pre-sized for `capacity` elements.
+    pub fn with_capacity(nbits: u32, capacity: usize) -> Self {
+        let mut b = Self::new(nbits);
+        b.words.reserve((capacity * nbits as usize).div_ceil(64));
+        b
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width per element, bits.
+    #[inline]
+    pub fn bits_per_value(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in the configured width.
+    #[inline]
+    pub fn push(&mut self, value: u64) {
+        let m = mask(self.nbits);
+        assert!(
+            value <= m,
+            "value {value} does not fit in {} bits",
+            self.nbits
+        );
+        let bit = self.len * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        if off + self.nbits > 64 {
+            // High part spills into the next (new) word.
+            self.words.push(value >> (64 - off));
+        }
+        self.len += 1;
+    }
+
+    /// Decodes element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let bit = i * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let lo = self.words[word] >> off;
+        let v = if off + self.nbits > 64 {
+            lo | (self.words.get(word + 1).copied().unwrap_or(0) << (64 - off))
+        } else {
+            lo
+        };
+        v & mask(self.nbits)
+    }
+
+    /// Heap bytes of the packed words.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Freezes into an immutable array.
+    pub fn freeze(self) -> PackedArray {
+        PackedArray::from_raw(self.words, self.len, self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut b = PackedBuf::new(7);
+        for v in [5u64, 123, 99, 43, 7] {
+            b.push(v);
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(
+            (0..5).map(|i| b.get(i)).collect::<Vec<_>>(),
+            vec![5, 123, 99, 43, 7]
+        );
+    }
+
+    #[test]
+    fn freeze_matches_packed_array() {
+        let vals: Vec<u64> = (0..100).map(|i| i * 37 % 512).collect();
+        let mut b = PackedBuf::new(9);
+        for &v in &vals {
+            b.push(v);
+        }
+        let frozen = b.freeze();
+        assert_eq!(frozen.decode(), vals);
+        assert_eq!(frozen, PackedArray::from_values_with_bits(&vals, 9));
+    }
+
+    #[test]
+    fn straddling_pushes() {
+        let mut b = PackedBuf::new(33);
+        let vals: Vec<u64> = (0..20).map(|i| (1u64 << 32) + i).collect();
+        for &v in &vals {
+            b.push(v);
+        }
+        assert_eq!((0..20).map(|i| b.get(i)).collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_wide_values() {
+        let mut b = PackedBuf::new(4);
+        b.push(16);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = PackedBuf::new(8);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+        assert_eq!(b.freeze().len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_incremental(
+            vals in prop::collection::vec(0u64..(1 << 20), 0..500),
+        ) {
+            let mut b = PackedBuf::with_capacity(20, vals.len());
+            for &v in &vals {
+                b.push(v);
+            }
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(b.get(i), v);
+            }
+            prop_assert_eq!(b.freeze().decode(), vals);
+        }
+    }
+}

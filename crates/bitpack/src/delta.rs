@@ -1,0 +1,215 @@
+//! Delta encoding for sorted runs — an extension beyond the paper's plain
+//! log encoding.
+//!
+//! eIM stores each RRR set sorted ascending; storing the *gaps* between
+//! consecutive members instead of absolute ids lets the bit width follow
+//! `log2(max gap)` rather than `log2(n)`, which is substantially narrower
+//! for dense sets. The trade-off the paper implicitly makes by *not* doing
+//! this: delta decoding is sequential (prefix sums), so the binary-search
+//! membership test of Algorithm 3 no longer works directly. This module
+//! exists to quantify that trade-off (see `benches/membership.rs`); the
+//! production stores keep absolute encoding.
+
+use crate::nbits::bits_for;
+use crate::{PackedArray, PackedBuf};
+
+/// A sorted, strictly-ascending run stored as a first value plus packed
+/// gaps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaRun {
+    first: u64,
+    gaps: PackedArray,
+}
+
+impl DeltaRun {
+    /// Encodes a sorted, strictly-ascending slice.
+    ///
+    /// # Panics
+    /// Panics if `values` is not strictly ascending, or contains
+    /// `u64::MAX` (reserved as the empty-run sentinel).
+    pub fn encode(values: &[u64]) -> Self {
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "delta encoding requires strictly ascending input"
+        );
+        assert!(
+            values.last().copied() != Some(u64::MAX),
+            "u64::MAX is reserved as the empty-run sentinel"
+        );
+        let first = values.first().copied().unwrap_or(0);
+        let max_gap = values.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let nbits = bits_for(max_gap);
+        let mut buf = PackedBuf::with_capacity(nbits, values.len().saturating_sub(1));
+        for w in values.windows(2) {
+            buf.push(w[1] - w[0]);
+        }
+        Self {
+            first,
+            gaps: buf.freeze(),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.gaps.len() + 1
+        }
+    }
+
+    /// True when no values are stored. The empty run is marked with the
+    /// sentinel `first = u64::MAX` (which [`DeltaRun::encode_checked`]
+    /// writes; `u64::MAX` cannot begin a strictly-ascending multi-element
+    /// run whose gaps fit in 64 bits, so the sentinel is unambiguous).
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty() && self.first == u64::MAX
+    }
+
+    /// Decodes the whole run (sequential prefix sum).
+    pub fn decode(&self) -> Vec<u64> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.gaps.len() + 1);
+        let mut cur = self.first;
+        out.push(cur);
+        for i in 0..self.gaps.len() {
+            cur += self.gaps.get(i);
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Membership test — necessarily a linear scan of the prefix sums; the
+    /// cost Algorithm 3's binary search avoids by storing absolute ids.
+    pub fn contains(&self, value: u64) -> bool {
+        if self.is_empty() || value < self.first {
+            return false;
+        }
+        let mut cur = self.first;
+        if cur == value {
+            return true;
+        }
+        for i in 0..self.gaps.len() {
+            cur += self.gaps.get(i);
+            if cur == value {
+                return true;
+            }
+            if cur > value {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Packed bytes of the gap stream (plus the 8-byte first value).
+    pub fn bytes(&self) -> usize {
+        8 + self.gaps.bytes()
+    }
+
+    /// Bits per stored gap.
+    pub fn gap_bits(&self) -> u32 {
+        self.gaps.bits_per_value()
+    }
+}
+
+impl DeltaRun {
+    /// Encodes, marking emptiness unambiguously.
+    pub fn encode_checked(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                first: u64::MAX,
+                gaps: PackedArray::from_values(&[]),
+            };
+        }
+        Self::encode(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_dense_run() {
+        let vals: Vec<u64> = (1000..1050).collect();
+        let run = DeltaRun::encode(&vals);
+        assert_eq!(run.decode(), vals);
+        assert_eq!(run.gap_bits(), 1); // all gaps are 1
+        assert_eq!(run.len(), 50);
+    }
+
+    #[test]
+    fn dense_runs_compress_below_absolute_encoding() {
+        // 1000 consecutive ids near 2^30: absolute needs 30 bits each;
+        // deltas need 1 bit each.
+        let vals: Vec<u64> = ((1 << 30)..(1 << 30) + 1000).collect();
+        let absolute = PackedArray::from_values(&vals);
+        let delta = DeltaRun::encode(&vals);
+        assert!(
+            delta.bytes() * 10 < absolute.bytes(),
+            "delta {} vs absolute {}",
+            delta.bytes(),
+            absolute.bytes()
+        );
+    }
+
+    #[test]
+    fn membership_scans_correctly() {
+        let vals = vec![3, 7, 20, 21, 500];
+        let run = DeltaRun::encode(&vals);
+        for &v in &vals {
+            assert!(run.contains(v));
+        }
+        for probe in [0, 4, 19, 22, 499, 501] {
+            assert!(!run.contains(probe), "false positive at {probe}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_disambiguate() {
+        let empty = DeltaRun::encode_checked(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.decode(), Vec::<u64>::new());
+        assert!(!empty.contains(0));
+        let single = DeltaRun::encode_checked(&[0]);
+        assert!(!single.is_empty());
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.decode(), vec![0]);
+        assert!(single.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted() {
+        DeltaRun::encode(&[5, 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_sorted_set(
+            set in prop::collection::btree_set(0u64..1_000_000, 0..300)
+        ) {
+            let vals: Vec<u64> = set.into_iter().collect();
+            let run = DeltaRun::encode_checked(&vals);
+            prop_assert_eq!(run.decode(), vals.clone());
+            prop_assert_eq!(run.len(), vals.len());
+            for &v in vals.iter().take(20) {
+                prop_assert!(run.contains(v));
+            }
+        }
+
+        #[test]
+        fn never_larger_than_absolute_plus_header(
+            set in prop::collection::btree_set(0u64..1_000_000, 2..300)
+        ) {
+            let vals: Vec<u64> = set.into_iter().collect();
+            let run = DeltaRun::encode(&vals);
+            let absolute = PackedArray::from_values(&vals);
+            prop_assert!(run.bytes() <= absolute.bytes() + 16);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Memory accounting for the compression experiments (Figure 4, §4.2).
+
+/// Before/after byte counts with the derived quantities the paper reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryReport {
+    /// Bytes of the uncompressed representation.
+    pub plain_bytes: usize,
+    /// Bytes after log encoding.
+    pub packed_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Builds a report from the two byte counts.
+    pub fn new(plain_bytes: usize, packed_bytes: usize) -> Self {
+        Self {
+            plain_bytes,
+            packed_bytes,
+        }
+    }
+
+    /// Bytes saved (can be negative conceptually, clamped at 0 — packing
+    /// never expands in this codebase, but guard anyway).
+    pub fn saved_bytes(&self) -> usize {
+        self.plain_bytes.saturating_sub(self.packed_bytes)
+    }
+
+    /// Fraction of memory saved, `0.0..=1.0` — the y-axis of Figure 4.
+    pub fn saved_fraction(&self) -> f64 {
+        if self.plain_bytes == 0 {
+            0.0
+        } else {
+            self.saved_bytes() as f64 / self.plain_bytes as f64
+        }
+    }
+
+    /// Merges two reports (e.g. network data + RRR sets, as Figure 4 plots
+    /// their combined saving).
+    pub fn combined(&self, other: &MemoryReport) -> MemoryReport {
+        MemoryReport {
+            plain_bytes: self.plain_bytes + other.plain_bytes,
+            packed_bytes: self.packed_bytes + other.packed_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let r = MemoryReport::new(100, 46);
+        assert_eq!(r.saved_bytes(), 54);
+        assert!((r.saved_fraction() - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_plain_is_zero_saving() {
+        let r = MemoryReport::new(0, 0);
+        assert_eq!(r.saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn packing_larger_than_plain_clamps() {
+        let r = MemoryReport::new(10, 12);
+        assert_eq!(r.saved_bytes(), 0);
+        assert_eq!(r.saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn combine_sums_components() {
+        let a = MemoryReport::new(100, 50);
+        let b = MemoryReport::new(300, 250);
+        let c = a.combined(&b);
+        assert_eq!(c.plain_bytes, 400);
+        assert_eq!(c.packed_bytes, 300);
+        assert!((c.saved_fraction() - 0.25).abs() < 1e-12);
+    }
+}

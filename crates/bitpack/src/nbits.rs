@@ -1,0 +1,49 @@
+//! Bit-width computation.
+
+/// Number of bits needed to represent every value in `0..=max` — the
+/// `n_b = ceil(log2(x_max))` of §3.1, corrected for exact powers of two
+/// (representing `x_max = 8` takes 4 bits, not 3) and clamped to at least 1
+/// so an all-zeros array still has addressable slots.
+#[inline]
+pub fn bits_for(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// Mask with the low `nbits` bits set. Valid for `1..=64`.
+#[inline]
+pub(crate) fn mask(nbits: u32) -> u64 {
+    debug_assert!((1..=64).contains(&nbits));
+    u64::MAX >> (64 - nbits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_seven_bits() {
+        // Figure 1: max element 123 needs 7 bits.
+        assert_eq!(bits_for(123), 7);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(7), 3);
+        assert_eq!(bits_for(8), 4);
+        assert_eq!(bits_for(u32::MAX as u64), 32);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(7), 0x7f);
+        assert_eq!(mask(32), 0xffff_ffff);
+        assert_eq!(mask(64), u64::MAX);
+    }
+}

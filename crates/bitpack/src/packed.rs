@@ -1,0 +1,244 @@
+//! Immutable bit-packed array.
+
+use crate::nbits::{bits_for, mask};
+
+/// A read-only array of unsigned integers stored at `bits_per_value` bits
+/// each, concatenated across 64-bit words (values may straddle a word
+/// boundary, as in Figure 1 of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedArray {
+    words: Vec<u64>,
+    len: usize,
+    nbits: u32,
+}
+
+impl PackedArray {
+    /// Packs `values`, sizing the width from the maximum element.
+    pub fn from_values(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        Self::from_values_with_bits(values, bits_for(max))
+    }
+
+    /// Packs `values` at an explicit width.
+    ///
+    /// # Panics
+    /// Panics if any value needs more than `nbits` bits, or if
+    /// `nbits` is outside `1..=64`.
+    pub fn from_values_with_bits(values: &[u64], nbits: u32) -> Self {
+        assert!((1..=64).contains(&nbits), "bits per value must be 1..=64");
+        let m = mask(nbits);
+        let total_bits = values.len() * nbits as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v <= m, "value {v} does not fit in {nbits} bits");
+            let bit = i * nbits as usize;
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            words[word] |= v << off;
+            if off + nbits > 64 {
+                words[word + 1] |= v >> (64 - off);
+            }
+        }
+        Self {
+            words,
+            len: values.len(),
+            nbits,
+        }
+    }
+
+    /// Convenience for `u32` sources (vertex ids).
+    pub fn from_u32s(values: &[u32]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0) as u64;
+        let nbits = bits_for(max);
+        let m = mask(nbits);
+        let total_bits = values.len() * nbits as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            let v = v as u64;
+            debug_assert!(v <= m);
+            let bit = i * nbits as usize;
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            words[word] |= v << off;
+            if off + nbits > 64 {
+                words[word + 1] |= v >> (64 - off);
+            }
+        }
+        Self {
+            words,
+            len: values.len(),
+            nbits,
+        }
+    }
+
+    /// Wraps raw parts (used by [`crate::AtomicPackedArray::into_packed`]).
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize, nbits: u32) -> Self {
+        Self { words, len, nbits }
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of each element in bits.
+    #[inline]
+    pub fn bits_per_value(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Decodes element `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `i` is out of bounds; release reads garbage the
+    /// same way a device kernel would, so callers bound-check at the edges.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bit = i * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let lo = self.words[word] >> off;
+        let v = if off + self.nbits > 64 {
+            lo | (self.words[word + 1] << (64 - off))
+        } else {
+            lo
+        };
+        v & mask(self.nbits)
+    }
+
+    /// Decoding iterator over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Decodes the whole array into a fresh `Vec`.
+    pub fn decode(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Heap bytes of the packed representation — the numerator of every
+    /// memory-saving figure in the paper.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the same data occupies unpacked at `unpacked_width` bytes per
+    /// element (4 for vertex ids, 8 for offsets).
+    pub fn plain_bytes(&self, unpacked_width: usize) -> usize {
+        self.len * unpacked_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure1_example() {
+        // 5 values, 7 bits each = 35 bits -> one 64-bit word (the paper's
+        // 32-bit containers need two; same bit stream either way).
+        let a = PackedArray::from_values(&[5, 123, 99, 43, 7]);
+        assert_eq!(a.bits_per_value(), 7);
+        assert_eq!(a.bytes(), 8);
+        assert_eq!(a.decode(), vec![5, 123, 99, 43, 7]);
+        // Plain u32 storage: 20 bytes. Packed: 8. That is the 160 -> 64 bit
+        // reduction of Figure 1.
+        assert_eq!(a.plain_bytes(4), 20);
+    }
+
+    #[test]
+    fn values_straddle_word_boundaries() {
+        // 7 bits x 10 = 70 bits: element 9 spans words 0 and 1.
+        let vals: Vec<u64> = (0..10).map(|i| (i * 13) % 128).collect();
+        let a = PackedArray::from_values_with_bits(&vals, 7);
+        assert_eq!(a.decode(), vals);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = PackedArray::from_values(&[]);
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+        assert_eq!(a.bytes(), 0);
+        assert_eq!(a.decode(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn all_zeros_still_addressable() {
+        let a = PackedArray::from_values(&[0, 0, 0]);
+        assert_eq!(a.bits_per_value(), 1);
+        assert_eq!(a.decode(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn full_width_values() {
+        let vals = [u64::MAX, 0, u64::MAX / 3];
+        let a = PackedArray::from_values(&vals);
+        assert_eq!(a.bits_per_value(), 64);
+        assert_eq!(a.decode(), vals);
+    }
+
+    #[test]
+    fn thirty_three_bit_values() {
+        // Just past the u32 boundary: straddles guaranteed.
+        let vals: Vec<u64> = (0..50).map(|i| (1u64 << 32) + i * 7).collect();
+        let a = PackedArray::from_values(&vals);
+        assert_eq!(a.bits_per_value(), 33);
+        assert_eq!(a.decode(), vals);
+    }
+
+    #[test]
+    fn from_u32s_matches_from_values() {
+        let v32: Vec<u32> = vec![1, 500_000, 123, 999_999];
+        let v64: Vec<u64> = v32.iter().map(|&x| x as u64).collect();
+        assert_eq!(PackedArray::from_u32s(&v32), PackedArray::from_values(&v64));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_values() {
+        PackedArray::from_values_with_bits(&[200], 7);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_values(vals in prop::collection::vec(any::<u64>(), 0..200)) {
+            let a = PackedArray::from_values(&vals);
+            prop_assert_eq!(a.decode(), vals);
+        }
+
+        #[test]
+        fn roundtrip_any_width(
+            vals in prop::collection::vec(0u64..128, 0..300),
+            extra in 7u32..64,
+        ) {
+            // Any width wide enough must round-trip identically.
+            let a = PackedArray::from_values_with_bits(&vals, extra);
+            prop_assert_eq!(a.decode(), vals);
+        }
+
+        #[test]
+        fn packed_never_larger_than_plain_u64(vals in prop::collection::vec(any::<u64>(), 1..200)) {
+            let a = PackedArray::from_values(&vals);
+            prop_assert!(a.bytes() <= vals.len() * 8 + 8);
+        }
+
+        #[test]
+        fn random_access_matches_iteration(vals in prop::collection::vec(0u64..1_000_000, 1..100)) {
+            let a = PackedArray::from_values(&vals);
+            for (i, v) in a.iter().enumerate() {
+                prop_assert_eq!(a.get(i), v);
+            }
+        }
+    }
+}

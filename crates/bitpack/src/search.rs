@@ -1,0 +1,85 @@
+//! Binary search over a sorted run of a packed array.
+//!
+//! The paper copies each RRR set into `R` in ascending vertex order exactly
+//! so the seed-selection phase can binary-search set membership (Algorithm 3
+//! line 7). This module provides that search directly on the packed
+//! representation — no decompression of the run.
+
+use crate::PackedArray;
+
+/// Searches `array[start..end]` (which must be sorted ascending) for
+/// `value`. Returns `Ok(index)` of a match (absolute index into the array)
+/// or `Err(insertion_point)`.
+pub fn binary_search_packed(
+    array: &PackedArray,
+    start: usize,
+    end: usize,
+    value: u64,
+) -> Result<usize, usize> {
+    debug_assert!(start <= end && end <= array.len());
+    let mut lo = start;
+    let mut hi = end;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let v = array.get(mid);
+        match v.cmp(&value) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_present_values() {
+        let vals: Vec<u64> = vec![2, 3, 5, 8, 13, 21, 34];
+        let a = PackedArray::from_values(&vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(binary_search_packed(&a, 0, vals.len(), v), Ok(i));
+        }
+    }
+
+    #[test]
+    fn reports_insertion_points() {
+        let a = PackedArray::from_values(&[10, 20, 30]);
+        assert_eq!(binary_search_packed(&a, 0, 3, 5), Err(0));
+        assert_eq!(binary_search_packed(&a, 0, 3, 15), Err(1));
+        assert_eq!(binary_search_packed(&a, 0, 3, 35), Err(3));
+    }
+
+    #[test]
+    fn respects_subrange() {
+        // Two concatenated sorted runs, as in the flat R array.
+        let a = PackedArray::from_values(&[1, 5, 9, 2, 4, 6]);
+        assert_eq!(binary_search_packed(&a, 3, 6, 4), Ok(4));
+        assert!(binary_search_packed(&a, 3, 6, 5).is_err());
+        assert_eq!(binary_search_packed(&a, 0, 3, 5), Ok(1));
+    }
+
+    #[test]
+    fn empty_range() {
+        let a = PackedArray::from_values(&[1, 2, 3]);
+        assert_eq!(binary_search_packed(&a, 2, 2, 99), Err(2));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_binary_search(
+            mut vals in prop::collection::vec(0u64..10_000, 0..200),
+            probe in 0u64..10_000,
+        ) {
+            vals.sort_unstable();
+            vals.dedup();
+            let a = PackedArray::from_values(&vals);
+            let got = binary_search_packed(&a, 0, vals.len(), probe);
+            let want = vals.binary_search(&probe);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

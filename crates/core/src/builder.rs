@@ -1,0 +1,209 @@
+//! Fluent public API: configure and run eIM in one expression.
+
+use eim_diffusion::DiffusionModel;
+use eim_gpusim::{Device, DeviceSpec};
+use eim_graph::{Graph, VertexId};
+use eim_imm::{run_imm, EngineError, ImmConfig, PhaseBreakdown};
+
+use crate::engine::EimEngine;
+use crate::memory::MemoryFootprint;
+use crate::sampler::SamplerCounters;
+use crate::select::ScanStrategy;
+
+/// Everything an eIM run reports.
+#[derive(Clone, Debug)]
+pub struct EimResult {
+    /// The selected seed set, in selection order.
+    pub seeds: Vec<VertexId>,
+    /// Fraction of RRR sets the seeds cover.
+    pub coverage: f64,
+    /// RRR sets held at the end.
+    pub num_sets: usize,
+    /// The theoretical requirement theta.
+    pub theta: usize,
+    /// Total elements across stored sets (`|R|`).
+    pub total_elements: usize,
+    /// Simulated time per phase.
+    pub phases: PhaseBreakdown,
+    /// Device memory attribution.
+    pub memory: MemoryFootprint,
+    /// Sampling outcome counters (singletons, discards).
+    pub counters: SamplerCounters,
+}
+
+impl EimResult {
+    /// Total simulated device time, microseconds.
+    pub fn sim_time_us(&self) -> f64 {
+        self.phases.total_us()
+    }
+
+    /// Total simulated device time, seconds.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_us() / 1e6
+    }
+
+    /// Fraction of sampled sets that contained only their source — the
+    /// Figure 5 x-axis.
+    pub fn singleton_fraction(&self) -> f64 {
+        if self.counters.sampled == 0 {
+            0.0
+        } else {
+            self.counters.singletons as f64 / self.counters.sampled as f64
+        }
+    }
+}
+
+/// Configures and runs eIM.
+///
+/// ```
+/// # use eim_core::EimBuilder;
+/// # use eim_graph::{generators, WeightModel};
+/// let g = generators::barabasi_albert(200, 3, WeightModel::WeightedCascade, 1);
+/// let result = EimBuilder::new(&g).k(3).epsilon(0.35).run().unwrap();
+/// assert_eq!(result.seeds.len(), 3);
+/// ```
+pub struct EimBuilder<'g> {
+    graph: &'g Graph,
+    config: ImmConfig,
+    device: DeviceSpec,
+    scan: ScanStrategy,
+}
+
+impl<'g> EimBuilder<'g> {
+    /// A builder with the paper's defaults (`k = 50`, `epsilon = 0.05`, IC,
+    /// log encoding and source elimination on, A6000-class device,
+    /// thread-per-set selection scans).
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            config: ImmConfig::paper_default(),
+            device: DeviceSpec::rtx_a6000(),
+            scan: ScanStrategy::ThreadPerSet,
+        }
+    }
+
+    /// Seed-set size.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Approximation parameter.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Diffusion model.
+    pub fn model(mut self, model: DiffusionModel) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Toggle source-vertex elimination (§3.4).
+    pub fn source_elimination(mut self, on: bool) -> Self {
+        self.config.source_elimination = on;
+        self
+    }
+
+    /// Toggle log encoding of network data and RRR sets (§3.1).
+    pub fn packed(mut self, on: bool) -> Self {
+        self.config.packed = on;
+        self
+    }
+
+    /// Selection scan strategy (§3.5).
+    pub fn scan(mut self, scan: ScanStrategy) -> Self {
+        self.scan = scan;
+        self
+    }
+
+    /// Simulated device to run on.
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Full config override.
+    pub fn config(mut self, config: ImmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the complete IMM pipeline.
+    pub fn run(self) -> Result<EimResult, EngineError> {
+        let mut engine =
+            EimEngine::new(self.graph, self.config, Device::new(self.device), self.scan)?;
+        let imm = run_imm(&mut engine, &self.config)?;
+        Ok(EimResult {
+            seeds: imm.seeds,
+            coverage: imm.coverage,
+            num_sets: imm.num_sets,
+            theta: imm.theta,
+            total_elements: imm.total_elements,
+            phases: imm.phases,
+            memory: engine.footprint(),
+            counters: engine.counters(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::{generators, WeightModel};
+
+    #[test]
+    fn builder_runs_with_defaults_scaled_down() {
+        let g = generators::barabasi_albert(300, 3, WeightModel::WeightedCascade, 5);
+        let r = EimBuilder::new(&g).k(5).epsilon(0.3).seed(3).run().unwrap();
+        assert_eq!(r.seeds.len(), 5);
+        assert!(r.sim_time_us() > 0.0);
+        assert!(r.num_sets >= r.theta.min(r.num_sets));
+        assert!(r.memory.graph_bytes > 0);
+    }
+
+    #[test]
+    fn lt_model_via_builder() {
+        let g = generators::barabasi_albert(300, 3, WeightModel::WeightedCascade, 5);
+        let r = EimBuilder::new(&g)
+            .k(3)
+            .epsilon(0.4)
+            .model(DiffusionModel::LinearThreshold)
+            .run()
+            .unwrap();
+        assert_eq!(r.seeds.len(), 3);
+    }
+
+    #[test]
+    fn singleton_fraction_is_a_fraction() {
+        let g = generators::star_in(150, WeightModel::WeightedCascade);
+        let r = EimBuilder::new(&g).k(1).epsilon(0.5).run().unwrap();
+        assert!(r.singleton_fraction() > 0.5);
+        assert!(r.singleton_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn oom_surfaces_as_error() {
+        let g = generators::rmat(
+            3_000,
+            30_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            1,
+        );
+        let err = EimBuilder::new(&g)
+            .k(3)
+            .epsilon(0.4)
+            .device(eim_gpusim::DeviceSpec::rtx_a6000_with_mem(32 << 10))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+}

@@ -1,0 +1,98 @@
+//! Kernel-facing graph view: plain or log-encoded CSC.
+
+use eim_bitpack::PackedCsc;
+use eim_graph::{Graph, VertexId, Weight};
+
+/// What a sampling kernel needs from the device-resident network data,
+/// independent of whether it is log-encoded.
+pub trait DeviceGraph: Sync {
+    /// Vertex count.
+    fn n(&self) -> usize;
+    /// In-degree of `v`.
+    fn in_degree(&self, v: VertexId) -> usize;
+    /// The `i`-th in-neighbor of `v`.
+    fn in_neighbor(&self, v: VertexId, i: usize) -> VertexId;
+    /// Weight of the `i`-th in-edge of `v`.
+    fn in_weight(&self, v: VertexId, i: usize) -> Weight;
+    /// Bytes this representation occupies on the device.
+    fn device_bytes(&self) -> usize;
+}
+
+/// Plain (uncompressed) CSC view — what gIM keeps on the device.
+pub struct PlainDeviceGraph<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> PlainDeviceGraph<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+}
+
+impl DeviceGraph for PlainDeviceGraph<'_> {
+    fn n(&self) -> usize {
+        self.graph.num_vertices()
+    }
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.graph.in_degree(v)
+    }
+    fn in_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.graph.in_neighbors(v)[i]
+    }
+    fn in_weight(&self, v: VertexId, i: usize) -> Weight {
+        self.graph.in_weights(v)[i]
+    }
+    fn device_bytes(&self) -> usize {
+        self.graph.csc_bytes()
+    }
+}
+
+impl DeviceGraph for PackedCsc {
+    fn n(&self) -> usize {
+        self.num_vertices()
+    }
+    fn in_degree(&self, v: VertexId) -> usize {
+        PackedCsc::in_degree(self, v)
+    }
+    fn in_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        PackedCsc::in_neighbor(self, v, i)
+    }
+    fn in_weight(&self, v: VertexId, i: usize) -> Weight {
+        PackedCsc::in_weight(self, v, i)
+    }
+    fn device_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::{generators, WeightModel};
+
+    #[test]
+    fn plain_and_packed_views_agree() {
+        let g = generators::rmat(
+            400,
+            2_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            3,
+        );
+        let plain = PlainDeviceGraph::new(&g);
+        let packed = PackedCsc::from_graph(&g);
+        assert_eq!(plain.n(), packed.n());
+        for v in (0..400u32).step_by(7) {
+            assert_eq!(plain.in_degree(v), DeviceGraph::in_degree(&packed, v));
+            for i in 0..plain.in_degree(v) {
+                assert_eq!(
+                    plain.in_neighbor(v, i),
+                    DeviceGraph::in_neighbor(&packed, v, i)
+                );
+                assert_eq!(plain.in_weight(v, i), DeviceGraph::in_weight(&packed, v, i));
+            }
+        }
+        assert!(packed.device_bytes() < plain.device_bytes());
+    }
+}

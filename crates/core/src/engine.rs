@@ -1,0 +1,342 @@
+//! The eIM engine: ties sampler, store, and selection together as an
+//! [`ImmEngine`] backend for the shared IMM driver.
+
+use eim_bitpack::PackedCsc;
+use eim_gpusim::{Device, MemoryError};
+use eim_graph::Graph;
+use eim_imm::{
+    AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
+};
+
+use crate::device_graph::{DeviceGraph, PlainDeviceGraph};
+use crate::memory::{MemoryFootprint, ScratchPlan};
+use crate::sampler::{sample_batch, SampleBatch, SamplerCounters};
+use crate::select::{select_on_device, ScanStrategy};
+
+enum GraphRepr<'g> {
+    Plain(PlainDeviceGraph<'g>),
+    Packed(PackedCsc),
+}
+
+impl GraphRepr<'_> {
+    fn device_bytes(&self) -> usize {
+        match self {
+            GraphRepr::Plain(g) => g.device_bytes(),
+            GraphRepr::Packed(g) => DeviceGraph::device_bytes(g),
+        }
+    }
+}
+
+fn to_engine_error(e: MemoryError) -> EngineError {
+    EngineError::OutOfMemory {
+        requested: e.requested,
+        capacity: e.capacity,
+    }
+}
+
+/// eIM on a simulated device. Construct with [`EimEngine::new`], then either
+/// drive it manually or hand it to [`eim_imm::run_imm`] (which
+/// [`crate::EimBuilder`] does for you).
+pub struct EimEngine<'g> {
+    device: Device,
+    graph: GraphRepr<'g>,
+    config: ImmConfig,
+    scan: ScanStrategy,
+    store: AnyRrrStore,
+    next_index: u64,
+    clock_us: f64,
+    counters: SamplerCounters,
+    store_alloc_bytes: usize,
+    scratch: ScratchPlan,
+}
+
+impl<'g> EimEngine<'g> {
+    /// Builds the engine, placing network data and sampler scratch on the
+    /// device. Fails with OOM if the graph alone does not fit.
+    pub fn new(
+        graph: &'g Graph,
+        config: ImmConfig,
+        device: Device,
+        scan: ScanStrategy,
+    ) -> Result<Self, EngineError> {
+        let n = graph.num_vertices();
+        config.validate(n);
+        let repr = if config.packed {
+            GraphRepr::Packed(PackedCsc::from_graph(graph))
+        } else {
+            GraphRepr::Plain(PlainDeviceGraph::new(graph))
+        };
+        let blocks = device.spec().num_sms * 4;
+        let scratch = ScratchPlan::new(n, blocks);
+        device
+            .memory()
+            .alloc(repr.device_bytes() + scratch.total())
+            .map_err(to_engine_error)?;
+        Ok(Self {
+            device,
+            graph: repr,
+            store: AnyRrrStore::new(n, config.packed),
+            config,
+            scan,
+            next_index: 0,
+            clock_us: 0.0,
+            counters: SamplerCounters::default(),
+            store_alloc_bytes: 0,
+            scratch,
+        })
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Sampling outcome counters so far.
+    pub fn counters(&self) -> SamplerCounters {
+        self.counters
+    }
+
+    /// Current memory attribution.
+    pub fn footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            graph_bytes: self.graph.device_bytes(),
+            store_bytes: self.store.bytes(),
+            scratch_bytes: self.scratch.total(),
+            peak_bytes: self.device.memory_stats().peak,
+        }
+    }
+
+    fn run_batch(&mut self, count: usize) -> SampleBatch {
+        let (device, config) = (&self.device, &self.config);
+        match &self.graph {
+            GraphRepr::Plain(g) => sample_batch(
+                device,
+                g,
+                config.model,
+                config.seed,
+                self.next_index,
+                count,
+                config.source_elimination,
+            ),
+            GraphRepr::Packed(g) => sample_batch(
+                device,
+                g,
+                config.model,
+                config.seed,
+                self.next_index,
+                count,
+                config.source_elimination,
+            ),
+        }
+    }
+
+    /// Grows the device allocation backing `R`/`O` when the store outgrew
+    /// it: reserve the new extent, copy, release the old one. The transient
+    /// old+new residency is what makes growth a real OOM hazard.
+    fn ensure_store_capacity(&mut self) -> Result<(), EngineError> {
+        let needed = self.store.bytes();
+        if needed <= self.store_alloc_bytes {
+            return Ok(());
+        }
+        let new_alloc = (needed * 3 / 2).max(4096);
+        self.device
+            .memory()
+            .alloc(new_alloc)
+            .map_err(to_engine_error)?;
+        self.device.memory().free(self.store_alloc_bytes);
+        self.clock_us += self
+            .device
+            .spec()
+            .device_copy_us(self.store_alloc_bytes.min(needed));
+        self.store_alloc_bytes = new_alloc;
+        Ok(())
+    }
+}
+
+impl ImmEngine for EimEngine<'_> {
+    fn n(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+        // Every sampled traversal counts toward theta; eliminated-to-empty
+        // samples are not stored (see [`ImmEngine::logical_sets`]).
+        if (self.next_index as usize) >= target {
+            return Ok(());
+        }
+        let batch_size = target - self.next_index as usize;
+        let batch = self.run_batch(batch_size);
+        self.next_index = target as u64;
+        self.clock_us += batch.stats.elapsed_us;
+        self.counters.sampled += batch.counters.sampled;
+        self.counters.singletons += batch.counters.singletons;
+        self.counters.discarded += batch.counters.discarded;
+        for set in batch.sets.into_iter().flatten() {
+            self.store.append_set(&set);
+        }
+        self.ensure_store_capacity()?;
+        Ok(())
+    }
+
+    fn logical_sets(&self) -> usize {
+        self.next_index as usize
+    }
+
+    fn select(&mut self, k: usize) -> Selection {
+        // The covered-flag array F is transient device scratch.
+        let flag_bytes = self.store.num_sets().div_ceil(8);
+        let flags_ok = self.device.memory().alloc(flag_bytes).is_ok();
+        let result = select_on_device(&self.device, &self.store, k, self.scan);
+        if flags_ok {
+            self.device.memory().free(flag_bytes);
+        }
+        self.clock_us += result.elapsed_us;
+        result.selection
+    }
+
+    fn store(&self) -> &dyn RrrSets {
+        &self.store
+    }
+
+    fn elapsed_us(&self) -> f64 {
+        self.clock_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_gpusim::DeviceSpec;
+    use eim_graph::{generators, WeightModel};
+    use eim_imm::run_imm;
+
+    fn cfg() -> ImmConfig {
+        ImmConfig::paper_default()
+            .with_k(3)
+            .with_epsilon(0.3)
+            .with_seed(11)
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::rtx_a6000_with_mem(64 << 20))
+    }
+
+    #[test]
+    fn full_run_on_scale_free_graph() {
+        let g = generators::barabasi_albert(400, 3, WeightModel::WeightedCascade, 2);
+        let c = cfg();
+        let mut e = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+        let r = run_imm(&mut e, &c).unwrap();
+        assert_eq!(r.seeds.len(), 3);
+        assert!(r.coverage > 0.0);
+        assert!(e.elapsed_us() > 0.0);
+        let fp = e.footprint();
+        assert!(fp.store_bytes > 0);
+        assert!(fp.peak_bytes >= fp.graph_bytes);
+    }
+
+    #[test]
+    fn matches_cpu_engine_seed_quality() {
+        // eIM and the CPU reference sample from the same distribution and
+        // run the same greedy; on a graph with a dominant hub both must
+        // put the hub first.
+        let g = generators::star_out(300, WeightModel::WeightedCascade);
+        let c = cfg().with_source_elimination(false);
+        let mut e = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+        let r = run_imm(&mut e, &c).unwrap();
+        assert_eq!(r.seeds[0], 0);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let g = generators::rmat(
+            250,
+            1_500,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            7,
+        );
+        let c = cfg();
+        let run = || {
+            let mut e = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+            let r = run_imm(&mut e, &c).unwrap();
+            (r.seeds.clone(), r.num_sets, e.elapsed_us(), e.counters())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_too_big_for_device_is_oom_at_construction() {
+        let g = generators::rmat(
+            2_000,
+            20_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            7,
+        );
+        let tiny = Device::new(DeviceSpec::rtx_a6000_with_mem(16 << 10));
+        let err = EimEngine::new(&g, cfg(), tiny, ScanStrategy::ThreadPerSet)
+            .err()
+            .expect("graph cannot fit");
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn store_growth_can_oom_mid_run() {
+        let g = generators::rmat(
+            500,
+            5_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            7,
+        );
+        // Enough for graph + scratch but too small for the RRR store at
+        // epsilon = 0.2.
+        let scratch = ScratchPlan::new(500, 84 * 4).total();
+        let budget = scratch + (60 << 10);
+        let d = Device::new(DeviceSpec::rtx_a6000_with_mem(budget));
+        let c = cfg().with_epsilon(0.1);
+        match EimEngine::new(&g, c, d, ScanStrategy::ThreadPerSet) {
+            Ok(mut e) => {
+                let err = run_imm(&mut e, &c).unwrap_err();
+                assert!(matches!(err, EngineError::OutOfMemory { .. }));
+            }
+            Err(err) => assert!(matches!(err, EngineError::OutOfMemory { .. })),
+        }
+    }
+
+    #[test]
+    fn packed_store_uses_less_device_memory_than_plain() {
+        let g = generators::rmat(
+            2_000,
+            12_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            3,
+        );
+        let run = |packed: bool| {
+            let c = cfg().with_packed(packed);
+            let mut e = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+            run_imm(&mut e, &c).unwrap();
+            e.footprint()
+        };
+        let packed = run(true);
+        let plain = run(false);
+        assert!(packed.graph_bytes < plain.graph_bytes);
+        assert!(packed.store_bytes < plain.store_bytes);
+    }
+
+    #[test]
+    fn source_elimination_counters_track_singletons() {
+        let g = generators::star_in(200, WeightModel::WeightedCascade);
+        let c = cfg().with_k(1);
+        let mut e = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+        let _ = run_imm(&mut e, &c).unwrap();
+        let counters = e.counters();
+        assert!(counters.singletons > 0);
+        assert_eq!(counters.discarded, counters.singletons);
+        assert!(counters.sampled >= counters.discarded);
+    }
+}

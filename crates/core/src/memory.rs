@@ -1,0 +1,82 @@
+//! Device memory planning and footprint reporting.
+
+/// Static per-run scratch the sampler needs besides graph and store: the
+/// per-block visited bitmaps `M`, the per-block global-memory queue pool
+/// (eIM's replacement for gIM's dynamic allocations — sized to the worst
+/// case, one full vertex set per block), and the count array `C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScratchPlan {
+    /// `M`: one bit per vertex per block.
+    pub bitmap_bytes: usize,
+    /// `Q` pool: `n` u32 slots per block.
+    pub queue_bytes: usize,
+    /// `C`: one u32 per vertex.
+    pub counts_bytes: usize,
+}
+
+impl ScratchPlan {
+    /// Plans scratch for `n` vertices and `blocks` resident blocks.
+    pub fn new(n: usize, blocks: usize) -> Self {
+        Self {
+            bitmap_bytes: blocks * n.div_ceil(8),
+            queue_bytes: blocks * n * 4,
+            counts_bytes: n * 4,
+        }
+    }
+
+    /// Total scratch bytes.
+    pub fn total(&self) -> usize {
+        self.bitmap_bytes + self.queue_bytes + self.counts_bytes
+    }
+}
+
+/// Where the device memory of a finished run went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Network data (CSC, packed or plain).
+    pub graph_bytes: usize,
+    /// RRR store (`R` + `O`) at the end of the run.
+    pub store_bytes: usize,
+    /// Sampler scratch (bitmaps + queue pool + counts).
+    pub scratch_bytes: usize,
+    /// High-water mark of total device usage.
+    pub peak_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum of the live components at the end of the run.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph_bytes + self.store_bytes + self.scratch_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_scales_with_blocks_and_vertices() {
+        let p = ScratchPlan::new(1000, 16);
+        assert_eq!(p.bitmap_bytes, 16 * 125);
+        assert_eq!(p.queue_bytes, 16 * 4000);
+        assert_eq!(p.counts_bytes, 4000);
+        assert_eq!(p.total(), 16 * 125 + 16 * 4000 + 4000);
+    }
+
+    #[test]
+    fn bitmap_rounds_up() {
+        let p = ScratchPlan::new(9, 1);
+        assert_eq!(p.bitmap_bytes, 2);
+    }
+
+    #[test]
+    fn footprint_sums() {
+        let f = MemoryFootprint {
+            graph_bytes: 100,
+            store_bytes: 200,
+            scratch_bytes: 50,
+            peak_bytes: 400,
+        };
+        assert_eq!(f.resident_bytes(), 350);
+    }
+}

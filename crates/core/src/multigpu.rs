@@ -1,0 +1,341 @@
+//! Multi-GPU eIM — the extension the paper's conclusion plans ("extend eIM
+//! to support multi-GPU execution to further improve scalability").
+//!
+//! Design: data-parallel sampling, centralized selection.
+//!
+//! * The graph (log-encoded) is replicated on every device — it is the
+//!   small, read-only operand; RRR storage is what grows.
+//! * Sample indices are dealt round-robin across the `D` devices; each
+//!   device runs the standard eIM sampling kernel on its share, so the
+//!   phase's simulated time is the *max* over devices (they run
+//!   concurrently).
+//! * Before each selection, the non-primary devices' partitions are
+//!   gathered onto device 0 across the interconnect (charged at PCIe
+//!   bandwidth; an NVLink-class bandwidth can be configured through the
+//!   device spec).
+//! * Selection runs on device 0 with the thread-per-set scan.
+//!
+//! Determinism is preserved: sample `i` still derives from stream
+//! `(seed, i)` no matter which device draws it, so the merged store is the
+//! same multiset the single-GPU engine produces — and therefore the same
+//! seed set.
+
+use eim_bitpack::PackedCsc;
+use eim_gpusim::{Device, DeviceSpec, MemoryError, TransferDirection};
+use eim_graph::Graph;
+use eim_imm::{
+    AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
+};
+
+use crate::device_graph::PlainDeviceGraph;
+use crate::memory::ScratchPlan;
+use crate::sampler::{sample_batch, SamplerCounters};
+use crate::select::{select_on_device, ScanStrategy};
+use crate::DeviceGraph;
+
+fn to_engine_error(e: MemoryError) -> EngineError {
+    EngineError::OutOfMemory {
+        requested: e.requested,
+        capacity: e.capacity,
+    }
+}
+
+enum GraphRepr<'g> {
+    Plain(PlainDeviceGraph<'g>),
+    Packed(PackedCsc),
+}
+
+/// eIM across `D` simulated devices.
+pub struct MultiGpuEimEngine<'g> {
+    devices: Vec<Device>,
+    graph: GraphRepr<'g>,
+    config: ImmConfig,
+    store: AnyRrrStore,
+    /// Bytes of store content each device holds before the gather.
+    partition_bytes: Vec<usize>,
+    /// Which partitions have already been gathered to device 0.
+    gathered_bytes: usize,
+    next_index: u64,
+    clock_us: f64,
+    counters: SamplerCounters,
+    store_alloc_bytes: usize,
+}
+
+impl<'g> MultiGpuEimEngine<'g> {
+    /// Builds the engine over `num_devices` identical devices of `spec`.
+    pub fn new(
+        graph: &'g Graph,
+        config: ImmConfig,
+        spec: DeviceSpec,
+        num_devices: usize,
+    ) -> Result<Self, EngineError> {
+        assert!(num_devices >= 1, "need at least one device");
+        let n = graph.num_vertices();
+        config.validate(n);
+        let repr = if config.packed {
+            GraphRepr::Packed(PackedCsc::from_graph(graph))
+        } else {
+            GraphRepr::Plain(PlainDeviceGraph::new(graph))
+        };
+        let graph_bytes = match &repr {
+            GraphRepr::Plain(g) => g.device_bytes(),
+            GraphRepr::Packed(g) => DeviceGraph::device_bytes(g),
+        };
+        let devices: Vec<Device> = (0..num_devices).map(|_| Device::new(spec)).collect();
+        let scratch = ScratchPlan::new(n, spec.num_sms * 4);
+        for d in &devices {
+            d.memory()
+                .alloc(graph_bytes + scratch.total())
+                .map_err(to_engine_error)?;
+        }
+        Ok(Self {
+            devices,
+            graph: repr,
+            store: AnyRrrStore::new(n, config.packed),
+            config,
+            partition_bytes: vec![0; num_devices],
+            gathered_bytes: 0,
+            next_index: 0,
+            clock_us: 0.0,
+            counters: SamplerCounters::default(),
+            store_alloc_bytes: 0,
+        })
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Sampling counters.
+    pub fn counters(&self) -> SamplerCounters {
+        self.counters
+    }
+
+    fn grow_primary_store(&mut self) -> Result<(), EngineError> {
+        let needed = self.store.bytes();
+        if needed <= self.store_alloc_bytes {
+            return Ok(());
+        }
+        let new_alloc = (needed * 3 / 2).max(4096);
+        self.devices[0]
+            .memory()
+            .alloc(new_alloc)
+            .map_err(to_engine_error)?;
+        self.devices[0].memory().free(self.store_alloc_bytes);
+        self.store_alloc_bytes = new_alloc;
+        Ok(())
+    }
+}
+
+impl ImmEngine for MultiGpuEimEngine<'_> {
+    fn n(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+        if (self.next_index as usize) >= target {
+            return Ok(());
+        }
+        let total = target - self.next_index as usize;
+        let d = self.devices.len();
+        // Blocked dealing: device j samples the contiguous global range
+        // [next + sum of earlier shares, +share_j). Content depends only on
+        // the global index, so the merged multiset is identical to the
+        // single-device engine's — same seeds, scalability for free.
+        let mut device_times = Vec::with_capacity(d);
+        let mut all: Vec<(u64, Vec<u32>)> = Vec::new();
+        let mut base = self.next_index;
+        for (j, dev) in self.devices.iter().enumerate() {
+            let share = total / d + usize::from(j < total % d);
+            if share == 0 {
+                device_times.push(0.0);
+                continue;
+            }
+            let batch = match &self.graph {
+                GraphRepr::Plain(g) => sample_batch(
+                    dev,
+                    g,
+                    self.config.model,
+                    self.config.seed,
+                    base,
+                    share,
+                    self.config.source_elimination,
+                ),
+                GraphRepr::Packed(g) => sample_batch(
+                    dev,
+                    g,
+                    self.config.model,
+                    self.config.seed,
+                    base,
+                    share,
+                    self.config.source_elimination,
+                ),
+            };
+            device_times.push(batch.stats.elapsed_us);
+            self.counters.sampled += batch.counters.sampled;
+            self.counters.singletons += batch.counters.singletons;
+            self.counters.discarded += batch.counters.discarded;
+            for (off, set) in batch.sets.into_iter().enumerate() {
+                if let Some(s) = set {
+                    self.partition_bytes[j] += s.len() * 4 + 8;
+                    all.push((base + off as u64, s));
+                }
+            }
+            base += share as u64;
+        }
+        self.next_index = target as u64;
+        // Devices ran concurrently: the phase costs the slowest device.
+        self.clock_us += device_times.iter().cloned().fold(0.0, f64::max);
+        // Merge in global-index order for determinism.
+        all.sort_unstable_by_key(|(idx, _)| *idx);
+        for (_, set) in &all {
+            self.store.append_set(set);
+        }
+        self.grow_primary_store()?;
+        Ok(())
+    }
+
+    fn select(&mut self, k: usize) -> Selection {
+        // Gather the not-yet-gathered partitions onto device 0.
+        let to_gather: usize =
+            self.partition_bytes[1..].iter().sum::<usize>() - self.gathered_bytes;
+        if to_gather > 0 {
+            self.clock_us += self.devices[0].transfer(to_gather, TransferDirection::HostToDevice);
+            self.gathered_bytes += to_gather;
+        }
+        let result = select_on_device(&self.devices[0], &self.store, k, ScanStrategy::ThreadPerSet);
+        self.clock_us += result.elapsed_us;
+        result.selection
+    }
+
+    fn store(&self) -> &dyn RrrSets {
+        &self.store
+    }
+
+    fn logical_sets(&self) -> usize {
+        self.next_index as usize
+    }
+
+    fn elapsed_us(&self) -> f64 {
+        self.clock_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::{generators, WeightModel};
+    use eim_imm::run_imm;
+
+    fn cfg() -> ImmConfig {
+        ImmConfig::paper_default()
+            .with_k(4)
+            .with_epsilon(0.25)
+            .with_seed(13)
+    }
+
+    fn graph() -> Graph {
+        generators::rmat(
+            600,
+            3_600,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            21,
+        )
+    }
+
+    #[test]
+    fn same_seeds_as_single_device() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut multi = MultiGpuEimEngine::new(&g, c, spec, 4).unwrap();
+        let r_multi = run_imm(&mut multi, &c).unwrap();
+        let r_single = crate::EimBuilder::new(&g)
+            .config(c)
+            .device(spec)
+            .run()
+            .unwrap();
+        assert_eq!(r_multi.seeds, r_single.seeds);
+        assert_eq!(r_multi.num_sets, r_single.num_sets);
+        assert_eq!(r_multi.total_elements, r_single.total_elements);
+    }
+
+    #[test]
+    fn sampling_phase_scales_with_devices() {
+        // Pure sampling (the data-parallel phase) must scale near-linearly;
+        // end-to-end gains are Amdahl-limited by the centralized selection.
+        let g = generators::rmat(
+            1_500,
+            9_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            5,
+        );
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(512 << 20);
+        let time = |d: usize| {
+            let mut e = MultiGpuEimEngine::new(&g, c, spec, d).unwrap();
+            e.extend_to(40_000).unwrap();
+            e.elapsed_us()
+        };
+        let one = time(1);
+        let four = time(4);
+        assert!(
+            four < 0.45 * one,
+            "4 devices {four:.0} us vs 1 device {one:.0} us"
+        );
+    }
+
+    #[test]
+    fn end_to_end_never_slower_with_more_devices() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(512 << 20);
+        let time = |d: usize| {
+            let mut e = MultiGpuEimEngine::new(&g, c, spec, d).unwrap();
+            run_imm(&mut e, &c).unwrap();
+            e.elapsed_us()
+        };
+        let one = time(1);
+        let four = time(4);
+        assert!(
+            four < 1.02 * one,
+            "4 devices {four:.0} vs 1 device {one:.0}"
+        );
+    }
+
+    #[test]
+    fn one_device_matches_the_standard_engine_times_closely() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut multi = MultiGpuEimEngine::new(&g, c, spec, 1).unwrap();
+        let r = run_imm(&mut multi, &c).unwrap();
+        assert_eq!(r.seeds.len(), 4);
+        assert_eq!(multi.num_devices(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let run = || {
+            let mut e = MultiGpuEimEngine::new(&g, c, spec, 3).unwrap();
+            let r = run_imm(&mut e, &c).unwrap();
+            (r.seeds.clone(), r.num_sets, e.elapsed_us())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn graph_must_fit_every_device() {
+        let g = graph();
+        let err = MultiGpuEimEngine::new(&g, cfg(), DeviceSpec::rtx_a6000_with_mem(16 << 10), 2)
+            .err()
+            .expect("tiny devices cannot hold the graph");
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+}

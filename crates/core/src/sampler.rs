@@ -1,0 +1,459 @@
+//! eIM RRR-set sampling kernels (§3.2–§3.4, Algorithm 2).
+//!
+//! One warp per block performs a probabilistic BFS (IC) or threshold walk
+//! (LT). eIM's distinguishing choices, all modelled here:
+//!
+//! * the BFS queue `Q` lives in a pre-allocated **global-memory pool**, so
+//!   no dynamic allocation ever happens mid-traversal and the finished
+//!   queue doubles as the RRR set (it is copied straight into `R`);
+//! * set indices are assigned to blocks round-robin through a shared
+//!   counter, balancing unpredictable traversal lengths;
+//! * each set is sorted ascending before the copy so selection can binary
+//!   search (§3.2);
+//! * with source elimination on (§3.4), the source is dropped during the
+//!   copy and empty results are discarded entirely.
+//!
+//! Blocks do the traversal work for real and charge warp-level costs; the
+//! resulting sets are bit-identical across runs because every set index
+//! owns a deterministic RNG stream.
+
+use eim_diffusion::{sample_rng, DiffusionModel};
+use eim_gpusim::{Device, LaunchStats, Op, WARP_SIZE};
+use eim_graph::VertexId;
+use eim_imm::apply_source_elimination;
+use rand::Rng;
+
+use crate::device_graph::DeviceGraph;
+
+/// Outcome counters of one sampling batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerCounters {
+    /// Sets whose traversal visited only the source (pre-elimination) —
+    /// the x-axis of Figure 5.
+    pub singletons: usize,
+    /// Samples discarded by source elimination.
+    pub discarded: usize,
+    /// Samples drawn in total.
+    pub sampled: usize,
+}
+
+/// Result of one batch launch.
+pub struct SampleBatch {
+    /// Per sample index (offset within the batch): the sorted RRR set, or
+    /// `None` if source elimination discarded it.
+    pub sets: Vec<Option<Vec<VertexId>>>,
+    /// Launch timing.
+    pub stats: LaunchStats,
+    /// Outcome counters.
+    pub counters: SamplerCounters,
+}
+
+struct BlockOutput {
+    sets: Vec<(u64, Option<Vec<VertexId>>)>,
+    counters: SamplerCounters,
+}
+
+/// Samples RRR sets for indices `start..start + count` of run `seed` on
+/// `device`, under `model`. Grid size is `4x` the SM count (persistent
+/// blocks, one warp each), with indices interleaved across blocks — the
+/// paper's round-robin assignment.
+pub fn sample_batch<G: DeviceGraph>(
+    device: &Device,
+    graph: &G,
+    model: DiffusionModel,
+    seed: u64,
+    start: u64,
+    count: usize,
+    source_elim: bool,
+) -> SampleBatch {
+    let n = graph.n();
+    let blocks = (device.spec().num_sms * 4).min(count.max(1));
+    let result = device.launch("eim_sample", blocks, |ctx| {
+        let b = ctx.block_id();
+        // Per-block scratch, reused across this block's sets: the visited
+        // bitmap M (zeroed once per launch; reset per set by walking Q —
+        // Algorithm 2 line 27) and the global-memory queue.
+        let mut visited = vec![false; n];
+        ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access); // memset M
+        let mut queue: Vec<VertexId> = Vec::new();
+        let mut out = BlockOutput {
+            sets: Vec::new(),
+            counters: SamplerCounters::default(),
+        };
+        let mut j = b;
+        while j < count {
+            let idx = start + j as u64;
+            let set = sample_one(ctx, graph, model, seed, idx, &mut visited, &mut queue);
+            out.counters.sampled += 1;
+            if set.len() == 1 {
+                out.counters.singletons += 1;
+            }
+            let kept = if source_elim {
+                let source = set_source(seed, idx, n);
+                let reduced = apply_source_elimination(&set, source);
+                if reduced.is_none() {
+                    out.counters.discarded += 1;
+                }
+                reduced
+            } else {
+                Some(set)
+            };
+            if let Some(s) = &kept {
+                charge_copy_out(ctx, s.len());
+            }
+            out.sets.push((idx, kept));
+            j += blocks;
+        }
+        out
+    });
+    let mut sets: Vec<Option<Vec<VertexId>>> = (0..count).map(|_| None).collect();
+    let mut counters = SamplerCounters::default();
+    for block in result.outputs {
+        counters.singletons += block.counters.singletons;
+        counters.discarded += block.counters.discarded;
+        counters.sampled += block.counters.sampled;
+        for (idx, set) in block.sets {
+            sets[(idx - start) as usize] = set;
+        }
+    }
+    SampleBatch {
+        sets,
+        stats: result.stats,
+        counters,
+    }
+}
+
+/// The source vertex for sample `idx` — the first draw of its RNG stream.
+/// Exposed so elimination can recover it without threading extra state.
+fn set_source(seed: u64, idx: u64, n: usize) -> VertexId {
+    let mut rng = sample_rng(seed, idx);
+    rng.gen_range(0..n as VertexId)
+}
+
+/// Traverses one RRR set, returning it sorted ascending. `visited` must be
+/// all-false on entry and is restored to all-false before returning.
+fn sample_one<G: DeviceGraph>(
+    ctx: &mut eim_gpusim::BlockCtx,
+    graph: &G,
+    model: DiffusionModel,
+    seed: u64,
+    idx: u64,
+    visited: &mut [bool],
+    queue: &mut Vec<VertexId>,
+) -> Vec<VertexId> {
+    let mut rng = sample_rng(seed, idx);
+    let n = graph.n();
+    let source: VertexId = rng.gen_range(0..n as VertexId);
+    // Thread 0 seeds the queue (Algorithm 2 lines 5–10).
+    ctx.charge(Op::Rng, 1);
+    ctx.charge(Op::GlobalAccess, 1);
+    queue.clear();
+    queue.push(source);
+    visited[source as usize] = true;
+    match model {
+        DiffusionModel::IndependentCascade => ic_traverse(ctx, graph, &mut rng, visited, queue),
+        DiffusionModel::LinearThreshold => lt_traverse(ctx, graph, &mut rng, visited, queue),
+    }
+    // Sort ascending (warp bitonic sort in shared memory) so selection can
+    // binary-search; the cost is q log^2 q comparator stages over 32 lanes.
+    let q = queue.len();
+    if q > 1 {
+        let lg = (usize::BITS - (q - 1).leading_zeros()) as u64;
+        ctx.charge_cycles(
+            (q as u64 * lg * lg).div_ceil(WARP_SIZE as u64) * ctx.spec().costs.shared_access,
+        );
+        queue.sort_unstable();
+    }
+    // Reset M for the vertices we touched (Algorithm 2 line 27).
+    for &v in queue.iter() {
+        visited[v as usize] = false;
+    }
+    ctx.charge(Op::GlobalAccess, q as u64);
+    std::mem::take(queue)
+}
+
+/// Warp-wide probabilistic BFS (IC): every dequeued vertex's in-neighbor
+/// list is swept 32 lanes at a time; each lane draws a uniform and activates
+/// its neighbor with probability `p_vu` (Algorithm 2 lines 11–20).
+fn ic_traverse<G: DeviceGraph>(
+    ctx: &mut eim_gpusim::BlockCtx,
+    graph: &G,
+    rng: &mut impl Rng,
+    visited: &mut [bool],
+    queue: &mut Vec<VertexId>,
+) {
+    let costs = *ctx.spec();
+    let wave_cost = costs.costs.global_access + costs.costs.rng + costs.costs.alu;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        ctx.charge(Op::GlobalAccess, 1); // Q.front() + head bump
+        let d = graph.in_degree(u);
+        ctx.charge_warp_sweep(d, wave_cost);
+        for i in 0..d {
+            let v = graph.in_neighbor(u, i);
+            let p = graph.in_weight(u, i);
+            let r: f32 = rng.gen();
+            if r <= p && !visited[v as usize] {
+                // Mark in M, then atomically enqueue (order matters; §3.2).
+                visited[v as usize] = true;
+                queue.push(v);
+                ctx.charge(Op::AtomicGlobal, 2); // enqueue slot + tail bump
+            }
+        }
+    }
+}
+
+/// LT reverse walk: each step draws a threshold and selects at most one
+/// in-neighbor via the warp shuffle prefix scan (§3.3), costing
+/// `O(log d)` shuffle rounds per 32-lane wave instead of `O(d)` serialized
+/// atomics.
+fn lt_traverse<G: DeviceGraph>(
+    ctx: &mut eim_gpusim::BlockCtx,
+    graph: &G,
+    rng: &mut impl Rng,
+    visited: &mut [bool],
+    queue: &mut Vec<VertexId>,
+) {
+    let mut u = *queue.last().expect("queue seeded with source");
+    loop {
+        let d = graph.in_degree(u);
+        if d == 0 {
+            break;
+        }
+        ctx.charge(Op::Rng, 1); // tau, shared across the warp
+        let tau: f32 = rng.gen();
+        // Prefix-scan the weights wave by wave until the threshold falls.
+        let waves = d.div_ceil(WARP_SIZE);
+        let mut acc = 0.0f32;
+        let mut chosen: Option<VertexId> = None;
+        'waves: for w in 0..waves {
+            ctx.charge(Op::GlobalAccess, 1); // coalesced weight load
+            ctx.charge_shuffle_scan();
+            let lo = w * WARP_SIZE;
+            let hi = (lo + WARP_SIZE).min(d);
+            for i in lo..hi {
+                let p = graph.in_weight(u, i);
+                let inclusive = acc + p;
+                // First neighbor whose inclusive sum crosses tau while the
+                // exclusive sum is still below it (§3.3).
+                if inclusive >= tau && acc < tau {
+                    chosen = Some(graph.in_neighbor(u, i));
+                    break 'waves;
+                }
+                acc = inclusive;
+            }
+        }
+        match chosen {
+            Some(v) if !visited[v as usize] => {
+                visited[v as usize] = true;
+                queue.push(v);
+                ctx.charge(Op::AtomicGlobal, 2);
+                u = v;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Charges the Q -> R copy-out (Algorithm 2 lines 21–28): the offset bump,
+/// the coalesced element writes, and the per-vertex count updates.
+fn charge_copy_out(ctx: &mut eim_gpusim::BlockCtx, q: usize) {
+    ctx.charge(Op::AtomicGlobal, 1); // atomicAdd(offset, |Q|)
+    ctx.charge(Op::GlobalAccess, 1); // O[count + 1] write
+    ctx.charge_warp_sweep(q, ctx.spec().costs.global_access); // R writes
+    ctx.charge(Op::AtomicGlobal, q as u64); // C[v] updates (scattered)
+    ctx.charge(Op::AtomicGlobal, 1); // count bump
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device_graph::PlainDeviceGraph;
+    use eim_gpusim::DeviceSpec;
+    use eim_graph::{generators, WeightModel};
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::test_small())
+    }
+
+    #[test]
+    fn batch_produces_sorted_unique_sets_containing_structure() {
+        let g = generators::rmat(
+            200,
+            1_200,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            5,
+        );
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(
+            &d,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            42,
+            0,
+            100,
+            false,
+        );
+        assert_eq!(batch.sets.len(), 100);
+        assert_eq!(batch.counters.sampled, 100);
+        assert_eq!(batch.counters.discarded, 0);
+        for set in batch.sets.iter() {
+            let s = set.as_ref().expect("no discards without elimination");
+            assert!(!s.is_empty());
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(s.iter().all(|&v| (v as usize) < 200));
+        }
+        assert!(batch.stats.elapsed_us > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_launches_and_grid_sizes() {
+        let g = generators::rmat(
+            150,
+            900,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            8,
+        );
+        let dg = PlainDeviceGraph::new(&g);
+        let d1 = Device::new(DeviceSpec::test_small());
+        let mut big = DeviceSpec::test_small();
+        big.num_sms = 13; // different grid -> different block assignment
+        let d2 = Device::new(big);
+        let b1 = sample_batch(
+            &d1,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            3,
+            10,
+            64,
+            false,
+        );
+        let b2 = sample_batch(
+            &d2,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            3,
+            10,
+            64,
+            false,
+        );
+        assert_eq!(b1.sets, b2.sets, "content independent of grid layout");
+        let b3 = sample_batch(
+            &d1,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            3,
+            10,
+            64,
+            false,
+        );
+        assert_eq!(b1.sets, b3.sets);
+        assert_eq!(b1.stats, b3.stats, "timing deterministic per device");
+    }
+
+    #[test]
+    fn source_elimination_discards_singletons() {
+        // In-star: every leaf's reverse BFS is a singleton.
+        let g = generators::star_in(64, WeightModel::WeightedCascade);
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 1, 0, 200, true);
+        assert_eq!(batch.counters.sampled, 200);
+        assert!(batch.counters.singletons > 150, "mostly singletons");
+        assert_eq!(batch.counters.discarded, batch.counters.singletons);
+        for (i, set) in batch.sets.iter().enumerate() {
+            if let Some(s) = set {
+                // Hub sets: source was the hub, members are leaves only.
+                assert!(!s.is_empty(), "set {i} empty but kept");
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_removes_exactly_the_source() {
+        let g = generators::path(20, WeightModel::WeightedCascade);
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let with = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, false);
+        let without = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, true);
+        for (a, b) in with.sets.iter().zip(&without.sets) {
+            let a = a.as_ref().unwrap();
+            match b {
+                Some(b) => {
+                    assert_eq!(b.len(), a.len() - 1);
+                    assert!(b.iter().all(|v| a.contains(v)));
+                }
+                None => assert_eq!(a.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn ic_on_deterministic_path_reaches_all_ancestors() {
+        let g = generators::path(30, WeightModel::WeightedCascade);
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 2, 0, 40, false);
+        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+            // A set rooted at source s on the path must be exactly {0..=s}.
+            let src = *set.last().unwrap();
+            assert_eq!(set.len() as u32, src + 1);
+            assert_eq!(set[0], 0);
+        }
+    }
+
+    #[test]
+    fn lt_sets_are_paths() {
+        let g = generators::rmat(
+            100,
+            600,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            4,
+        );
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 6, 0, 80, false);
+        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+            assert!(!set.is_empty());
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(batch.counters.sampled == 80);
+    }
+
+    #[test]
+    fn lt_walk_terminates_on_cycle() {
+        let g = generators::cycle(8, WeightModel::WeightedCascade);
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 7, 0, 10, false);
+        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+            assert_eq!(set.len(), 8, "full lap then stop");
+        }
+    }
+
+    #[test]
+    fn load_imbalance_is_visible_in_stats() {
+        // Heavy-tailed graph: some traversals are long -> max block cycles
+        // well above the mean.
+        let g = generators::barabasi_albert(500, 4, WeightModel::WeightedCascade, 3);
+        let dg = PlainDeviceGraph::new(&g);
+        let d = device();
+        let batch = sample_batch(
+            &d,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            11,
+            0,
+            64,
+            false,
+        );
+        let mean = batch.stats.total_cycles / batch.stats.num_blocks.max(1) as u64;
+        assert!(batch.stats.max_block_cycles >= mean);
+    }
+}

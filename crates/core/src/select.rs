@@ -1,0 +1,269 @@
+//! Device seed selection (§3.5, Algorithm 3) with cost accounting.
+//!
+//! Greedy max-coverage, as in the CPU reference, but executed under the
+//! device cost model with one of two workload-distribution strategies:
+//!
+//! * [`ScanStrategy::ThreadPerSet`] — eIM's choice: one *thread* per RRR
+//!   set. `T_n = 32 W_n` slots, each paying the full serial binary-search
+//!   cost `C_t`.
+//! * [`ScanStrategy::WarpPerSet`] — the alternative the paper measures
+//!   against (Figure 3): one *warp* per set. `W_n` slots, each set cheaper
+//!   (`C_w < C_t`, coalesced loads + cooperative probing) but far fewer
+//!   slots, so serialization grows with the number of sets.
+//!
+//! The makespan of each scan is `max over slots of its summed per-set
+//! costs` under round-robin assignment — exactly the
+//! `ceil(N / slots) * C` analysis of §3.5.
+
+use eim_gpusim::{slot_makespan_cycles, Device, WARP_SIZE};
+use eim_graph::VertexId;
+use eim_imm::{RrrSets, Selection};
+use rayon::prelude::*;
+
+/// Workload distribution for the selection scans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// One thread per RRR set (eIM).
+    ThreadPerSet,
+    /// One warp (32 threads) per RRR set.
+    WarpPerSet,
+}
+
+/// How many warp-cooperative probes amortize one thread probe: a warp
+/// searches a sorted run 32-ary instead of binary, cutting probe rounds by
+/// `log2(32) = 5x`, but pays intra-warp coordination — net ~4x per set.
+const WARP_SEARCH_SPEEDUP: u64 = 4;
+
+/// Result of a device selection: the selection itself plus its simulated
+/// time.
+#[derive(Clone, Debug)]
+pub struct DeviceSelection {
+    /// Seeds and coverage.
+    pub selection: Selection,
+    /// Simulated device time of all k scan iterations, microseconds.
+    pub elapsed_us: f64,
+}
+
+/// Runs greedy max-coverage over `store` on `device`, charging simulated
+/// time for the argmax reductions and the per-set membership scans.
+/// Produces bit-identical seeds to [`eim_imm::select_seeds`].
+pub fn select_on_device<S: RrrSets + ?Sized>(
+    device: &Device,
+    store: &S,
+    k: usize,
+    strategy: ScanStrategy,
+) -> DeviceSelection {
+    let spec = *device.spec();
+    let costs = spec.costs;
+    let n = store.num_vertices();
+    let num_sets = store.num_sets();
+    let mut counts: Vec<u32> = store.counts().to_vec();
+    let mut covered_flags = vec![false; num_sets];
+    let mut covered = 0usize;
+    let mut selected = vec![false; n];
+    let mut seeds: Vec<VertexId> = Vec::with_capacity(k);
+    let mut total_cycles: u64 = 0;
+    let mut launches = 0u64;
+
+    let slots = match strategy {
+        ScanStrategy::ThreadPerSet => spec.thread_slots(),
+        ScanStrategy::WarpPerSet => spec.warp_slots(),
+    };
+
+    for _ in 0..k {
+        // argmax_u C[u]: a grid-stride reduction over n counts.
+        total_cycles += (n as u64).div_ceil(spec.thread_slots() as u64) * costs.global_access
+            + 10 * costs.shuffle;
+        launches += 1;
+        let best = (0..n)
+            .into_par_iter()
+            .filter(|&v| !selected[v])
+            .map(|v| (counts[v], v))
+            .reduce(
+                || (0u32, usize::MAX),
+                |a, b| {
+                    if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
+        if best.1 == usize::MAX {
+            break;
+        }
+        let v = best.1 as VertexId;
+        selected[best.1] = true;
+        seeds.push(v);
+
+        // Membership scan (Algorithm 3): per-set cost depends on covered
+        // state, probe count, and — when found — the count-update work.
+        let per_set: Vec<(u64, bool)> = (0..num_sets)
+            .into_par_iter()
+            .map(|i| {
+                if covered_flags[i] {
+                    // F[i] load only (coalesced).
+                    return (costs.alu, false);
+                }
+                let (found, probes) = store.contains_with_probes(i, v);
+                let len = store.set_len(i) as u64;
+                let cycles = match strategy {
+                    ScanStrategy::ThreadPerSet => {
+                        // Each probe is a dependent, uncoalesced load into R.
+                        let search = probes as u64 * costs.global_latency;
+                        if found {
+                            // Serial decrement of every member's count.
+                            search + costs.atomic_global * len + costs.global_access
+                        } else {
+                            search
+                        }
+                    }
+                    ScanStrategy::WarpPerSet => {
+                        let search =
+                            (probes as u64).div_ceil(WARP_SEARCH_SPEEDUP) * costs.global_latency;
+                        if found {
+                            // 32 lanes decrement cooperatively.
+                            search
+                                + costs.atomic_global * len.div_ceil(WARP_SIZE as u64)
+                                + costs.global_access
+                        } else {
+                            search
+                        }
+                    }
+                };
+                (costs.alu + cycles, found)
+            })
+            .collect();
+        total_cycles += slot_makespan_cycles(per_set.iter().map(|&(c, _)| c), slots);
+        launches += 1;
+
+        // Apply the updates the scan performed (host mirror of the device
+        // writes): mark covered sets, decrement member counts.
+        for (i, &(_, found)) in per_set.iter().enumerate() {
+            if found {
+                covered_flags[i] = true;
+                covered += 1;
+                let (s, e) = store.set_bounds(i);
+                for idx in s..e {
+                    counts[store.element(idx) as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    DeviceSelection {
+        selection: Selection {
+            seeds,
+            covered_sets: covered,
+            num_sets,
+        },
+        elapsed_us: spec.cycles_to_us(total_cycles) + launches as f64 * costs.kernel_launch_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_gpusim::DeviceSpec;
+    use eim_imm::{select_seeds, PlainRrrStore, RrrStoreBuilder};
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, sets: usize, seed: u64) -> PlainRrrStore {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut store = PlainRrrStore::new(n);
+        for _ in 0..sets {
+            let len = rng.gen_range(1..12);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            store.append_set(&set);
+        }
+        store
+    }
+
+    #[test]
+    fn matches_cpu_reference_selection() {
+        let store = random_store(120, 400, 5);
+        let device = Device::new(DeviceSpec::test_small());
+        for k in [1, 5, 10] {
+            let dev = select_on_device(&device, &store, k, ScanStrategy::ThreadPerSet);
+            let cpu = select_seeds(&store, k);
+            assert_eq!(dev.selection, cpu, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_seeds_but_not_time() {
+        let store = random_store(200, 3_000, 9);
+        let device = Device::new(DeviceSpec::test_small());
+        let t = select_on_device(&device, &store, 8, ScanStrategy::ThreadPerSet);
+        let w = select_on_device(&device, &store, 8, ScanStrategy::WarpPerSet);
+        assert_eq!(t.selection, w.selection);
+        assert_ne!(t.elapsed_us, w.elapsed_us);
+    }
+
+    #[test]
+    fn figure3_crossover_thread_wins_at_scale() {
+        // Small N: warps win (cheaper per set, enough slots). Large N:
+        // threads win. Mirrors Figure 3 with k fixed.
+        let device = Device::new(DeviceSpec::rtx_a6000());
+        let small = random_store(100, 2_000, 1);
+        let ts = select_on_device(&device, &small, 3, ScanStrategy::ThreadPerSet);
+        let ws = select_on_device(&device, &small, 3, ScanStrategy::WarpPerSet);
+        assert!(
+            ws.elapsed_us <= ts.elapsed_us,
+            "small N: warp {} vs thread {}",
+            ws.elapsed_us,
+            ts.elapsed_us
+        );
+        let large = random_store(100, 600_000, 2);
+        let tl = select_on_device(&device, &large, 3, ScanStrategy::ThreadPerSet);
+        let wl = select_on_device(&device, &large, 3, ScanStrategy::WarpPerSet);
+        assert!(
+            tl.elapsed_us < wl.elapsed_us,
+            "large N: thread {} vs warp {}",
+            tl.elapsed_us,
+            wl.elapsed_us
+        );
+    }
+
+    #[test]
+    fn covered_sets_cost_almost_nothing_in_later_iterations() {
+        // One dominating vertex: after seed 1 everything is covered, so
+        // iteration 2's scan must be much cheaper than iteration 1's.
+        let mut store = PlainRrrStore::new(50);
+        for i in 0..2_000u32 {
+            store.append_set(&[7, 10 + (i % 3)]);
+        }
+        let device = Device::new(DeviceSpec::test_small());
+        let one = select_on_device(&device, &store, 1, ScanStrategy::ThreadPerSet);
+        let two = select_on_device(&device, &store, 2, ScanStrategy::ThreadPerSet);
+        let second_iter = two.elapsed_us - one.elapsed_us;
+        assert!(
+            second_iter < one.elapsed_us,
+            "first {} second {}",
+            one.elapsed_us,
+            second_iter
+        );
+        assert_eq!(two.selection.covered_sets, 2_000);
+    }
+
+    #[test]
+    fn empty_store_selects_lowest_ids_quickly() {
+        let store = PlainRrrStore::new(10);
+        let device = Device::new(DeviceSpec::test_small());
+        let r = select_on_device(&device, &store, 3, ScanStrategy::ThreadPerSet);
+        assert_eq!(r.selection.seeds, vec![0, 1, 2]);
+        assert_eq!(r.selection.covered_sets, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let store = random_store(80, 500, 13);
+        let device = Device::new(DeviceSpec::test_small());
+        let a = select_on_device(&device, &store, 6, ScanStrategy::ThreadPerSet);
+        let b = select_on_device(&device, &store, 6, ScanStrategy::ThreadPerSet);
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+    }
+}

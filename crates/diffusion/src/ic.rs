@@ -1,0 +1,154 @@
+//! Forward independent-cascade simulation.
+
+use eim_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// Runs one IC diffusion from `seeds` and returns the set of activated
+/// vertices (including the seeds), in ascending order.
+///
+/// Each activated vertex gets exactly one chance to activate each inactive
+/// out-neighbor `v`, succeeding with the edge's probability `p_uv`; the
+/// process stops when a round activates nobody (§2.1).
+pub fn simulate_ic<R: Rng>(graph: &Graph, seeds: &[VertexId], rng: &mut R) -> Vec<VertexId> {
+    simulate_ic_with_horizon(graph, seeds, usize::MAX, rng)
+}
+
+/// [`simulate_ic`] stopped after at most `horizon` diffusion steps — the
+/// time-bounded IC variant used when influence only counts within a
+/// campaign window. `horizon = 0` activates the seeds only.
+pub fn simulate_ic_with_horizon<R: Rng>(
+    graph: &Graph,
+    seeds: &[VertexId],
+    horizon: usize,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut active = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in seeds {
+        let si = s as usize;
+        assert!(si < n, "seed {s} out of range");
+        if !active[si] {
+            active[si] = true;
+            frontier.push(s);
+        }
+    }
+    let mut next = Vec::new();
+    let mut steps = 0usize;
+    while !frontier.is_empty() && steps < horizon {
+        next.clear();
+        for &u in &frontier {
+            let nbrs = graph.out_neighbors(u);
+            let ws = graph.out_weights(u);
+            for (&v, &p) in nbrs.iter().zip(ws) {
+                if !active[v as usize] && rng.gen::<f32>() <= p {
+                    active[v as usize] = true;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        steps += 1;
+    }
+    (0..n as VertexId).filter(|&v| active[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_rng;
+    use eim_graph::{generators, GraphBuilder, WeightModel};
+
+    #[test]
+    fn deterministic_path_activates_everything() {
+        // Path with in-degree 1 everywhere: weighted cascade puts p = 1 on
+        // every edge, so seeding the head activates all vertices.
+        let g = generators::path(10, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        let act = simulate_ic(&g, &[0], &mut rng);
+        assert_eq!(act, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tail_seed_activates_only_itself() {
+        let g = generators::path(10, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(simulate_ic(&g, &[9], &mut rng), vec![9]);
+    }
+
+    #[test]
+    fn zero_probability_spreads_nothing() {
+        let g = generators::complete(6, WeightModel::Uniform(0.0));
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(simulate_ic(&g, &[2], &mut rng), vec![2]);
+    }
+
+    #[test]
+    fn probability_one_floods_reachable_component() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build(WeightModel::Uniform(1.0));
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(simulate_ic(&g, &[0], &mut rng), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_seeds_are_harmless() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(
+            simulate_ic(&g, &[0, 0, 0], &mut rng),
+            (0..5).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_seed_set_activates_nothing() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        assert!(simulate_ic(&g, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_seed() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        simulate_ic(&g, &[99], &mut rng);
+    }
+
+    #[test]
+    fn horizon_truncates_the_cascade() {
+        let g = generators::path(10, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(
+            super::simulate_ic_with_horizon(&g, &[0], 3, &mut rng),
+            vec![0, 1, 2, 3]
+        );
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(
+            super::simulate_ic_with_horizon(&g, &[0], 0, &mut rng),
+            vec![0]
+        );
+        // A horizon past the diameter changes nothing.
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(
+            super::simulate_ic_with_horizon(&g, &[0], 100, &mut rng),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_chance_per_edge() {
+        // Star out of 0 with uniform p = 0.5: expected activations ~ half
+        // the leaves; crucially never more than one attempt per leaf.
+        let g = generators::star_out(201, WeightModel::Uniform(0.5));
+        let mut total = 0usize;
+        for i in 0..200 {
+            let mut rng = sample_rng(9, i);
+            total += simulate_ic(&g, &[0], &mut rng).len() - 1;
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 100.0).abs() < 10.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,256 @@
+//! CPU reverse-reachable (RRR) samplers.
+//!
+//! An RRR set rooted at a uniformly-random source `s` contains every vertex
+//! that *would have activated `s`* in one realization of the diffusion —
+//! equivalently, the visited set of a probabilistic reverse traversal
+//! (§2.2, [18]). These serial samplers are the reference implementations the
+//! GPU kernels are validated against, and power the CPU (Ripples-like)
+//! engine.
+
+use eim_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::DiffusionModel;
+
+/// Samples one RRR set under IC: reverse BFS from `source`, crossing each
+/// in-edge `(u, v)` with probability `p_uv`. Returns the visited set sorted
+/// ascending (the order the paper stores sets in for binary search).
+pub fn sample_rrr_ic<R: Rng>(graph: &Graph, source: VertexId, rng: &mut R) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut visited = vec![false; n];
+    visited[source as usize] = true;
+    let mut queue = vec![source];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let nbrs = graph.in_neighbors(u);
+        let ws = graph.in_weights(u);
+        for (&v, &p) in nbrs.iter().zip(ws) {
+            // Draw for every in-edge, visited or not — Algorithm 2's exact
+            // order ("r <- Random(0,1); if r <= p_vu and M[v] = 0"), which
+            // keeps this reference sampler's RNG stream aligned with the
+            // device kernel's so their outputs are bit-identical per index.
+            let r: f32 = rng.gen();
+            if r <= p && !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    queue.sort_unstable();
+    queue
+}
+
+/// Samples one RRR set under LT. From each reached vertex `u` the reverse
+/// process activates *at most one* in-neighbor: with `tau_u` uniform in
+/// `[0, 1]`, the first in-neighbor whose running weight sum reaches `tau_u`
+/// is chosen (probability exactly `p_vu`; no neighbor with probability
+/// `1 - sum`). The walk stops on a dead end or when it closes a cycle
+/// (§2.1, §3.3).
+pub fn sample_rrr_lt<R: Rng>(graph: &Graph, source: VertexId, rng: &mut R) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut visited = vec![false; n];
+    visited[source as usize] = true;
+    let mut set = vec![source];
+    let mut u = source;
+    loop {
+        let nbrs = graph.in_neighbors(u);
+        if nbrs.is_empty() {
+            break;
+        }
+        let ws = graph.in_weights(u);
+        let tau: f32 = rng.gen();
+        let mut acc = 0.0f32;
+        let mut chosen: Option<VertexId> = None;
+        for (&v, &p) in nbrs.iter().zip(ws) {
+            acc += p;
+            if acc >= tau {
+                chosen = Some(v);
+                break;
+            }
+        }
+        match chosen {
+            Some(v) if !visited[v as usize] => {
+                visited[v as usize] = true;
+                set.push(v);
+                u = v;
+            }
+            // Chose an already-visited vertex (cycle) or nobody: stop.
+            _ => break,
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Samples one RRR set under the given model.
+pub fn sample_rrr<R: Rng>(
+    graph: &Graph,
+    model: DiffusionModel,
+    source: VertexId,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    match model {
+        DiffusionModel::IndependentCascade => sample_rrr_ic(graph, source, rng),
+        DiffusionModel::LinearThreshold => sample_rrr_lt(graph, source, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_rng;
+    use eim_graph::{generators, GraphBuilder, WeightModel};
+
+    #[test]
+    fn ic_on_path_collects_all_ancestors() {
+        // path 0 -> 1 -> ... -> 9 with p = 1: reverse from 9 reaches all.
+        let g = generators::path(10, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        assert_eq!(sample_rrr_ic(&g, 9, &mut rng), (0..10).collect::<Vec<_>>());
+        assert_eq!(sample_rrr_ic(&g, 0, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn ic_set_contains_source_and_is_sorted_unique() {
+        let g = generators::rmat(
+            500,
+            3_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            11,
+        );
+        for i in 0..50 {
+            let mut rng = sample_rng(2, i);
+            let src = (i as u32 * 97) % 500;
+            let set = sample_rrr_ic(&g, src, &mut rng);
+            assert!(set.binary_search(&src).is_ok());
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        }
+    }
+
+    #[test]
+    fn ic_respects_zero_probability() {
+        let g = generators::complete(8, WeightModel::Uniform(0.0));
+        let mut rng = sample_rng(3, 0);
+        assert_eq!(sample_rrr_ic(&g, 4, &mut rng), vec![4]);
+    }
+
+    #[test]
+    fn lt_set_is_path_through_in_edges() {
+        // Every member of an LT RRR set (except the source) must have an
+        // edge to the previously chosen member — verify connectivity into
+        // the source through graph edges.
+        let g = generators::rmat(
+            300,
+            2_000,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            5,
+        );
+        for i in 0..50 {
+            let mut rng = sample_rng(4, i);
+            let src = (i as u32 * 31) % 300;
+            let set = sample_rrr_lt(&g, src, &mut rng);
+            assert!(set.contains(&src));
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn lt_on_cycle_terminates() {
+        // All-1.0 weights on a cycle: the reverse walk must stop after one
+        // lap instead of looping forever.
+        let g = generators::cycle(6, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(5, 0);
+        let set = sample_rrr_lt(&g, 0, &mut rng);
+        assert_eq!(set, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lt_isolated_source_is_singleton() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .build(WeightModel::WeightedCascade);
+        let mut rng = sample_rng(6, 0);
+        assert_eq!(sample_rrr_lt(&g, 3, &mut rng), vec![3]);
+        // vertex 0 has no in-edges either.
+        assert_eq!(sample_rrr_lt(&g, 0, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn lt_chooses_neighbors_proportionally() {
+        // v = 2 with in-neighbors {0, 1}, weights 0.5 / 0.5: the single
+        // reverse step picks each with probability 1/2.
+        let g = GraphBuilder::new(3)
+            .edges([(0, 2), (1, 2)])
+            .build(WeightModel::WeightedCascade);
+        let mut zero = 0;
+        for i in 0..1000 {
+            let mut rng = sample_rng(7, i);
+            let set = sample_rrr_lt(&g, 2, &mut rng);
+            if set.contains(&0) {
+                zero += 1;
+            }
+        }
+        let frac = zero as f64 / 1000.0;
+        assert!((frac - 0.5).abs() < 0.06, "frac {frac}");
+    }
+
+    #[test]
+    fn ris_identity_ic() {
+        // The RIS identity: P(v in RRR(s)) equals P(s activated | seed {v}).
+        // Check on a fixed small graph by two-sided Monte Carlo.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build(WeightModel::WeightedCascade);
+        let trials = 3000u64;
+        let mut fwd = 0;
+        let mut rev = 0;
+        for i in 0..trials {
+            let mut rng = sample_rng(8, i);
+            if crate::simulate_ic(&g, &[0], &mut rng).contains(&3) {
+                fwd += 1;
+            }
+            let mut rng = sample_rng(9, i);
+            if sample_rrr_ic(&g, 3, &mut rng).contains(&0) {
+                rev += 1;
+            }
+        }
+        let (pf, pr) = (fwd as f64 / trials as f64, rev as f64 / trials as f64);
+        assert!((pf - pr).abs() < 0.04, "forward {pf} vs reverse {pr}");
+    }
+
+    #[test]
+    fn ris_identity_lt() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build(WeightModel::WeightedCascade);
+        let trials = 3000u64;
+        let mut fwd = 0;
+        let mut rev = 0;
+        for i in 0..trials {
+            let mut rng = sample_rng(10, i);
+            if crate::simulate_lt(&g, &[0], &mut rng).contains(&3) {
+                fwd += 1;
+            }
+            let mut rng = sample_rng(11, i);
+            if sample_rrr_lt(&g, 3, &mut rng).contains(&0) {
+                rev += 1;
+            }
+        }
+        let (pf, pr) = (fwd as f64 / trials as f64, rev as f64 / trials as f64);
+        assert!((pf - pr).abs() < 0.04, "forward {pf} vs reverse {pr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = generators::path(3, WeightModel::WeightedCascade);
+        let mut rng = sample_rng(1, 0);
+        sample_rrr_ic(&g, 5, &mut rng);
+    }
+}

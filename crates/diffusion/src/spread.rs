@@ -1,0 +1,186 @@
+//! Monte-Carlo influence-spread estimation.
+
+use eim_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+use crate::rng::sample_rng;
+use crate::{simulate_ic, simulate_lt, DiffusionModel};
+
+/// Estimates `E[I(S)]` — the expected number of activated vertices when
+/// diffusion starts from `seeds` — by averaging `num_sims` independent
+/// forward simulations (run in parallel; simulation `i` uses the
+/// deterministic stream `(seed, i)`).
+///
+/// This is the quantity §4.1 calls "quality of solutions".
+pub fn estimate_spread(
+    graph: &Graph,
+    seeds: &[VertexId],
+    model: DiffusionModel,
+    num_sims: usize,
+    seed: u64,
+) -> f64 {
+    if num_sims == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..num_sims as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = sample_rng(seed, i);
+            match model {
+                DiffusionModel::IndependentCascade => simulate_ic(graph, seeds, &mut rng).len(),
+                DiffusionModel::LinearThreshold => simulate_lt(graph, seeds, &mut rng).len(),
+            }
+        })
+        .sum();
+    total as f64 / num_sims as f64
+}
+
+/// Per-vertex activation frequencies over `num_sims` simulations from
+/// `seeds`: entry `v` is the fraction of runs in which `v` ended active.
+/// The fine-grained companion to [`estimate_spread`] — *who* gets reached,
+/// not just how many.
+pub fn activation_frequencies(
+    graph: &Graph,
+    seeds: &[VertexId],
+    model: DiffusionModel,
+    num_sims: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if num_sims == 0 {
+        return vec![0.0; n];
+    }
+    let counts: Vec<u32> = (0..num_sims as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = sample_rng(seed, i);
+            let active = match model {
+                DiffusionModel::IndependentCascade => simulate_ic(graph, seeds, &mut rng),
+                DiffusionModel::LinearThreshold => simulate_lt(graph, seeds, &mut rng),
+            };
+            let mut marks = vec![0u32; n];
+            for v in active {
+                marks[v as usize] = 1;
+            }
+            marks
+        })
+        .reduce(
+            || vec![0u32; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    counts
+        .into_iter()
+        .map(|c| c as f64 / num_sims as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eim_graph::{generators, WeightModel};
+
+    #[test]
+    fn deterministic_graph_gives_exact_spread() {
+        let g = generators::path(20, WeightModel::WeightedCascade);
+        let s = estimate_spread(&g, &[0], DiffusionModel::IndependentCascade, 50, 1);
+        assert!((s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_is_monotone_in_seeds() {
+        let g = generators::rmat(
+            400,
+            2_400,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            3,
+        );
+        let one = estimate_spread(&g, &[5], DiffusionModel::IndependentCascade, 400, 2);
+        let two = estimate_spread(
+            &g,
+            &[5, 17, 200],
+            DiffusionModel::IndependentCascade,
+            400,
+            2,
+        );
+        assert!(two >= one);
+        assert!(one >= 1.0);
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_zero() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        assert_eq!(
+            estimate_spread(&g, &[], DiffusionModel::LinearThreshold, 10, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_sims_is_zero() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        assert_eq!(
+            estimate_spread(&g, &[0], DiffusionModel::IndependentCascade, 0, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn parallel_estimate_is_deterministic() {
+        let g = generators::rmat(
+            300,
+            1_800,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            4,
+        );
+        let a = estimate_spread(&g, &[1, 2, 3], DiffusionModel::LinearThreshold, 200, 7);
+        let b = estimate_spread(&g, &[1, 2, 3], DiffusionModel::LinearThreshold, 200, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frequencies_sum_to_spread() {
+        let g = generators::rmat(
+            200,
+            1_200,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            6,
+        );
+        let seeds = [3u32, 50];
+        let freqs = activation_frequencies(&g, &seeds, DiffusionModel::IndependentCascade, 300, 9);
+        let spread = estimate_spread(&g, &seeds, DiffusionModel::IndependentCascade, 300, 9);
+        let total: f64 = freqs.iter().sum();
+        assert!(
+            (total - spread).abs() < 1e-9,
+            "sum {total} vs spread {spread}"
+        );
+        // Seeds are always active; frequencies bounded.
+        assert_eq!(freqs[3], 1.0);
+        assert_eq!(freqs[50], 1.0);
+        assert!(freqs.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn frequencies_zero_outside_reachable_set() {
+        let g = generators::path(6, WeightModel::WeightedCascade);
+        let freqs = activation_frequencies(&g, &[3], DiffusionModel::IndependentCascade, 50, 2);
+        assert_eq!(&freqs[0..3], &[0.0, 0.0, 0.0]);
+        assert_eq!(&freqs[3..], &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn lt_star_hub_spread() {
+        // Hub -> 100 leaves, each leaf in-degree 1 (weight 1.0): seeding the
+        // hub activates everything under LT.
+        let g = generators::star_out(101, WeightModel::WeightedCascade);
+        let s = estimate_spread(&g, &[0], DiffusionModel::LinearThreshold, 50, 5);
+        assert!((s - 101.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-block execution context: cycle charging and shared-memory tracking.
+
+use crate::spec::DeviceSpec;
+use crate::WARP_SIZE;
+
+/// An operation a kernel can charge to its block. Composite helpers on
+/// [`BlockCtx`] cover the warp-level patterns the samplers share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Coalesced warp-wide global-memory access.
+    GlobalAccess,
+    /// Shared-memory access.
+    SharedAccess,
+    /// Uncontended global atomic.
+    AtomicGlobal,
+    /// Warp shuffle.
+    Shuffle,
+    /// ALU instruction.
+    Alu,
+    /// Uniform random draw.
+    Rng,
+    /// Dynamic in-kernel allocation.
+    DeviceMalloc,
+}
+
+/// Per-operation event counters — the launch-level trace that calibration
+/// and the ablation analyses read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Coalesced global accesses.
+    pub global_accesses: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Global atomics.
+    pub atomics: u64,
+    /// Warp shuffles.
+    pub shuffles: u64,
+    /// ALU instructions.
+    pub alu: u64,
+    /// Random draws.
+    pub rngs: u64,
+    /// Dynamic in-kernel allocations.
+    pub mallocs: u64,
+}
+
+impl OpCounts {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &OpCounts) {
+        self.global_accesses += other.global_accesses;
+        self.shared_accesses += other.shared_accesses;
+        self.atomics += other.atomics;
+        self.shuffles += other.shuffles;
+        self.alu += other.alu;
+        self.rngs += other.rngs;
+        self.mallocs += other.mallocs;
+    }
+}
+
+/// Handed to a kernel closure, one per simulated block. Accumulates the
+/// block's simulated cycles and tracks its shared-memory footprint.
+pub struct BlockCtx {
+    block_id: usize,
+    cycles: u64,
+    counts: OpCounts,
+    shared_used: usize,
+    shared_capacity: usize,
+    spec: DeviceSpec,
+}
+
+impl BlockCtx {
+    pub(crate) fn new(block_id: usize, spec: DeviceSpec) -> Self {
+        Self {
+            block_id,
+            cycles: 0,
+            counts: OpCounts::default(),
+            shared_used: 0,
+            shared_capacity: spec.shared_mem_per_block,
+            spec,
+        }
+    }
+
+    /// Per-operation event counts charged so far.
+    #[inline]
+    pub fn op_counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// This block's index within the launch grid.
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Cycles charged so far.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The device this block runs on.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Charges `count` repetitions of `op`.
+    #[inline]
+    pub fn charge(&mut self, op: Op, count: u64) {
+        let c = &self.spec.costs;
+        let unit = match op {
+            Op::GlobalAccess => {
+                self.counts.global_accesses += count;
+                c.global_access
+            }
+            Op::SharedAccess => {
+                self.counts.shared_accesses += count;
+                c.shared_access
+            }
+            Op::AtomicGlobal => {
+                self.counts.atomics += count;
+                c.atomic_global
+            }
+            Op::Shuffle => {
+                self.counts.shuffles += count;
+                c.shuffle
+            }
+            Op::Alu => {
+                self.counts.alu += count;
+                c.alu
+            }
+            Op::Rng => {
+                self.counts.rngs += count;
+                c.rng
+            }
+            Op::DeviceMalloc => {
+                self.counts.mallocs += count;
+                c.device_malloc
+            }
+        };
+        self.cycles += unit * count;
+    }
+
+    /// Charges raw cycles (for composite costs computed by the caller).
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Charges a warp-wide atomic where `contenders` lanes hit the same
+    /// address: one base atomic plus per-extra-lane serialization — the
+    /// effect that made the paper's atomic-add LT variant slow (§3.3).
+    #[inline]
+    pub fn charge_contended_atomic(&mut self, contenders: usize) {
+        let c = &self.spec.costs;
+        self.cycles += c.atomic_global + c.atomic_contention * contenders.saturating_sub(1) as u64;
+    }
+
+    /// Charges a warp-parallel sweep over `items` work items where each
+    /// 32-lane wave costs `cycles_per_wave` (e.g. scanning a vertex's
+    /// in-neighbor list: `ceil(d / 32)` coalesced waves).
+    #[inline]
+    pub fn charge_warp_sweep(&mut self, items: usize, cycles_per_wave: u64) {
+        let waves = items.div_ceil(WARP_SIZE) as u64;
+        self.cycles += waves * cycles_per_wave;
+    }
+
+    /// Charges a warp-wide inclusive prefix scan via shuffles:
+    /// `log2(32) = 5` shuffle+add rounds — the `O(log d)` scan of §3.3.
+    #[inline]
+    pub fn charge_shuffle_scan(&mut self) {
+        let c = &self.spec.costs;
+        self.cycles += 5 * (c.shuffle + c.alu);
+    }
+
+    /// Attempts to reserve `bytes` of this block's shared memory. Returns
+    /// `false` when the block's budget is exhausted — the point where gIM
+    /// must spill to dynamically-allocated global memory.
+    pub fn try_shared_alloc(&mut self, bytes: usize) -> bool {
+        if self.shared_used + bytes <= self.shared_capacity {
+            self.shared_used += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `bytes` of shared memory.
+    pub fn shared_free(&mut self, bytes: usize) {
+        self.shared_used = self.shared_used.saturating_sub(bytes);
+    }
+
+    /// Shared bytes currently reserved.
+    pub fn shared_used(&self) -> usize {
+        self.shared_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BlockCtx {
+        BlockCtx::new(3, DeviceSpec::test_small())
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = ctx();
+        c.charge(Op::Alu, 10);
+        c.charge(Op::GlobalAccess, 2);
+        let costs = DeviceSpec::test_small().costs;
+        assert_eq!(c.cycles(), 10 * costs.alu + 2 * costs.global_access);
+    }
+
+    #[test]
+    fn contended_atomic_grows_with_contenders() {
+        let mut a = ctx();
+        let mut b = ctx();
+        a.charge_contended_atomic(1);
+        b.charge_contended_atomic(32);
+        assert!(b.cycles() > a.cycles());
+        let costs = DeviceSpec::test_small().costs;
+        assert_eq!(b.cycles() - a.cycles(), 31 * costs.atomic_contention);
+    }
+
+    #[test]
+    fn warp_sweep_rounds_up_to_waves() {
+        let mut c = ctx();
+        c.charge_warp_sweep(33, 100); // 2 waves
+        assert_eq!(c.cycles(), 200);
+        let mut c2 = ctx();
+        c2.charge_warp_sweep(0, 100);
+        assert_eq!(c2.cycles(), 0);
+    }
+
+    #[test]
+    fn shuffle_scan_is_logarithmic_constant() {
+        let mut c = ctx();
+        c.charge_shuffle_scan();
+        let costs = DeviceSpec::test_small().costs;
+        assert_eq!(c.cycles(), 5 * (costs.shuffle + costs.alu));
+    }
+
+    #[test]
+    fn shared_memory_budget_enforced() {
+        let mut c = ctx(); // 4 KB budget
+        assert!(c.try_shared_alloc(3000));
+        assert!(!c.try_shared_alloc(2000));
+        assert_eq!(c.shared_used(), 3000);
+        c.shared_free(1000);
+        assert!(c.try_shared_alloc(2000));
+        assert_eq!(c.shared_used(), 4000);
+    }
+
+    #[test]
+    fn shared_free_saturates() {
+        let mut c = ctx();
+        c.shared_free(10);
+        assert_eq!(c.shared_used(), 0);
+    }
+}

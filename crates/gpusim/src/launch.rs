@@ -1,0 +1,292 @@
+//! Kernel launch and makespan accounting.
+
+use rayon::prelude::*;
+
+use crate::block::{BlockCtx, OpCounts};
+use crate::memory::{DeviceMemory, MemoryError, MemoryStats};
+use crate::spec::DeviceSpec;
+use crate::transfer::TransferDirection;
+
+/// Timing summary of one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaunchStats {
+    /// Simulated elapsed time: launch overhead plus the busiest SM's cycles.
+    pub elapsed_us: f64,
+    /// Sum of all blocks' cycles (device throughput view).
+    pub total_cycles: u64,
+    /// The single most expensive block (load-imbalance indicator — the
+    /// "traversals of unpredictable lengths" problem from §1).
+    pub max_block_cycles: u64,
+    /// Grid size.
+    pub num_blocks: usize,
+    /// Aggregated per-operation event counts across all blocks.
+    pub ops: OpCounts,
+}
+
+/// Outputs plus timing of one launch.
+#[derive(Clone, Debug)]
+pub struct LaunchResult<T> {
+    /// One output per block, in block-id order.
+    pub outputs: Vec<T>,
+    /// Timing summary.
+    pub stats: LaunchStats,
+}
+
+/// One recorded kernel launch (when tracing is enabled).
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// The label passed to [`Device::launch`].
+    pub name: String,
+    /// The launch's timing and operation counts.
+    pub stats: LaunchStats,
+}
+
+/// A simulated device: the spec plus its (capacity-tracked) global memory.
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    memory: DeviceMemory,
+    trace: Option<parking_lot::Mutex<Vec<TraceEntry>>>,
+}
+
+impl Device {
+    /// Creates a device from a spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let memory = DeviceMemory::new(spec.global_mem_bytes);
+        Self {
+            spec,
+            memory,
+            trace: None,
+        }
+    }
+
+    /// Creates a device that records every launch's name and stats —
+    /// the observability hook behind the calibration diagnostics.
+    pub fn with_tracing(spec: DeviceSpec) -> Self {
+        let mut d = Self::new(spec);
+        d.trace = Some(parking_lot::Mutex::new(Vec::new()));
+        d
+    }
+
+    /// The launches recorded so far (empty unless built with
+    /// [`Device::with_tracing`]).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace
+            .as_ref()
+            .map(|t| t.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The global-memory tracker.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Snapshot of global-memory usage.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.memory.stats()
+    }
+
+    /// Launches `num_blocks` blocks of `kernel`, executing them for real on
+    /// the rayon pool and returning outputs in block order together with the
+    /// simulated makespan (blocks assigned to SMs round-robin).
+    ///
+    /// `name` labels the launch in traces (see [`Device::with_tracing`]).
+    pub fn launch<T, F>(&self, name: &str, num_blocks: usize, kernel: F) -> LaunchResult<T>
+    where
+        T: Send,
+        F: Fn(&mut BlockCtx) -> T + Sync,
+    {
+        let spec = self.spec;
+        let results: Vec<(T, u64, OpCounts)> = (0..num_blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut ctx = BlockCtx::new(b, spec);
+                let out = kernel(&mut ctx);
+                let counts = *ctx.op_counts();
+                (out, ctx.cycles(), counts)
+            })
+            .collect();
+        let mut outputs = Vec::with_capacity(num_blocks);
+        let mut cycles = Vec::with_capacity(num_blocks);
+        let mut ops = OpCounts::default();
+        for (out, c, counts) in results {
+            outputs.push(out);
+            cycles.push(c);
+            ops.add(&counts);
+        }
+        let mut stats = self.makespan(&cycles);
+        stats.ops = ops;
+        if let Some(trace) = &self.trace {
+            trace.lock().push(TraceEntry {
+                name: name.to_string(),
+                stats,
+            });
+        }
+        LaunchResult { outputs, stats }
+    }
+
+    /// Like [`Device::launch`] for kernels that can fail (device OOM during
+    /// a dynamic allocation). The first error aborts the launch — the CUDA
+    /// analogue being the kernel trapping and the host seeing a launch
+    /// failure.
+    pub fn try_launch<T, F>(
+        &self,
+        name: &str,
+        num_blocks: usize,
+        kernel: F,
+    ) -> Result<LaunchResult<T>, MemoryError>
+    where
+        T: Send,
+        F: Fn(&mut BlockCtx) -> Result<T, MemoryError> + Sync,
+    {
+        let res = self.launch(name, num_blocks, kernel);
+        let mut outputs = Vec::with_capacity(num_blocks);
+        for out in res.outputs {
+            outputs.push(out?);
+        }
+        Ok(LaunchResult {
+            outputs,
+            stats: res.stats,
+        })
+    }
+
+    /// Computes the simulated elapsed time of a set of per-block cycle
+    /// counts on this device.
+    pub fn makespan(&self, block_cycles: &[u64]) -> LaunchStats {
+        let sms = self.spec.num_sms;
+        let mut per_sm = vec![0u64; sms];
+        for (b, &c) in block_cycles.iter().enumerate() {
+            per_sm[b % sms] += c;
+        }
+        let busiest = per_sm.into_iter().max().unwrap_or(0);
+        LaunchStats {
+            elapsed_us: self.spec.costs.kernel_launch_us + self.spec.cycles_to_us(busiest),
+            total_cycles: block_cycles.iter().sum(),
+            max_block_cycles: block_cycles.iter().copied().max().unwrap_or(0),
+            num_blocks: block_cycles.len(),
+            ops: OpCounts::default(),
+        }
+    }
+
+    /// Simulated microseconds to move `bytes` across PCIe.
+    pub fn transfer(&self, bytes: usize, _direction: TransferDirection) -> f64 {
+        self.spec.transfer_us(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Op;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn outputs_preserve_block_order() {
+        let d = Device::new(DeviceSpec::test_small());
+        let r = d.launch("ids", 100, |ctx| ctx.block_id() * 2);
+        assert_eq!(r.outputs, (0..100).map(|b| b * 2).collect::<Vec<_>>());
+        assert_eq!(r.stats.num_blocks, 100);
+    }
+
+    #[test]
+    fn makespan_is_busiest_sm() {
+        let d = Device::new(DeviceSpec::test_small()); // 4 SMs
+                                                       // Blocks 0..8, block b charges b*100 cycles.
+                                                       // SM0: blocks 0,4 -> 400; SM1: 1,5 -> 600; SM2: 2,6 -> 800;
+                                                       // SM3: 3,7 -> 1000. Busiest = 1000 cycles = 1000 us at 1 GHz... no:
+                                                       // cycles_to_us(1000) at 1 GHz = 1 us, plus 5 us launch.
+        let r = d.launch("skew", 8, |ctx| {
+            ctx.charge_cycles(ctx.block_id() as u64 * 100);
+        });
+        assert_eq!(r.stats.max_block_cycles, 700);
+        assert_eq!(r.stats.total_cycles, 2800);
+        let expected = 5.0 + d.spec().cycles_to_us(1000);
+        assert!((r.stats.elapsed_us - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let d = Device::new(DeviceSpec::test_small());
+        let r = d.launch("noop", 0, |_| ());
+        assert_eq!(r.stats.total_cycles, 0);
+        assert!((r.stats.elapsed_us - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_launch_propagates_oom() {
+        let d = Device::new(DeviceSpec::test_small()); // 1 MB
+        let err = d
+            .try_launch("hungry", 4, |ctx| {
+                ctx.charge(Op::DeviceMalloc, 1);
+                d.memory().alloc(512 * 1024).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(err.capacity == 1 << 20);
+        // Two blocks fit, the rest OOM.
+        assert!(d.memory_stats().in_use <= 1 << 20);
+    }
+
+    #[test]
+    fn try_launch_collects_on_success() {
+        let d = Device::new(DeviceSpec::test_small());
+        let r = d
+            .try_launch("fits", 4, |ctx| {
+                d.memory().alloc(1024)?;
+                Ok(ctx.block_id())
+            })
+            .unwrap();
+        assert_eq!(r.outputs, vec![0, 1, 2, 3]);
+        assert_eq!(d.memory_stats().in_use, 4096);
+    }
+
+    #[test]
+    fn tracing_records_launches_in_order() {
+        let d = Device::with_tracing(DeviceSpec::test_small());
+        d.launch("first", 2, |ctx| ctx.charge(Op::Alu, 1));
+        d.launch("second", 3, |_| ());
+        let trace = d.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].name, "first");
+        assert_eq!(trace[0].stats.num_blocks, 2);
+        assert_eq!(trace[1].name, "second");
+        // Untraced device records nothing.
+        let plain = Device::new(DeviceSpec::test_small());
+        plain.launch("x", 1, |_| ());
+        assert!(plain.trace().is_empty());
+    }
+
+    #[test]
+    fn op_counts_aggregate_across_blocks() {
+        let d = Device::new(DeviceSpec::test_small());
+        let r = d.launch("count", 10, |ctx| {
+            ctx.charge(Op::GlobalAccess, 3);
+            ctx.charge(Op::AtomicGlobal, 2);
+            ctx.charge(Op::Rng, 1);
+        });
+        assert_eq!(r.stats.ops.global_accesses, 30);
+        assert_eq!(r.stats.ops.atomics, 20);
+        assert_eq!(r.stats.ops.rngs, 10);
+        assert_eq!(r.stats.ops.mallocs, 0);
+    }
+
+    #[test]
+    fn launch_is_deterministic_given_deterministic_kernel() {
+        let d = Device::new(DeviceSpec::test_small());
+        let run = || {
+            d.launch("det", 64, |ctx| {
+                ctx.charge(Op::GlobalAccess, (ctx.block_id() % 7) as u64);
+                ctx.cycles()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,177 @@
+//! Device (global) memory accounting.
+//!
+//! No bytes are actually reserved — the algorithms keep their data in host
+//! `Vec`s / packed arrays. This tracker models the *capacity* of the
+//! simulated device so that configurations exceeding it fail exactly where
+//! gIM fails in Tables 2–5 (an in-kernel allocation returning null), while
+//! eIM's smaller packed footprint still fits.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Allocation failure: the requested bytes did not fit the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already in use at the time.
+    pub in_use: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device OOM: requested {} B with {} / {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Point-in-time usage summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes currently allocated.
+    pub in_use: usize,
+    /// High-water mark over the device's lifetime.
+    pub peak: usize,
+    /// Capacity.
+    pub capacity: usize,
+}
+
+/// Thread-safe capacity tracker for one device.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: usize,
+    in_use: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl DeviceMemory {
+    /// A tracker with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            in_use: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserves `bytes`, failing if capacity would be exceeded. Safe to call
+    /// concurrently from kernel blocks (gIM's dynamic spill allocations).
+    pub fn alloc(&self, bytes: usize) -> Result<(), MemoryError> {
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.capacity {
+                return Err(MemoryError {
+                    requested: bytes,
+                    in_use: cur,
+                    capacity: self.capacity,
+                });
+            }
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases `bytes` previously reserved.
+    pub fn free(&self, bytes: usize) {
+        let prev = self.in_use.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "freeing more than allocated");
+    }
+
+    /// Current usage snapshot.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            in_use: self.in_use.load(Ordering::Relaxed),
+            peak: self.peak.load(Ordering::Relaxed),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Resets usage (between independent experiment runs on one device).
+    pub fn reset(&self) {
+        self.in_use.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let m = DeviceMemory::new(1000);
+        m.alloc(400).unwrap();
+        m.alloc(500).unwrap();
+        assert_eq!(m.stats().in_use, 900);
+        m.free(400);
+        assert_eq!(m.stats().in_use, 500);
+        assert_eq!(m.stats().peak, 900);
+    }
+
+    #[test]
+    fn oom_reports_context() {
+        let m = DeviceMemory::new(100);
+        m.alloc(80).unwrap();
+        let err = m.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("OOM"));
+        // Failed alloc must not change usage.
+        assert_eq!(m.stats().in_use, 80);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let m = DeviceMemory::new(100);
+        m.alloc(100).unwrap();
+        assert!(m.alloc(1).is_err());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = DeviceMemory::new(100);
+        m.alloc(60).unwrap();
+        m.reset();
+        assert_eq!(m.stats().in_use, 0);
+        assert_eq!(m.stats().peak, 0);
+        m.alloc(100).unwrap();
+    }
+
+    #[test]
+    fn concurrent_allocs_never_exceed_capacity() {
+        let m = DeviceMemory::new(10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = &m;
+                s.spawn(move || {
+                    let mut held = 0usize;
+                    for _ in 0..1000 {
+                        if m.alloc(7).is_ok() {
+                            held += 7;
+                        }
+                    }
+                    m.free(held);
+                });
+            }
+        });
+        assert_eq!(m.stats().in_use, 0);
+        assert!(m.stats().peak <= 10_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! Slot scheduling: turning per-item costs into a makespan.
+//!
+//! Models the paper's §3.5 analysis directly: a pool of `slots` execution
+//! units (warps or threads) processes items round-robin — item `i` runs on
+//! slot `i % slots` — and the phase finishes when the busiest slot drains:
+//! `ceil(N / slots)` iterations in the uniform-cost case, yielding exactly
+//! the `ceil(N / W_n) · C_w  vs  ceil(N / T_n) · C_t` comparison of the
+//! paper.
+
+/// Makespan in cycles of processing `costs` on `slots` parallel units with
+/// interleaved (round-robin) assignment.
+pub fn slot_makespan_cycles(costs: impl Iterator<Item = u64>, slots: usize) -> u64 {
+    assert!(slots > 0, "need at least one slot");
+    let mut loads = vec![0u64; slots];
+    for (i, c) in costs.enumerate() {
+        loads[i % slots] += c;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_match_ceil_formula() {
+        // 10 items of cost 7 on 4 slots: ceil(10/4) = 3 iterations -> 21.
+        let costs = std::iter::repeat_n(7u64, 10);
+        assert_eq!(slot_makespan_cycles(costs, 4), 21);
+    }
+
+    #[test]
+    fn single_slot_is_total_work() {
+        let costs = [3u64, 5, 7];
+        assert_eq!(slot_makespan_cycles(costs.into_iter(), 1), 15);
+    }
+
+    #[test]
+    fn more_slots_than_items_is_max_cost() {
+        let costs = [3u64, 50, 7];
+        assert_eq!(slot_makespan_cycles(costs.into_iter(), 100), 50);
+    }
+
+    #[test]
+    fn empty_items() {
+        assert_eq!(slot_makespan_cycles(std::iter::empty(), 8), 0);
+    }
+
+    #[test]
+    fn paper_crossover_shape() {
+        // §3.5: warps are cheaper per set (C_w < C_t) but far fewer
+        // (W_n < T_n). For small N warps win; past the crossover threads win.
+        let w_n = 4_032; // 84 SMs x 48 warps
+        let t_n = w_n * 32;
+        let c_w = 40u64;
+        let c_t = 120u64; // 3x the warp cost per set
+        let warp_time = |n: usize| slot_makespan_cycles(std::iter::repeat_n(c_w, n), w_n);
+        let thread_time = |n: usize| slot_makespan_cycles(std::iter::repeat_n(c_t, n), t_n);
+        // Small N: a single warp iteration beats a single thread iteration.
+        assert!(warp_time(1_000) < thread_time(1_000));
+        // Large N: threads overtake (Figure 3).
+        let n = 2_000_000;
+        assert!(thread_time(n) < warp_time(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        slot_makespan_cycles(std::iter::empty(), 0);
+    }
+}

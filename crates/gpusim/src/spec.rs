@@ -1,0 +1,226 @@
+//! Device specification and per-operation cost model.
+
+/// Per-operation cycle costs. The absolute values are calibrated to typical
+/// published latencies for Ampere-class parts; the experiments only rely on
+/// their *ratios* (shared ≪ global ≪ atomic ≪ device-malloc, PCIe ≫ all).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One coalesced warp-wide global-memory access.
+    pub global_access: u64,
+    /// One dependent, uncoalesced global load (pointer chasing, e.g. a
+    /// binary-search probe into the flat `R` array) — pays full DRAM/L2
+    /// latency with no coalescing to amortize it.
+    pub global_latency: u64,
+    /// One shared-memory access.
+    pub shared_access: u64,
+    /// One uncontended global atomic.
+    pub atomic_global: u64,
+    /// Extra serialization cycles per additional lane contending the same
+    /// address in one warp-wide atomic.
+    pub atomic_contention: u64,
+    /// One warp shuffle (`__shfl_up_sync` etc.).
+    pub shuffle: u64,
+    /// One ALU instruction (also used for a comparison step of a search).
+    pub alu: u64,
+    /// Drawing one uniform random number (Philox round).
+    pub rng: u64,
+    /// One dynamic in-kernel `malloc` — the overhead gIM pays when a shared
+    /// queue overflows (§2.3 "repeated dynamic memory allocations").
+    pub device_malloc: u64,
+    /// Fixed kernel-launch overhead, microseconds.
+    pub kernel_launch_us: f64,
+    /// Fixed per-transfer PCIe latency, microseconds.
+    pub pcie_latency_us: f64,
+    /// Device-memory bandwidth, GB/s — used for bulk device-to-device
+    /// copies such as growing the RRR arena.
+    pub device_bandwidth_gbps: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            global_access: 32,
+            global_latency: 300,
+            shared_access: 4,
+            atomic_global: 24,
+            atomic_contention: 8,
+            shuffle: 2,
+            alu: 1,
+            rng: 8,
+            device_malloc: 4000,
+            kernel_launch_us: 5.0,
+            pcie_latency_us: 10.0,
+            device_bandwidth_gbps: 700.0,
+        }
+    }
+}
+
+/// Static description of a simulated device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Streaming multiprocessors.
+    pub num_sms: usize,
+    /// Resident warps per SM (occupancy ceiling for warp-slot scheduling).
+    pub warps_per_sm: usize,
+    /// Core clock, GHz — converts cycles to microseconds.
+    pub clock_ghz: f64,
+    /// Device (global) memory capacity in bytes. Allocations beyond this
+    /// fail with [`crate::MemoryError`], which the tables report as "OOM".
+    pub global_mem_bytes: usize,
+    /// Shared memory available to one block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Host↔device bandwidth, GB/s.
+    pub pcie_gbps: f64,
+    /// Operation costs.
+    pub costs: CostModel,
+}
+
+impl DeviceSpec {
+    /// An RTX A6000-like device — the paper's testbed (84 SMs, 48 GB).
+    pub fn rtx_a6000() -> Self {
+        Self {
+            num_sms: 84,
+            warps_per_sm: 48,
+            clock_ghz: 1.41,
+            global_mem_bytes: 48 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            pcie_gbps: 25.0,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// The same device with a reduced memory capacity — how the harness
+    /// provokes the OOM cells of Tables 2–5 at laptop-scale workloads
+    /// without allocating 48 GB of anything.
+    pub fn rtx_a6000_with_mem(bytes: usize) -> Self {
+        Self {
+            global_mem_bytes: bytes,
+            ..Self::rtx_a6000()
+        }
+    }
+
+    /// A Tesla V100-like device (80 SMs, 32 GB, NVLink-era PCIe) — the
+    /// testbed of the original cuRipples paper, for cross-checking.
+    pub fn tesla_v100() -> Self {
+        Self {
+            num_sms: 80,
+            warps_per_sm: 64,
+            clock_ghz: 1.38,
+            global_mem_bytes: 32 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            pcie_gbps: 16.0,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// An A100-like device (108 SMs, 80 GB) — a headroom configuration for
+    /// scaling studies beyond the paper's testbed.
+    pub fn a100_80g() -> Self {
+        Self {
+            num_sms: 108,
+            warps_per_sm: 64,
+            clock_ghz: 1.41,
+            global_mem_bytes: 80 * (1 << 30),
+            shared_mem_per_block: 48 * 1024,
+            pcie_gbps: 31.0,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// A small device for fast unit tests (4 SMs, 1 MB).
+    pub fn test_small() -> Self {
+        Self {
+            num_sms: 4,
+            warps_per_sm: 8,
+            clock_ghz: 1.0,
+            global_mem_bytes: 1 << 20,
+            shared_mem_per_block: 4 * 1024,
+            pcie_gbps: 10.0,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Total concurrently-schedulable warps (`W_n` in §3.5).
+    pub fn warp_slots(&self) -> usize {
+        self.num_sms * self.warps_per_sm
+    }
+
+    /// Total concurrently-schedulable threads (`T_n = 32 · W_n` in §3.5).
+    pub fn thread_slots(&self) -> usize {
+        self.warp_slots() * crate::WARP_SIZE
+    }
+
+    /// Converts device cycles to microseconds at this clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1000.0)
+    }
+
+    /// Microseconds to move `bytes` across PCIe (one direction), including
+    /// the fixed latency.
+    pub fn transfer_us(&self, bytes: usize) -> f64 {
+        self.costs.pcie_latency_us + bytes as f64 / (self.pcie_gbps * 1000.0)
+    }
+
+    /// Microseconds for a bulk device-to-device copy of `bytes` (read +
+    /// write traffic at device bandwidth).
+    pub fn device_copy_us(&self, bytes: usize) -> f64 {
+        2.0 * bytes as f64 / (self.costs.device_bandwidth_gbps * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6000_shape() {
+        let d = DeviceSpec::rtx_a6000();
+        assert_eq!(d.num_sms, 84);
+        assert_eq!(d.warp_slots(), 84 * 48);
+        assert_eq!(d.thread_slots(), 84 * 48 * 32);
+        assert_eq!(d.global_mem_bytes, 48 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cycles_to_us_at_one_ghz() {
+        let d = DeviceSpec::test_small();
+        assert!((d.cycles_to_us(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let d = DeviceSpec::rtx_a6000();
+        let small = d.transfer_us(1_000);
+        let large = d.transfer_us(1_000_000_000);
+        assert!(large > 1000.0 * small / 100.0);
+        // 1 GB at 25 GB/s = 40 ms = 40_000 us.
+        assert!((large - (10.0 + 40_000.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn cost_model_ordering_invariants() {
+        let c = CostModel::default();
+        assert!(c.shared_access < c.global_access);
+        assert!(c.global_access <= c.atomic_global + c.atomic_contention);
+        assert!(c.device_malloc > 10 * c.atomic_global);
+        assert!(c.alu <= c.shuffle);
+    }
+
+    #[test]
+    fn preset_devices_are_ordered_sensibly() {
+        let v100 = DeviceSpec::tesla_v100();
+        let a6000 = DeviceSpec::rtx_a6000();
+        let a100 = DeviceSpec::a100_80g();
+        assert!(v100.global_mem_bytes < a6000.global_mem_bytes);
+        assert!(a6000.global_mem_bytes < a100.global_mem_bytes);
+        assert!(a100.thread_slots() > a6000.thread_slots());
+        assert!(v100.pcie_gbps < a100.pcie_gbps);
+    }
+
+    #[test]
+    fn reduced_memory_variant() {
+        let d = DeviceSpec::rtx_a6000_with_mem(1 << 20);
+        assert_eq!(d.global_mem_bytes, 1 << 20);
+        assert_eq!(d.num_sms, 84);
+    }
+}

@@ -1,0 +1,25 @@
+//! Host↔device transfer modelling (the cuRipples overhead).
+
+/// Direction of a PCIe transfer. Cost is symmetric in this model; the
+/// direction is kept for tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Host to device.
+    HostToDevice,
+    /// Device to host.
+    DeviceToHost,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DeviceSpec;
+
+    #[test]
+    fn transfers_dominate_kernel_costs_at_scale() {
+        // Moving 1 GB over PCIe must dwarf a kernel launch — the
+        // structural reason cuRipples loses by orders of magnitude.
+        let d = DeviceSpec::rtx_a6000();
+        let transfer = d.transfer_us(1 << 30);
+        assert!(transfer > 1000.0 * d.costs.kernel_launch_us);
+    }
+}

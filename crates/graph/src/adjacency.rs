@@ -1,0 +1,288 @@
+//! Compressed sparse adjacency: one direction of a directed graph.
+//!
+//! The same structure serves as CSR (rows = out-edges) and CSC (rows =
+//! in-edges); [`crate::Graph`] holds one of each and keeps them transposed
+//! copies of one another.
+
+use crate::{VertexId, Weight};
+
+/// One direction of a directed graph in offset/neighbor/weight form — the
+/// three-array representation the paper stores on the device (§3.1).
+///
+/// Row `v` spans `offsets[v] .. offsets[v + 1]` in `neighbors` / `weights`.
+/// Neighbors within a row are sorted ascending and deduplicated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adjacency {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency from per-row neighbor/weight lists.
+    ///
+    /// # Panics
+    /// Panics if any row's neighbors are unsorted, contain duplicates, or
+    /// reference vertices `>= rows.len()`, or if neighbor/weight lengths
+    /// disagree — these invariants are what the samplers rely on.
+    pub fn from_rows(rows: Vec<(Vec<VertexId>, Vec<Weight>)>) -> Self {
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let total: usize = rows.iter().map(|(nb, _)| nb.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for (nb, w) in rows {
+            assert_eq!(nb.len(), w.len(), "neighbor/weight length mismatch");
+            assert!(
+                nb.windows(2).all(|p| p[0] < p[1]),
+                "row neighbors must be strictly ascending"
+            );
+            if let Some(&max) = nb.last() {
+                assert!((max as usize) < n, "neighbor id out of range");
+            }
+            neighbors.extend_from_slice(&nb);
+            weights.extend_from_slice(&w);
+            offsets.push(neighbors.len() as u64);
+        }
+        Self {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Builds directly from raw arrays. Used by the builder after it has
+    /// established the invariants itself.
+    pub(crate) fn from_raw(
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert_eq!(neighbors.len(), weights.len());
+        Self {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of row `v` (in-degree for CSC, out-degree for CSR).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbor slice of row `v`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Weight slice of row `v`, parallel to [`Adjacency::row`].
+    #[inline]
+    pub fn row_weights(&self, v: VertexId) -> &[Weight] {
+        let v = v as usize;
+        &self.weights[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Starting offset of row `v` in the flat arrays.
+    #[inline]
+    pub fn row_start(&self, v: VertexId) -> usize {
+        self.offsets[v as usize] as usize
+    }
+
+    /// The raw offset array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array.
+    #[inline]
+    pub fn neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// The flat weight array.
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Mutable access to weights; the builder uses this when assigning a
+    /// weight model after structure construction.
+    pub(crate) fn weights_mut(&mut self) -> &mut [Weight] {
+        &mut self.weights
+    }
+
+    /// True if the edge `(v, u)` is stored in row `v` (binary search).
+    pub fn contains(&self, v: VertexId, u: VertexId) -> bool {
+        self.row(v).binary_search(&u).is_ok()
+    }
+
+    /// Iterates `(row, neighbor, weight)` over all stored edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.num_rows() as VertexId).flat_map(move |v| {
+            self.row(v)
+                .iter()
+                .zip(self.row_weights(v))
+                .map(move |(&u, &w)| (v, u, w))
+        })
+    }
+
+    /// Transposes this adjacency, carrying weights to the mirrored edges:
+    /// edge `(v, u, w)` here appears as `(u, v, w)` in the result.
+    ///
+    /// Counting-sort construction: O(n + m), no comparison sort needed
+    /// because source rows are scanned in ascending row order, which makes
+    /// each destination row fill in ascending order automatically.
+    pub fn transpose(&self) -> Self {
+        let n = self.num_rows();
+        let m = self.num_edges();
+        let mut counts = vec![0u64; n + 1];
+        for &u in &self.neighbors {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut neighbors = vec![0 as VertexId; m];
+        let mut weights = vec![0.0 as Weight; m];
+        for v in 0..n as VertexId {
+            let (row, row_w) = (self.row(v), self.row_weights(v));
+            for (&u, &w) in row.iter().zip(row_w) {
+                let slot = cursor[u as usize] as usize;
+                neighbors[slot] = v;
+                weights[slot] = w;
+                cursor[u as usize] += 1;
+            }
+        }
+        Self {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Heap bytes used by the three arrays (the quantity Figure 4 and §4.2
+    /// account for the uncompressed representation).
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Adjacency {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Adjacency::from_rows(vec![
+            (vec![1, 2], vec![0.5, 0.25]),
+            (vec![2], vec![1.0]),
+            (vec![], vec![]),
+            (vec![0], vec![0.75]),
+        ])
+    }
+
+    #[test]
+    fn rows_and_degrees() {
+        let a = sample();
+        assert_eq!(a.num_rows(), 4);
+        assert_eq!(a.num_edges(), 4);
+        assert_eq!(a.degree(0), 2);
+        assert_eq!(a.degree(2), 0);
+        assert_eq!(a.row(0), &[1, 2]);
+        assert_eq!(a.row_weights(0), &[0.5, 0.25]);
+        assert_eq!(a.row(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_rows() {
+        let a = sample();
+        assert!(a.contains(0, 1));
+        assert!(a.contains(0, 2));
+        assert!(!a.contains(0, 3));
+        assert!(!a.contains(2, 0));
+    }
+
+    #[test]
+    fn transpose_mirrors_edges_with_weights() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_edges(), 4);
+        // (0,1,0.5) becomes (1,0,0.5)
+        assert_eq!(t.row(1), &[0]);
+        assert_eq!(t.row_weights(1), &[0.5]);
+        // 2 had in-edges from 0 and 1
+        assert_eq!(t.row(2), &[0, 1]);
+        assert_eq!(t.row_weights(2), &[0.25, 1.0]);
+        // 0 had in-edge from 3
+        assert_eq!(t.row(0), &[3]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let a = sample();
+        let edges: Vec<_> = a.iter_edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1, 0.5), (0, 2, 0.25), (1, 2, 1.0), (3, 0, 0.75)]
+        );
+    }
+
+    #[test]
+    fn empty_adjacency() {
+        let a = Adjacency::from_rows(vec![]);
+        assert_eq!(a.num_rows(), 0);
+        assert_eq!(a.num_edges(), 0);
+        let t = a.transpose();
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_rows() {
+        Adjacency::from_rows(vec![(vec![2, 1], vec![0.1, 0.2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_neighbor() {
+        Adjacency::from_rows(vec![(vec![5], vec![0.1])]);
+    }
+
+    #[test]
+    fn bytes_accounts_all_arrays() {
+        let a = sample();
+        // offsets: 5 * 8, neighbors: 4 * 4, weights: 4 * 4
+        assert_eq!(a.bytes(), 5 * 8 + 4 * 4 + 4 * 4);
+    }
+}

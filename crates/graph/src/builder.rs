@@ -1,0 +1,205 @@
+//! Edge-list → [`Graph`] construction with cleanup (dedup, self-loop
+//! removal) and weight-model assignment.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Adjacency, Graph, VertexId, WeightModel};
+
+/// Accumulates directed edges and produces a cleaned, weighted [`Graph`].
+///
+/// Cleanup performed at [`GraphBuilder::build`]:
+/// * parallel (duplicate) edges collapse to one,
+/// * self-loops are dropped (they carry no influence information),
+/// * rows are sorted ascending — required by the binary-search membership
+///   tests the selection phase performs.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    keep_self_loops: bool,
+    seed: u64,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids are u32");
+        Self {
+            n,
+            edges: Vec::new(),
+            keep_self_loops: false,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Adds a single directed edge `u -> v`.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many directed edges.
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Keep self-loops instead of dropping them (off by default).
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// RNG seed used by randomized weight models ([`WeightModel::Trivalency`],
+    /// [`WeightModel::Random`]).
+    pub fn weight_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of edges currently staged (before cleanup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph, assigning weights per `model`.
+    ///
+    /// # Panics
+    /// Panics if any staged edge references a vertex `>= n`.
+    pub fn build(self, model: WeightModel) -> Graph {
+        let n = self.n;
+        let mut edges = self.edges;
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range for n = {n}"
+            );
+        }
+        if !self.keep_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        // Build CSC directly: bucket by target, then sort + dedup sources.
+        let mut counts = vec![0u64; n + 1];
+        for &(_, v) in &edges {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut sources = vec![0 as VertexId; edges.len()];
+        for &(u, v) in &edges {
+            sources[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort + dedup each row, compacting the arrays.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut write = 0usize;
+        for v in 0..n {
+            let (start, end) = (counts[v] as usize, counts[v + 1] as usize);
+            let row = &mut sources[start..end];
+            row.sort_unstable();
+            let mut prev: Option<VertexId> = None;
+            let row_start = write;
+            for i in 0..row.len() {
+                let u = sources[start + i];
+                if prev != Some(u) {
+                    sources[write] = u;
+                    write += 1;
+                    prev = Some(u);
+                }
+            }
+            let _ = row_start;
+            offsets.push(write as u64);
+        }
+        sources.truncate(write);
+        let weights = vec![0.0; sources.len()];
+        let mut csc = Adjacency::from_raw(offsets, sources, weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        model.assign_csc(&mut csc, &mut rng);
+        Graph::from_csc(csc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (0, 1), (0, 1), (2, 1)])
+            .build(WeightModel::WeightedCascade);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_weights(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1), (1, 1)])
+            .build(WeightModel::Uniform(0.1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn can_keep_self_loops() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1)])
+            .keep_self_loops(true)
+            .build(WeightModel::Uniform(0.1));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn rows_come_out_sorted() {
+        let g = GraphBuilder::new(5)
+            .edges([(4, 2), (0, 2), (3, 2), (1, 2)])
+            .build(WeightModel::WeightedCascade);
+        assert_eq!(g.in_neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build(WeightModel::WeightedCascade);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = GraphBuilder::new(10)
+            .edge(0, 1)
+            .build(WeightModel::WeightedCascade);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.in_degree(9), 0);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        GraphBuilder::new(2)
+            .edge(0, 5)
+            .build(WeightModel::WeightedCascade);
+    }
+
+    #[test]
+    fn weight_seed_changes_random_weights_deterministically() {
+        let mk = |seed| {
+            GraphBuilder::new(3)
+                .edges([(0, 1), (1, 2), (0, 2)])
+                .weight_seed(seed)
+                .build(WeightModel::Random)
+        };
+        let (a, b, c) = (mk(1), mk(1), mk(2));
+        assert_eq!(a.in_weights(2), b.in_weights(2));
+        assert_ne!(a.in_weights(2), c.in_weights(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! Connectivity utilities: strongly connected components (iterative
+//! Kosaraju) and reachable sets.
+//!
+//! Influence tooling leans on these constantly — the size of the largest
+//! SCC bounds how far LT reverse walks can wander, diffusion can never
+//! escape the reachable set of its seeds, and trimming a giant input to its
+//! core component is the standard preprocessing step for huge SNAP files.
+
+use crate::{Graph, VertexId};
+
+/// Strongly-connected-component labelling of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sccs {
+    /// `component[v]` is the SCC id of vertex `v`; ids are dense, assigned
+    /// in reverse topological order of the condensation (Kosaraju order).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Sccs {
+    /// Sizes of every component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Id and size of the largest component.
+    pub fn largest(&self) -> (u32, usize) {
+        self.sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, s)| (i as u32, s))
+            .unwrap_or((0, 0))
+    }
+
+    /// Members of component `id`, ascending.
+    pub fn members(&self, id: u32) -> Vec<VertexId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == id)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Computes strongly connected components (iterative Kosaraju: one DFS for
+/// finish order on the forward graph, one sweep on the reverse graph).
+pub fn strongly_connected_components(graph: &Graph) -> Sccs {
+    let n = graph.num_vertices();
+    // Pass 1: forward DFS finish order, iterative with an explicit stack of
+    // (vertex, next-child-index).
+    let mut visited = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+    for root in 0..n as VertexId {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            let nbrs = graph.out_neighbors(v);
+            if *next < nbrs.len() {
+                let w = nbrs[*next];
+                *next += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse-graph DFS in decreasing finish order labels SCCs.
+    let mut component = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut dfs: Vec<VertexId> = Vec::new();
+    for &root in order.iter().rev() {
+        if component[root as usize] != u32::MAX {
+            continue;
+        }
+        component[root as usize] = count;
+        dfs.push(root);
+        while let Some(v) = dfs.pop() {
+            for &u in graph.in_neighbors(v) {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = count;
+                    dfs.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Sccs {
+        component,
+        count: count as usize,
+    }
+}
+
+/// The set of vertices forward-reachable from `sources` (including them),
+/// ascending — an upper bound on any diffusion from those seeds.
+pub fn reachable_set(graph: &Graph, sources: &[VertexId]) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &w in graph.out_neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    (0..n as VertexId).filter(|&v| seen[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::{GraphBuilder, WeightModel};
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = generators::cycle(6, WeightModel::WeightedCascade);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 1);
+        assert_eq!(sccs.largest().1, 6);
+    }
+
+    #[test]
+    fn path_is_all_singletons() {
+        let g = generators::path(5, WeightModel::WeightedCascade);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 5);
+        assert!(sccs.sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn two_cycles_with_a_bridge() {
+        // 0->1->2->0 and 3->4->3, bridged 2->3.
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)])
+            .build(WeightModel::WeightedCascade);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 2);
+        assert_eq!(sccs.component[0], sccs.component[1]);
+        assert_eq!(sccs.component[1], sccs.component[2]);
+        assert_eq!(sccs.component[3], sccs.component[4]);
+        assert_ne!(sccs.component[0], sccs.component[3]);
+        let (_, size) = sccs.largest();
+        assert_eq!(size, 3);
+    }
+
+    #[test]
+    fn members_are_sorted_and_partition_the_graph() {
+        let g = generators::rmat(
+            200,
+            1_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            5,
+        );
+        let sccs = strongly_connected_components(&g);
+        let total: usize = (0..sccs.count as u32).map(|c| sccs.members(c).len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn mutually_reachable_iff_same_component() {
+        let g = generators::rmat(
+            60,
+            260,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            8,
+        );
+        let sccs = strongly_connected_components(&g);
+        for u in 0..60u32 {
+            let from_u = reachable_set(&g, &[u]);
+            for w in 0..60u32 {
+                let mutually = from_u.binary_search(&w).is_ok()
+                    && reachable_set(&g, &[w]).binary_search(&u).is_ok();
+                assert_eq!(
+                    mutually,
+                    sccs.component[u as usize] == sccs.component[w as usize],
+                    "u = {u}, w = {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_set_contains_sources_and_is_closed() {
+        let g = generators::rmat(
+            100,
+            500,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            3,
+        );
+        let r = reachable_set(&g, &[4, 9]);
+        assert!(r.binary_search(&4).is_ok());
+        assert!(r.binary_search(&9).is_ok());
+        for &v in &r {
+            for &w in g.out_neighbors(v) {
+                assert!(r.binary_search(&w).is_ok(), "not closed at {v} -> {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sources_reach_nothing() {
+        let g = generators::path(4, WeightModel::WeightedCascade);
+        assert!(reachable_set(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build(WeightModel::WeightedCascade);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 0);
+        assert_eq!(sccs.largest(), (0, 0));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-vertex path: a recursive DFS would blow the stack.
+        let g = generators::path(200_000, WeightModel::WeightedCascade);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.count, 200_000);
+    }
+}

@@ -1,0 +1,325 @@
+//! SNAP-style edge-list I/O.
+//!
+//! The evaluation datasets (Table 1) ship from SNAP as whitespace-separated
+//! `src dst` lines with `#`-prefixed comments. The parser here accepts that
+//! format (and the common tab/space variants), remaps arbitrary ids to a
+//! dense `0..n` range, and hands the result to [`GraphBuilder`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, GraphBuilder, VertexId, WeightModel};
+
+/// Error raised while reading an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not of the form `src dst` (after comment stripping).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Malformed { line, content } => {
+                write!(f, "malformed edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses a SNAP-format edge list from a reader, densifying vertex ids.
+///
+/// Returns the graph together with the original-id-to-dense-id mapping in
+/// first-appearance order (`mapping[dense] = original`).
+pub fn parse_edge_list<R: Read>(
+    reader: R,
+    model: WeightModel,
+) -> Result<(Graph, Vec<u64>), EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, VertexId> = HashMap::new();
+    let mut mapping: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let intern = |raw: u64, ids: &mut HashMap<u64, VertexId>, mapping: &mut Vec<u64>| {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = mapping.len() as VertexId;
+            mapping.push(raw);
+            id
+        })
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(EdgeListError::Malformed {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<u64, EdgeListError> {
+            s.parse().map_err(|_| EdgeListError::Malformed {
+                line: idx + 1,
+                content: trimmed.to_string(),
+            })
+        };
+        let (a, b) = (parse(a)?, parse(b)?);
+        let u = intern(a, &mut ids, &mut mapping);
+        let v = intern(b, &mut ids, &mut mapping);
+        edges.push((u, v));
+    }
+    let graph = GraphBuilder::new(mapping.len()).edges(edges).build(model);
+    Ok((graph, mapping))
+}
+
+/// Parses an edge list held in a string. Convenience for tests and small
+/// embedded datasets.
+pub fn parse_edge_list_str(
+    s: &str,
+    model: WeightModel,
+) -> Result<(Graph, Vec<u64>), EdgeListError> {
+    parse_edge_list(s.as_bytes(), model)
+}
+
+/// Parses a *weighted* edge list (`src dst weight` per line, comments as in
+/// [`parse_edge_list`]), keeping the given weights. When parallel edges
+/// collapse, the weight of the first occurrence in CSC row order wins.
+pub fn parse_weighted_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, VertexId> = HashMap::new();
+    let mut mapping: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: HashMap<(VertexId, VertexId), f32> = HashMap::new();
+    let intern = |raw: u64, ids: &mut HashMap<u64, VertexId>, mapping: &mut Vec<u64>| {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = mapping.len() as VertexId;
+            mapping.push(raw);
+            id
+        })
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let malformed = || EdgeListError::Malformed {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let mut parts = trimmed.split_whitespace();
+        let (a, b, w) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(w)) => (a, b, w),
+            _ => return Err(malformed()),
+        };
+        let a: u64 = a.parse().map_err(|_| malformed())?;
+        let b: u64 = b.parse().map_err(|_| malformed())?;
+        let w: f32 = w.parse().map_err(|_| malformed())?;
+        if !(0.0..=1.0).contains(&w) {
+            return Err(malformed());
+        }
+        let u = intern(a, &mut ids, &mut mapping);
+        let v = intern(b, &mut ids, &mut mapping);
+        edges.push((u, v));
+        weights.entry((u, v)).or_insert(w);
+    }
+    let graph = GraphBuilder::new(mapping.len())
+        .edges(edges)
+        .build(WeightModel::Preserve);
+    // Rewrite the zero weights the Preserve build left with the parsed ones.
+    let mut csc = graph.csc().clone();
+    for v in 0..csc.num_rows() as VertexId {
+        let start = csc.row_start(v);
+        let row: Vec<VertexId> = csc.row(v).to_vec();
+        for (i, &u) in row.iter().enumerate() {
+            if let Some(&w) = weights.get(&(u, v)) {
+                csc.weights_mut()[start + i] = w;
+            }
+        }
+    }
+    Ok((Graph::from_csc(csc), mapping))
+}
+
+/// Writes a graph as a SNAP-compatible edge list (one `u\tv` line per edge,
+/// with a header comment recording n and m).
+pub fn write_edge_list(graph: &Graph, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(
+        w,
+        "# Directed graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v, _) in graph.iter_edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId\tToNodeId
+30\t1412
+30\t3352
+30\t5254
+1412\t30
+";
+
+    #[test]
+    fn parses_snap_format_with_comments() {
+        let (g, mapping) = parse_edge_list_str(SAMPLE, WeightModel::WeightedCascade).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(mapping, vec![30, 1412, 3352, 5254]);
+        // 30 -> 1412 became 0 -> 1
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn skips_blank_and_percent_lines() {
+        let src = "% matrix-market-ish comment\n\n1 2\n  \n2 3\n";
+        let (g, _) = parse_edge_list_str(src, WeightModel::Uniform(0.1)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn reports_malformed_line_number() {
+        let src = "1 2\nnot-an-edge\n";
+        let err = parse_edge_list_str(src, WeightModel::Uniform(0.1)).unwrap_err();
+        match err {
+            EdgeListError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_single_token_line() {
+        let src = "1 2\n7\n";
+        assert!(matches!(
+            parse_edge_list_str(src, WeightModel::Uniform(0.1)),
+            Err(EdgeListError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let (g, _) = parse_edge_list_str(SAMPLE, WeightModel::WeightedCascade).unwrap();
+        let dir = std::env::temp_dir().join("eim_graph_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let (g2, _) =
+            parse_edge_list(File::open(&path).unwrap(), WeightModel::WeightedCascade).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v, _) in g.iter_edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn accepts_space_separated_ids() {
+        let (g, _) = parse_edge_list_str("0 1\n1 2", WeightModel::Uniform(0.3)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_parse_keeps_weights() {
+        let src = "# weighted\n10 20 0.25\n30 20 0.5\n20 10 1.0\n";
+        let (g, mapping) = parse_weighted_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(mapping, vec![10, 20, 30]);
+        // 20 is dense id 1, in-neighbors 0 (w 0.25) and 2 (w 0.5).
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_weights(1), &[0.25, 0.5]);
+        assert_eq!(g.in_weights(0), &[1.0]);
+    }
+
+    #[test]
+    fn weighted_parse_rejects_bad_weight() {
+        assert!(matches!(
+            parse_weighted_edge_list("1 2 1.5\n".as_bytes()),
+            Err(EdgeListError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_weighted_edge_list("1 2\n".as_bytes()),
+            Err(EdgeListError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_parse_collapses_duplicates_first_wins() {
+        let (g, _) = parse_weighted_edge_list("1 2 0.3\n1 2 0.9\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_weights(1), &[0.3]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn parser_never_panics_on_arbitrary_text(s in ".{0,200}") {
+                let _ = parse_edge_list_str(&s, WeightModel::Uniform(0.1));
+                let _ = parse_weighted_edge_list(s.as_bytes());
+            }
+
+            #[test]
+            fn roundtrip_preserves_edge_set(
+                raw in prop::collection::vec((0u64..40, 0u64..40), 0..120)
+            ) {
+                let text: String = raw
+                    .iter()
+                    .map(|(u, v)| format!("{u} {v}\n"))
+                    .collect();
+                let (g, mapping) =
+                    parse_edge_list_str(&text, WeightModel::Uniform(0.1)).unwrap();
+                // Every non-self-loop input edge exists under the mapping.
+                let dense = |raw_id: u64| {
+                    mapping.iter().position(|&m| m == raw_id).unwrap() as u32
+                };
+                for &(u, v) in &raw {
+                    if u != v {
+                        prop_assert!(g.has_edge(dense(u), dense(v)));
+                    }
+                }
+                // And no extras: edge count <= distinct non-loop inputs.
+                let mut distinct: Vec<_> =
+                    raw.iter().filter(|(u, v)| u != v).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                prop_assert_eq!(g.num_edges(), distinct.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic structured graphs with closed-form influence behaviour —
+//! fixtures for unit, property, and quality tests.
+
+use crate::{Graph, GraphBuilder, VertexId, WeightModel};
+
+/// In-star: every leaf `1..n` points at the hub `0`. The hub's RRR set under
+/// weighted cascade contains every leaf with probability 1 (each leaf is the
+/// hub's only in-... actually each edge has weight 1/(n-1)); useful for
+/// selection tests since vertex 0 is never the best seed but every leaf is
+/// symmetric.
+pub fn star_in(n: usize, model: WeightModel) -> Graph {
+    assert!(n >= 2);
+    GraphBuilder::new(n)
+        .edges((1..n as VertexId).map(|v| (v, 0)))
+        .build(model)
+}
+
+/// Out-star: hub `0` points at every leaf. Under weighted cascade each leaf's
+/// single in-edge has weight 1, so seeding the hub activates the whole graph
+/// deterministically — the unambiguous optimal seed.
+pub fn star_out(n: usize, model: WeightModel) -> Graph {
+    assert!(n >= 2);
+    GraphBuilder::new(n)
+        .edges((1..n as VertexId).map(|v| (0, v)))
+        .build(model)
+}
+
+/// Directed path `0 -> 1 -> ... -> n-1`. Every in-degree is 1, so weighted
+/// cascade makes all edges deterministic: seeding vertex 0 activates all n.
+pub fn path(n: usize, model: WeightModel) -> Graph {
+    assert!(n >= 1);
+    GraphBuilder::new(n)
+        .edges((1..n as VertexId).map(|v| (v - 1, v)))
+        .build(model)
+}
+
+/// Directed cycle on `n` vertices.
+pub fn cycle(n: usize, model: WeightModel) -> Graph {
+    assert!(n >= 2);
+    GraphBuilder::new(n)
+        .edges((0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)))
+        .build(model)
+}
+
+/// Complete digraph: every ordered pair is an edge.
+pub fn complete(n: usize, model: WeightModel) -> Graph {
+    assert!(n >= 1);
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    GraphBuilder::new(n).edges(edges).build(model)
+}
+
+/// `rows x cols` grid with edges right and down — a bounded-degree planar
+/// fixture where BFS depths are long (stresses queue growth).
+pub fn grid(rows: usize, cols: usize, model: WeightModel) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    GraphBuilder::new(rows * cols).edges(edges).build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_in_degrees() {
+        let g = star_in(6, WeightModel::WeightedCascade);
+        assert_eq!(g.in_degree(0), 5);
+        assert_eq!(g.out_degree(0), 0);
+        for v in 1..6 {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 0);
+        }
+        assert_eq!(g.in_weights(0), &[0.2; 5]);
+    }
+
+    #[test]
+    fn star_out_leaf_edges_are_deterministic_under_wc() {
+        let g = star_out(6, WeightModel::WeightedCascade);
+        for v in 1..6 {
+            assert_eq!(g.in_weights(v), &[1.0]);
+        }
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5, WeightModel::WeightedCascade);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(4), &[3]);
+        assert_eq!(g.in_weights(4), &[1.0]);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(4, WeightModel::WeightedCascade);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(3, 0));
+        for v in 0..4 {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5, WeightModel::Uniform(0.5));
+        assert_eq!(g.num_edges(), 20);
+        for v in 0..5 {
+            assert_eq!(g.in_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4, WeightModel::Uniform(0.5));
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal: 3 * 3, vertical: 2 * 4
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert_eq!(g.out_neighbors(0), &[1, 4]);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path(1, WeightModel::WeightedCascade);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

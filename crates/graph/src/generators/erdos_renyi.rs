@@ -1,0 +1,129 @@
+//! Erdős–Rényi random digraphs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Graph, GraphBuilder, VertexId, WeightModel};
+
+/// G(n, m): exactly `m` distinct directed edges chosen uniformly at random
+/// (self-loops excluded). Sampling is by rejection, which stays cheap while
+/// `m` is well under `n * (n - 1)`.
+///
+/// # Panics
+/// Panics if `m > n * (n - 1)` (more edges than the complete digraph holds).
+pub fn erdos_renyi_gnm(n: usize, m: usize, model: WeightModel, seed: u64) -> Graph {
+    let cap = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= cap, "G(n,m): m = {m} exceeds the {cap} possible edges");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u != v && seen.insert(((u as u64) << 32) | v as u64) {
+            edges.push((u, v));
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .weight_seed(seed ^ 0x9e37_79b9)
+        .build(model)
+}
+
+/// G(n, p): each ordered pair becomes an edge independently with probability
+/// `p`, via geometric skipping (O(m) expected work rather than O(n^2)).
+pub fn erdos_renyi_gnp(n: usize, p: f64, model: WeightModel, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if p > 0.0 {
+        let total = (n as u128) * (n as u128);
+        let log1mp = (1.0 - p).ln();
+        let mut idx: u128 = 0;
+        loop {
+            // Geometric jump to the next present pair.
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (r.ln() / log1mp).floor() as u128
+            };
+            idx = idx.saturating_add(skip);
+            if idx >= total {
+                break;
+            }
+            let u = (idx / n as u128) as VertexId;
+            let v = (idx % n as u128) as VertexId;
+            if u != v {
+                edges.push((u, v));
+            }
+            idx += 1;
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .weight_seed(seed ^ 0x9e37_79b9)
+        .build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = erdos_renyi_gnm(100, 500, WeightModel::WeightedCascade, 42);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = erdos_renyi_gnm(50, 200, WeightModel::Uniform(0.1), 7);
+        let b = erdos_renyi_gnm(50, 200, WeightModel::Uniform(0.1), 7);
+        let c = erdos_renyi_gnm(50, 200, WeightModel::Uniform(0.1), 8);
+        assert_eq!(a.csc().neighbors(), b.csc().neighbors());
+        assert_ne!(a.csc().neighbors(), c.csc().neighbors());
+    }
+
+    #[test]
+    fn gnm_no_self_loops() {
+        let g = erdos_renyi_gnm(20, 100, WeightModel::Uniform(0.1), 3);
+        for (u, v, _) in g.iter_edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn gnm_can_saturate_complete_digraph() {
+        let g = erdos_renyi_gnm(5, 20, WeightModel::Uniform(0.1), 3);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        erdos_renyi_gnm(3, 7, WeightModel::Uniform(0.1), 3);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, WeightModel::Uniform(0.1), 11);
+        let expected = (n * (n - 1)) as f64 * p;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "m = {m}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = erdos_renyi_gnp(30, 0.0, WeightModel::Uniform(0.1), 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi_gnp(10, 1.0, WeightModel::Uniform(0.1), 1);
+        assert_eq!(full.num_edges(), 90);
+    }
+}

@@ -1,0 +1,129 @@
+//! Forest-fire generator (Leskovec, Kleinberg & Faloutsos, KDD '05) —
+//! produces densifying, shrinking-diameter networks with heavy-tailed
+//! degrees; a common stand-in for citation and social graphs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Graph, GraphBuilder, VertexId, WeightModel};
+
+/// Directed forest-fire graph on `n` vertices.
+///
+/// Each arriving vertex picks a uniform ambassador, links to it, then
+/// "burns" outward: from each burned vertex it links to a geometrically
+/// distributed number of that vertex's out-neighbors (mean
+/// `p / (1 - p)`), recursively. `p` is the forward-burning probability;
+/// realistic networks use `0.3..0.5`.
+///
+/// # Panics
+/// Panics if `n < 2` or `p` is outside `[0, 1)`.
+pub fn forest_fire(n: usize, p: f64, model: WeightModel, seed: u64) -> Graph {
+    assert!(n >= 2, "forest fire needs at least 2 vertices");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "burning probability must be in [0, 1)"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    out_adj[1].push(0);
+    let mut edges: Vec<(VertexId, VertexId)> = vec![(1, 0)];
+    let mut burned = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut touched: Vec<VertexId> = Vec::new();
+    for v in 2..n as VertexId {
+        let ambassador = rng.gen_range(0..v);
+        frontier.clear();
+        touched.clear();
+        frontier.push(ambassador);
+        burned[ambassador as usize] = true;
+        touched.push(ambassador);
+        // Burn breadth-first with geometric fan-out; cap total burn size to
+        // keep generation near-linear (the published model does the same in
+        // practice via the finite burning probability).
+        let cap = 1 + (32.0 / (1.0 - p)) as usize;
+        let mut head = 0;
+        while head < frontier.len() && frontier.len() < cap {
+            let u = frontier[head];
+            head += 1;
+            // Geometric number of links to burn from u.
+            let mut burn = 0usize;
+            while rng.gen_bool(p) {
+                burn += 1;
+            }
+            let nbrs = &out_adj[u as usize];
+            if nbrs.is_empty() {
+                continue;
+            }
+            for _ in 0..burn.min(nbrs.len()) {
+                let w = nbrs[rng.gen_range(0..nbrs.len())];
+                if !burned[w as usize] {
+                    burned[w as usize] = true;
+                    touched.push(w);
+                    frontier.push(w);
+                }
+            }
+        }
+        for &t in &frontier {
+            edges.push((v, t));
+            out_adj[v as usize].push(t);
+        }
+        for &t in &touched {
+            burned[t as usize] = false;
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .weight_seed(seed ^ 0x0f0f_f1fe)
+        .build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStats;
+
+    #[test]
+    fn every_late_vertex_links_somewhere() {
+        let g = forest_fire(300, 0.35, WeightModel::WeightedCascade, 5);
+        for v in 2..300u32 {
+            assert!(g.out_degree(v) >= 1, "vertex {v} never linked");
+        }
+    }
+
+    #[test]
+    fn higher_burning_probability_densifies() {
+        let sparse = forest_fire(500, 0.1, WeightModel::WeightedCascade, 7);
+        let dense = forest_fire(500, 0.45, WeightModel::WeightedCascade, 7);
+        assert!(
+            dense.num_edges() as f64 > 1.3 * sparse.num_edges() as f64,
+            "dense {} sparse {}",
+            dense.num_edges(),
+            sparse.num_edges()
+        );
+    }
+
+    #[test]
+    fn produces_heavy_tailed_in_degree() {
+        let g = forest_fire(2_000, 0.4, WeightModel::WeightedCascade, 11);
+        let s = GraphStats::of(&g);
+        assert!(
+            s.in_degree.max as f64 > 8.0 * s.in_degree.mean,
+            "max {} mean {}",
+            s.in_degree.max,
+            s.in_degree.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = forest_fire(200, 0.3, WeightModel::WeightedCascade, 1);
+        let b = forest_fire(200, 0.3, WeightModel::WeightedCascade, 1);
+        assert_eq!(a.csc().neighbors(), b.csc().neighbors());
+    }
+
+    #[test]
+    #[should_panic(expected = "burning probability")]
+    fn rejects_p_of_one() {
+        forest_fire(10, 1.0, WeightModel::WeightedCascade, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic network generators.
+//!
+//! Real SNAP data is not available offline, so the evaluation harness
+//! synthesizes stand-ins whose vertex count, edge count and degree skew match
+//! the published statistics (see [`crate::datasets`]). The generators here
+//! also supply structured test fixtures (stars, paths, grids) whose influence
+//! properties are known in closed form.
+
+mod barabasi_albert;
+mod deterministic;
+mod erdos_renyi;
+mod forest_fire;
+mod rmat;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use deterministic::{complete, cycle, grid, path, star_in, star_out};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use forest_fire::forest_fire;
+pub use rmat::{rmat, RmatParams};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,80 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Graph, GraphBuilder, VertexId, WeightModel};
+
+/// Directed Watts–Strogatz: start from a ring where every vertex points at
+/// its `k_half` clockwise successors, then rewire each edge's target with
+/// probability `beta` to a uniform random vertex.
+///
+/// # Panics
+/// Panics if `k_half == 0`, `k_half >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, model: WeightModel, seed: u64) -> Graph {
+    assert!(k_half >= 1 && k_half < n, "need 1 <= k_half < n");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k_half);
+    for u in 0..n {
+        for j in 1..=k_half {
+            let mut v = ((u + j) % n) as VertexId;
+            if rng.gen_bool(beta) {
+                // Rewire, avoiding self-loops; duplicates collapse in the
+                // builder, matching the standard formulation.
+                loop {
+                    let cand = rng.gen_range(0..n as VertexId);
+                    if cand != u as VertexId {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            edges.push((u as VertexId, v));
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .weight_seed(seed ^ 0x85eb_ca6b)
+        .build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewiring_gives_ring_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, WeightModel::Uniform(0.1), 3);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(9), &[0, 1]);
+        for v in 0..10 {
+            assert_eq!(g.out_degree(v), 2);
+            assert_eq!(g.in_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn full_rewiring_changes_structure_but_keeps_out_degree_close() {
+        let g = watts_strogatz(200, 3, 1.0, WeightModel::Uniform(0.1), 3);
+        // duplicates may collapse, so <= 600, but should stay close.
+        assert!(g.num_edges() > 550 && g.num_edges() <= 600);
+        for (u, v, _) in g.iter_edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(50, 2, 0.3, WeightModel::Uniform(0.1), 4);
+        let b = watts_strogatz(50, 2, 0.3, WeightModel::Uniform(0.1), 4);
+        assert_eq!(a.csc().neighbors(), b.csc().neighbors());
+    }
+
+    #[test]
+    #[should_panic(expected = "k_half")]
+    fn rejects_bad_k() {
+        watts_strogatz(5, 5, 0.1, WeightModel::Uniform(0.1), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The directed, weighted graph type consumed by every algorithm in the
+//! workspace.
+
+use crate::{Adjacency, VertexId, Weight};
+
+/// A directed graph held in both directions.
+///
+/// * `csc` — in-edges; row `v` lists `N^-(v)` with the activation weights
+///   `p_{uv}`. This is the representation reverse-influence sampling walks,
+///   and the one the paper stores (log-encoded) on the device.
+/// * `csr` — out-edges; the exact transpose, used by forward diffusion
+///   simulation when estimating the spread of a chosen seed set.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    csc: Adjacency,
+    csr: Adjacency,
+}
+
+impl Graph {
+    /// Builds a graph from its in-edge (CSC) adjacency; the out-edge side is
+    /// derived by transposition so the two always agree.
+    pub fn from_csc(csc: Adjacency) -> Self {
+        let csr = csc.transpose();
+        Self { csc, csr }
+    }
+
+    /// Builds a graph from its out-edge (CSR) adjacency.
+    pub fn from_csr(csr: Adjacency) -> Self {
+        let csc = csr.transpose();
+        Self { csc, csr }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csc.num_rows()
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csc.num_edges()
+    }
+
+    /// In-neighbors `N^-(v)`, ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csc.row(v)
+    }
+
+    /// Weights `p_{uv}` parallel to [`Graph::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, v: VertexId) -> &[Weight] {
+        self.csc.row_weights(v)
+    }
+
+    /// Out-neighbors `N^+(v)`, ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.row(v)
+    }
+
+    /// Weights `p_{vu}` parallel to [`Graph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> &[Weight] {
+        self.csr.row_weights(v)
+    }
+
+    /// In-degree `d^-_v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.csc.degree(v)
+    }
+
+    /// Out-degree `d^+_v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// The in-edge adjacency (CSC).
+    #[inline]
+    pub fn csc(&self) -> &Adjacency {
+        &self.csc
+    }
+
+    /// The out-edge adjacency (CSR).
+    #[inline]
+    pub fn csr(&self) -> &Adjacency {
+        &self.csr
+    }
+
+    /// True if edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.csc.contains(v, u)
+    }
+
+    /// Iterates all edges as `(u, v, p_uv)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.csr.iter_edges()
+    }
+
+    /// The reverse graph: every edge flipped, weights carried along. The
+    /// diffusion-model identity "an RRR set is the set of vertices reaching
+    /// the source" makes this useful for validation tests.
+    pub fn reverse(&self) -> Graph {
+        Graph {
+            csc: self.csr.clone(),
+            csr: self.csc.clone(),
+        }
+    }
+
+    /// Heap bytes of the CSC representation (offsets + in-neighbors +
+    /// weights) — what §4.2 compares against its log-encoded form.
+    pub fn csc_bytes(&self) -> usize {
+        self.csc.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightModel};
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build(WeightModel::Uniform(0.5))
+    }
+
+    #[test]
+    fn directions_agree() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 0);
+        for (u, v, w) in g.iter_edges() {
+            assert!(g.has_edge(u, v));
+            let idx = g.in_neighbors(v).binary_search(&u).unwrap();
+            assert_eq!(g.in_weights(v)[idx], w);
+        }
+    }
+
+    #[test]
+    fn has_edge_respects_direction() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = diamond();
+        let r = g.reverse();
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(0, 1));
+        assert_eq!(r.out_neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn from_csr_and_from_csc_are_consistent() {
+        let g = diamond();
+        let g2 = Graph::from_csr(g.csr().clone());
+        assert_eq!(g2.csc(), g.csc());
+        let g3 = Graph::from_csc(g.csc().clone());
+        assert_eq!(g3.csr(), g.csr());
+    }
+}

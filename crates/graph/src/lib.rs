@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # eim-graph
+//!
+//! Graph substrate for the eIM reproduction: compressed sparse row/column
+//! adjacency storage, SNAP edge-list parsing, diffusion-model weight
+//! assignment, synthetic network generators, and the registry of the 16
+//! networks used in the paper's evaluation (Table 1).
+//!
+//! The influence-maximization pipeline consumes graphs almost exclusively in
+//! *compressed sparse column* (CSC) form — reverse-influence sampling walks
+//! in-edges — so [`Graph`] keeps both directions and guarantees that the two
+//! are exact transposes carrying identical per-edge weights.
+//!
+//! ```
+//! use eim_graph::{GraphBuilder, WeightModel};
+//!
+//! // A 4-cycle: 0 -> 1 -> 2 -> 3 -> 0, weighted-cascade weights (1/d_in).
+//! let g = GraphBuilder::new(4)
+//!     .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+//!     .build(WeightModel::WeightedCascade);
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.in_neighbors(1), &[0]);
+//! assert_eq!(g.in_weights(1), &[1.0]);
+//! ```
+
+mod adjacency;
+mod builder;
+mod components;
+pub mod datasets;
+mod edgelist;
+pub mod generators;
+mod graph;
+mod stats;
+mod weights;
+
+pub use adjacency::Adjacency;
+pub use builder::GraphBuilder;
+pub use components::{reachable_set, strongly_connected_components, Sccs};
+pub use datasets::{Dataset, DatasetId, DATASETS};
+pub use edgelist::{
+    parse_edge_list, parse_edge_list_str, parse_weighted_edge_list, write_edge_list, EdgeListError,
+};
+pub use graph::Graph;
+pub use stats::{power_law_alpha, DegreeStats, GraphStats};
+pub use weights::WeightModel;
+
+/// Vertex identifier. `u32` keeps adjacency arrays compact (half the memory
+/// traffic of `usize` on 64-bit hosts) and matches the paper's CUDA code,
+/// which also uses 32-bit vertex ids.
+pub type VertexId = u32;
+
+/// Edge weight / activation probability.
+pub type Weight = f32;

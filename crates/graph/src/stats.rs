@@ -1,0 +1,200 @@
+//! Degree and structure statistics — used by the harness to print Table 1
+//! and to sanity-check that synthetic stand-ins match their recipes.
+
+use crate::{Graph, VertexId};
+
+/// Summary statistics over one degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of vertices with degree zero.
+    pub zeros: usize,
+    /// Gini coefficient of the degree distribution (0 = perfectly even,
+    /// → 1 = maximally concentrated). A quick skew fingerprint.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        if degrees.is_empty() {
+            return Self {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                zeros: 0,
+                gini: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let total: usize = degrees.iter().sum();
+        let zeros = degrees.iter().take_while(|&&d| d == 0).count();
+        // Gini via the sorted-rank formula.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        Self {
+            min: degrees[0],
+            max: *degrees.last().unwrap(),
+            mean: total as f64 / n as f64,
+            zeros,
+            gini,
+        }
+    }
+}
+
+/// Whole-graph statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// In-degree summary.
+    pub in_degree: DegreeStats,
+    /// Out-degree summary.
+    pub out_degree: DegreeStats,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn of(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        let in_d: Vec<usize> = (0..n as VertexId).map(|v| graph.in_degree(v)).collect();
+        let out_d: Vec<usize> = (0..n as VertexId).map(|v| graph.out_degree(v)).collect();
+        Self {
+            vertices: n,
+            edges: graph.num_edges(),
+            in_degree: DegreeStats::from_degrees(in_d),
+            out_degree: DegreeStats::from_degrees(out_d),
+        }
+    }
+
+    /// Fraction of vertices with zero in-degree — the direct predictor of
+    /// singleton RRR sets (Figures 5–6 of the paper).
+    pub fn zero_in_fraction(&self) -> f64 {
+        if self.vertices == 0 {
+            0.0
+        } else {
+            self.in_degree.zeros as f64 / self.vertices as f64
+        }
+    }
+}
+
+/// Maximum-likelihood estimate of a power-law exponent `alpha` for the
+/// degree distribution, fitted on degrees `>= d_min` (Clauset-Shalizi-
+/// Newman discrete approximation). Returns `None` when fewer than 10
+/// degrees clear `d_min` — too few for the estimate to mean anything.
+///
+/// Social/web networks publish alphas around 2-3; the dataset registry's
+/// synthetic stand-ins are sanity-checked against that band.
+pub fn power_law_alpha(degrees: &[usize], d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let tail: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= d_min)
+        .map(|&d| d as f64)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let log_sum: f64 = tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()).sum();
+    Some(1.0 + tail.len() as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, star_out};
+    use crate::WeightModel;
+
+    #[test]
+    fn star_stats() {
+        let g = star_out(11, WeightModel::WeightedCascade);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 11);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.out_degree.max, 10);
+        assert_eq!(s.out_degree.zeros, 10);
+        assert_eq!(s.in_degree.max, 1);
+        assert_eq!(s.in_degree.zeros, 1);
+        assert!((s.zero_in_fraction() - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_has_zero_gini() {
+        let g = complete(8, WeightModel::Uniform(0.1));
+        let s = GraphStats::of(&g);
+        assert!(s.in_degree.gini.abs() < 1e-9);
+        assert_eq!(s.in_degree.min, 7);
+        assert_eq!(s.in_degree.max, 7);
+    }
+
+    #[test]
+    fn star_gini_is_high() {
+        let g = star_out(101, WeightModel::Uniform(0.1));
+        let s = GraphStats::of(&g);
+        assert!(s.out_degree.gini > 0.9, "gini {}", s.out_degree.gini);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::GraphBuilder::new(0).build(WeightModel::WeightedCascade);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.zero_in_fraction(), 0.0);
+        assert_eq!(s.in_degree.mean, 0.0);
+    }
+
+    #[test]
+    fn power_law_alpha_recovers_synthetic_exponent() {
+        // Degrees drawn from P(d) ~ d^-2.5 via inverse transform.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let alpha_true = 2.5f64;
+        let degrees: Vec<usize> = (0..50_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                // Continuous power-law with x_min = 2, rounded; fit above
+                // the discretization-noisy head.
+                (2.0 * u.powf(-1.0 / (alpha_true - 1.0))).round() as usize
+            })
+            .collect();
+        let est = power_law_alpha(&degrees, 8).unwrap();
+        assert!((est - alpha_true).abs() < 0.25, "estimated {est}");
+    }
+
+    #[test]
+    fn power_law_alpha_needs_enough_tail() {
+        assert!(power_law_alpha(&[5, 6, 7], 2).is_none());
+        assert!(power_law_alpha(&[], 1).is_none());
+    }
+
+    #[test]
+    fn scale_free_generator_lands_in_the_social_band() {
+        let g = crate::generators::barabasi_albert(5_000, 3, WeightModel::WeightedCascade, 4);
+        let degrees: Vec<usize> = (0..5_000u32).map(|v| g.in_degree(v)).collect();
+        let alpha = power_law_alpha(&degrees, 3).unwrap();
+        assert!((1.8..4.0).contains(&alpha), "alpha {alpha}");
+    }
+
+    #[test]
+    fn mean_degrees_match_edge_count() {
+        let g = crate::generators::erdos_renyi_gnm(50, 300, WeightModel::Uniform(0.1), 2);
+        let s = GraphStats::of(&g);
+        assert!((s.in_degree.mean - 6.0).abs() < 1e-9);
+        assert!((s.out_degree.mean - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge-weight assignment for unweighted input networks.
+//!
+//! The SNAP datasets are unweighted; §2.1 and §4.1 of the paper preprocess
+//! them by assigning weights according to the diffusion model. The models
+//! here cover the paper's default (weighted cascade, `p_uv = 1/d^-_v`, which
+//! doubles as the standard LT weighting since each in-row sums to 1) plus the
+//! alternatives the IM literature uses and the paper lists as future work.
+
+use rand::Rng;
+
+use crate::{Adjacency, Weight};
+
+/// Strategy for assigning `p_{uv}` to each edge `(u, v)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightModel {
+    /// `p_uv = 1 / d^-_v` — the weighted-cascade assignment of Kempe et al.
+    /// used throughout the paper for IC, and the canonical LT weighting
+    /// (each vertex's in-weights sum to exactly 1).
+    WeightedCascade,
+    /// Every edge gets the same probability `p`.
+    Uniform(Weight),
+    /// Each edge independently draws from `{0.1, 0.01, 0.001}` uniformly —
+    /// the "trivalency" model of the IC literature.
+    Trivalency,
+    /// Each edge draws uniformly from `(0, 1)` — the random-weight IC
+    /// variant the paper's conclusion plans to support.
+    Random,
+    /// Leave weights as they are (for graphs that already carry weights).
+    Preserve,
+}
+
+impl WeightModel {
+    /// Rewrites the weights of a CSC adjacency in place according to the
+    /// model. Row `v` of a CSC lists in-neighbors, so `d^-_v` is simply the
+    /// row length.
+    pub fn assign_csc<R: Rng>(self, csc: &mut Adjacency, rng: &mut R) {
+        match self {
+            WeightModel::Preserve => {}
+            WeightModel::WeightedCascade => {
+                let n = csc.num_rows();
+                for v in 0..n as u32 {
+                    let deg = csc.degree(v);
+                    if deg == 0 {
+                        continue;
+                    }
+                    let w = 1.0 / deg as Weight;
+                    let start = csc.row_start(v);
+                    for slot in &mut csc.weights_mut()[start..start + deg] {
+                        *slot = w;
+                    }
+                }
+            }
+            WeightModel::Uniform(p) => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range");
+                for slot in csc.weights_mut() {
+                    *slot = p;
+                }
+            }
+            WeightModel::Trivalency => {
+                const LEVELS: [Weight; 3] = [0.1, 0.01, 0.001];
+                for slot in csc.weights_mut() {
+                    *slot = LEVELS[rng.gen_range(0..3)];
+                }
+            }
+            WeightModel::Random => {
+                for slot in csc.weights_mut() {
+                    *slot = rng.gen_range(Weight::EPSILON..1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn csc() -> Adjacency {
+        // in-rows: 0 <- {}, 1 <- {0, 2}, 2 <- {0, 1, 3}, 3 <- {2}
+        Adjacency::from_rows(vec![
+            (vec![], vec![]),
+            (vec![0, 2], vec![0.0, 0.0]),
+            (vec![0, 1, 3], vec![0.0, 0.0, 0.0]),
+            (vec![2], vec![0.0]),
+        ])
+    }
+
+    #[test]
+    fn weighted_cascade_is_inverse_in_degree() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        WeightModel::WeightedCascade.assign_csc(&mut a, &mut rng);
+        assert_eq!(a.row_weights(1), &[0.5, 0.5]);
+        for &w in a.row_weights(2) {
+            assert!((w - 1.0 / 3.0).abs() < 1e-6);
+        }
+        assert_eq!(a.row_weights(3), &[1.0]);
+    }
+
+    #[test]
+    fn weighted_cascade_rows_sum_to_one() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        WeightModel::WeightedCascade.assign_csc(&mut a, &mut rng);
+        for v in 0..4 {
+            let s: f32 = a.row_weights(v).iter().sum();
+            assert!(a.degree(v) == 0 || (s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_sets_every_edge() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        WeightModel::Uniform(0.2).assign_csc(&mut a, &mut rng);
+        for v in 0..4 {
+            for &w in a.row_weights(v) {
+                assert_eq!(w, 0.2);
+            }
+        }
+    }
+
+    #[test]
+    fn trivalency_draws_from_three_levels() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        WeightModel::Trivalency.assign_csc(&mut a, &mut rng);
+        for v in 0..4 {
+            for &w in a.row_weights(v) {
+                assert!([0.1, 0.01, 0.001].contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn random_weights_in_open_unit_interval() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        WeightModel::Random.assign_csc(&mut a, &mut rng);
+        for v in 0..4 {
+            for &w in a.row_weights(v) {
+                assert!(w > 0.0 && w < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn preserve_leaves_weights_untouched() {
+        let mut a = Adjacency::from_rows(vec![(vec![], vec![]), (vec![0], vec![0.123])]);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        WeightModel::Preserve.assign_csc(&mut a, &mut rng);
+        assert_eq!(a.row_weights(1), &[0.123]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn uniform_rejects_bad_probability() {
+        let mut a = csc();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        WeightModel::Uniform(1.5).assign_csc(&mut a, &mut rng);
+    }
+}

@@ -1,0 +1,127 @@
+//! Martingale sample-size bounds (Tang et al., SIGMOD '15, §4).
+//!
+//! All quantities feeding the theta estimate: `log C(n, k)`, the
+//! per-iteration requirement `lambda'`, and the final requirement
+//! `lambda*` whose ratio to the coverage lower bound `LB` gives `theta`.
+
+/// Natural log of the binomial coefficient `C(n, k)`, computed as a sum of
+/// log-ratios — exact to floating precision for the `k <= a few hundred`
+/// regime influence maximization uses, with no Gamma-function machinery.
+pub fn log_choose(n: usize, k: usize) -> f64 {
+    assert!(k <= n, "log_choose: k = {k} > n = {n}");
+    let k = k.min(n - k);
+    (0..k).map(|i| ((n - i) as f64 / (i + 1) as f64).ln()).sum()
+}
+
+/// `epsilon' = sqrt(2) * epsilon` — the looser accuracy used during the
+/// estimation phase.
+pub fn epsilon_prime(epsilon: f64) -> f64 {
+    std::f64::consts::SQRT_2 * epsilon
+}
+
+/// The effective `ell` after the union-bound adjustment over the
+/// `log2(n) - 1` estimation iterations (IMM paper, remark after Thm 2:
+/// `ell' = ell * (1 + ln 2 / ln n)` keeps the overall failure probability
+/// at `n^-ell`).
+pub fn adjusted_ell(ell: f64, n: usize) -> f64 {
+    assert!(n >= 2);
+    ell * (1.0 + std::f64::consts::LN_2 / (n as f64).ln())
+}
+
+/// `lambda'` — RRR sets required at estimation iteration `i` are
+/// `lambda' / x_i` with `x_i = n / 2^i` (IMM Eq. (9)).
+pub fn lambda_prime(n: usize, k: usize, epsilon: f64, ell: f64) -> f64 {
+    let n_f = n as f64;
+    let eps_p = epsilon_prime(epsilon);
+    let log_cnk = log_choose(n, k);
+    (2.0 + 2.0 / 3.0 * eps_p) * (log_cnk + ell * n_f.ln() + n_f.log2().max(1.0).ln()) * n_f
+        / (eps_p * eps_p)
+}
+
+/// `lambda*` — the numerator of the final theta (IMM Eq. (6)):
+/// `theta = lambda* / LB` guarantees a `(1 - 1/e - epsilon)`-approximation
+/// with probability at least `1 - n^-ell`.
+pub fn lambda_star(n: usize, k: usize, epsilon: f64, ell: f64) -> f64 {
+    let n_f = n as f64;
+    let log_cnk = log_choose(n, k);
+    let e_inv = 1.0 - 1.0 / std::f64::consts::E;
+    let alpha = (ell * n_f.ln() + std::f64::consts::LN_2).sqrt();
+    let beta = (e_inv * (log_cnk + ell * n_f.ln() + std::f64::consts::LN_2)).sqrt();
+    2.0 * n_f * (e_inv * alpha + beta).powi(2) / (epsilon * epsilon)
+}
+
+/// Number of estimation iterations: `i` ranges over `1..max_iterations`,
+/// i.e. `log2(n) - 1` rounds (IMM Alg. 2).
+pub fn max_estimation_iterations(n: usize) -> usize {
+    ((n as f64).log2().ceil() as usize).saturating_sub(1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_choose_small_exact() {
+        assert!((log_choose(5, 2) - (10.0f64).ln()).abs() < 1e-12);
+        assert!((log_choose(10, 0)).abs() < 1e-12);
+        assert!((log_choose(10, 10)).abs() < 1e-12);
+        assert!((log_choose(52, 5) - (2_598_960.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_choose_symmetry() {
+        assert!((log_choose(100, 30) - log_choose(100, 70)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 6 > n = 5")]
+    fn log_choose_rejects_k_gt_n() {
+        log_choose(5, 6);
+    }
+
+    #[test]
+    fn lambda_star_grows_as_epsilon_shrinks() {
+        // Table 3's premise: smaller epsilon -> more RRR sets.
+        let n = 100_000;
+        let a = lambda_star(n, 100, 0.5, 1.0);
+        let b = lambda_star(n, 100, 0.05, 1.0);
+        assert!(b > 50.0 * a, "b/a = {}", b / a);
+        // 1/eps^2 scaling: factor should be ~100.
+        assert!((b / a - 100.0).abs() / 100.0 < 0.05);
+    }
+
+    #[test]
+    fn lambda_star_grows_with_k() {
+        // Table 2's premise: larger k -> more RRR sets (through log C(n,k)).
+        let n = 100_000;
+        let a = lambda_star(n, 20, 0.05, 1.0);
+        let b = lambda_star(n, 100, 0.05, 1.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn lambda_prime_positive_and_scales_with_n() {
+        let a = lambda_prime(1_000, 50, 0.1, 1.0);
+        let b = lambda_prime(1_000_000, 50, 0.1, 1.0);
+        assert!(a > 0.0);
+        assert!(b > 500.0 * a);
+    }
+
+    #[test]
+    fn adjusted_ell_slightly_above_ell() {
+        let e = adjusted_ell(1.0, 10_000);
+        assert!(e > 1.0 && e < 1.2, "{e}");
+    }
+
+    #[test]
+    fn iteration_count_matches_log2() {
+        assert_eq!(max_estimation_iterations(1024), 9);
+        assert_eq!(max_estimation_iterations(2), 1);
+        assert_eq!(max_estimation_iterations(1_000_000), 19);
+    }
+
+    #[test]
+    fn epsilon_prime_value() {
+        assert!((epsilon_prime(0.1) - 0.141421356).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # eim-imm
+//!
+//! The Influence Maximization via Martingales (IMM) framework of Tang,
+//! Shi & Xiao (SIGMOD '15) — the algorithmic skeleton every implementation
+//! in this workspace (CPU, eIM, gIM, cuRipples) instantiates:
+//!
+//! 1. **Estimate theta** ([`bounds`], [`run_imm`]): iteratively halve a
+//!    guess `x = n / 2^i`, sampling `lambda' / x` RRR sets each round, until
+//!    the greedy seed set covers enough of them; derive the lower bound `LB`
+//!    and the final requirement `theta = lambda* / LB`.
+//! 2. **Sample** ([`ImmEngine::extend_to`]): generate RRR sets up to `theta`.
+//! 3. **Select seeds** ([`select_seeds`]): greedy max-coverage over the
+//!    collected sets.
+//!
+//! The RRR sets live in an [`RrrSets`] store — plain (`u32` flat array) or
+//! log-encoded ([`PackedRrrStore`], the paper's §3.1 layout: one flat packed
+//! array `R`, an offset array `O`, a count array `C`).
+//!
+//! [`CpuEngine`] is the reference backend (serial or rayon-parallel — the
+//! Ripples-style CPU baseline); the GPU-model backends live in `eim-core`
+//! and `eim-baselines`.
+
+pub mod bounds;
+mod config;
+mod engine;
+mod martingale;
+mod rrrstore;
+mod selection;
+mod source_elim;
+
+pub use config::ImmConfig;
+pub use engine::{CpuEngine, CpuParallelism};
+pub use martingale::{run_imm, EngineError, ImmEngine, ImmResult, PhaseBreakdown};
+pub use rrrstore::{AnyRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};
+pub use selection::{select_seeds, select_seeds_celf, select_seeds_with_gains, Selection};
+pub use source_elim::apply_source_elimination;

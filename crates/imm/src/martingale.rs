@@ -1,0 +1,354 @@
+//! The two-phase IMM driver (Tang et al. '15, Algorithms 1–3; paper §2.2).
+//!
+//! Works over any [`ImmEngine`] backend — CPU reference, eIM, gIM, or
+//! cuRipples — so every implementation runs the *identical* estimation and
+//! selection logic and differs only in how it samples, stores, and scans
+//! RRR sets. That is the controlled comparison the paper's evaluation makes.
+
+use eim_graph::VertexId;
+
+use crate::bounds::{
+    adjusted_ell, epsilon_prime, lambda_prime, lambda_star, max_estimation_iterations,
+};
+use crate::config::ImmConfig;
+use crate::rrrstore::RrrSets;
+use crate::selection::Selection;
+
+/// Failure modes of a sampling backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The backend ran out of (device) memory — the "OOM" cells of
+    /// Tables 2–5.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: usize,
+        /// Device capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfMemory {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "out of device memory (requested {requested} B of {capacity} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A sampling/selection backend the IMM driver can run.
+pub trait ImmEngine {
+    /// Vertex count of the underlying graph.
+    fn n(&self) -> usize;
+    /// Samples RRR sets until [`ImmEngine::logical_sets`] reaches `target`.
+    fn extend_to(&mut self, target: usize) -> Result<(), EngineError>;
+    /// Greedy max-coverage selection over the current store.
+    fn select(&mut self, k: usize) -> Selection;
+    /// The current RRR store.
+    fn store(&self) -> &dyn RrrSets;
+    /// Samples counted toward theta so far. Equals the stored set count
+    /// except under source elimination (§3.4), where every drawn sample
+    /// counts but sets reduced to empty are not stored — coverage is then
+    /// measured over the informative sets only, which is precisely why the
+    /// heuristic converges in fewer samples.
+    fn logical_sets(&self) -> usize {
+        self.store().num_sets()
+    }
+    /// Time consumed so far: wall-clock microseconds for CPU backends,
+    /// simulated device microseconds for GPU-model backends.
+    fn elapsed_us(&self) -> f64;
+}
+
+/// Per-phase time attribution of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Theta-estimation phase (sampling + trial selections).
+    pub estimation_us: f64,
+    /// Final sampling up to theta.
+    pub sampling_us: f64,
+    /// Final seed selection.
+    pub selection_us: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total across phases.
+    pub fn total_us(&self) -> f64 {
+        self.estimation_us + self.sampling_us + self.selection_us
+    }
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct ImmResult {
+    /// The seed set `S`, in selection order.
+    pub seeds: Vec<VertexId>,
+    /// Fraction of RRR sets covered by `S` at the end.
+    pub coverage: f64,
+    /// RRR sets held when selection ran (>= the theoretical theta when the
+    /// estimation sets are reused, per standard practice).
+    pub num_sets: usize,
+    /// The theoretical requirement `ceil(lambda* / LB)`.
+    pub theta: usize,
+    /// The coverage lower bound `LB` the estimation phase produced.
+    pub lower_bound: f64,
+    /// Total elements across all stored sets (`|R|`).
+    pub total_elements: usize,
+    /// Device/host bytes of the store (`R` + `O`).
+    pub store_bytes: usize,
+    /// Sets present at the end of the estimation phase.
+    pub estimation_sets: usize,
+    /// Time attribution.
+    pub phases: PhaseBreakdown,
+}
+
+impl ImmResult {
+    /// Total time of the run in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        self.phases.total_us()
+    }
+
+    /// The martingale estimate of the seed set's expected spread,
+    /// `n * F_R(S)` — available for free from the coverage, no Monte-Carlo
+    /// needed. Within the `(1 - 1/e - eps)` guarantee of the true optimum
+    /// with probability `1 - n^-ell`.
+    pub fn estimated_spread(&self, n: usize) -> f64 {
+        n as f64 * self.coverage
+    }
+}
+
+/// Runs the full IMM pipeline on `engine`:
+/// estimate theta (iterative halving), sample to theta, select `k` seeds.
+///
+/// Estimation sets are reused for the final phase (the standard
+/// implementation practice of Ripples/gIM, which the paper follows).
+pub fn run_imm<E: ImmEngine>(engine: &mut E, config: &ImmConfig) -> Result<ImmResult, EngineError> {
+    let n = engine.n();
+    config.validate(n);
+    let k = config.k;
+    let eps = config.epsilon;
+    let ell = adjusted_ell(config.ell, n);
+    let lp = lambda_prime(n, k, eps, ell);
+    let ls = lambda_star(n, k, eps, ell);
+    let eps_p = epsilon_prime(eps);
+    let n_f = n as f64;
+
+    let t0 = engine.elapsed_us();
+    let mut lower_bound = f64::NAN;
+    let mut last_coverage = 0.0f64;
+    for i in 1..=max_estimation_iterations(n) {
+        let x = n_f / 2f64.powi(i as i32);
+        let theta_i = (lp / x).ceil().max(1.0) as usize;
+        engine.extend_to(theta_i)?;
+        let short = engine.logical_sets() < theta_i;
+        let sel = engine.select(k);
+        last_coverage = sel.coverage_fraction();
+        if n_f * last_coverage >= (1.0 + eps_p) * x {
+            lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
+            break;
+        }
+        if short {
+            // Backend cannot produce more sets (degenerate input); settle
+            // for the coverage we have rather than looping forever.
+            break;
+        }
+    }
+    if lower_bound.is_nan() {
+        // Never crossed the threshold (pathological coverage, e.g. k = 1 on
+        // an all-singleton store, or a capped backend): fall back on the
+        // last observed coverage instead of theta = lambda*.
+        lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
+    }
+    let estimation_sets = engine.store().num_sets();
+    let t1 = engine.elapsed_us();
+
+    let theta = (ls / lower_bound).ceil().max(1.0) as usize;
+    if engine.store().num_sets() > 0 || engine.logical_sets() == 0 {
+        engine.extend_to(theta)?;
+    }
+    // else: every estimation sample was eliminated (degenerate input);
+    // further sampling cannot add coverage, so skip the final extension.
+    let t2 = engine.elapsed_us();
+
+    let sel = engine.select(k);
+    let t3 = engine.elapsed_us();
+
+    let store = engine.store();
+    Ok(ImmResult {
+        seeds: sel.seeds.clone(),
+        coverage: sel.coverage_fraction(),
+        num_sets: store.num_sets(),
+        theta,
+        lower_bound,
+        total_elements: store.total_elements(),
+        store_bytes: store.bytes(),
+        estimation_sets,
+        phases: PhaseBreakdown {
+            estimation_us: t1 - t0,
+            sampling_us: t2 - t1,
+            selection_us: t3 - t2,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rrrstore::{PlainRrrStore, RrrStoreBuilder};
+    use crate::selection::select_seeds;
+
+    /// A toy engine producing fixed-shape sets: set j contains {j % 8} plus
+    /// the hub vertex 0 — so vertex 0 covers everything and coverage is 1.0
+    /// after one seed.
+    struct ToyEngine {
+        store: PlainRrrStore,
+        n: usize,
+        clock: f64,
+        cap: Option<usize>,
+    }
+
+    impl ToyEngine {
+        fn new(n: usize, cap: Option<usize>) -> Self {
+            Self {
+                store: PlainRrrStore::new(n),
+                n,
+                clock: 0.0,
+                cap,
+            }
+        }
+    }
+
+    impl ImmEngine for ToyEngine {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+            let target = self.cap.map_or(target, |c| target.min(c));
+            while self.store.num_sets() < target {
+                let j = self.store.num_sets() as u32;
+                let other = 1 + (j % 8);
+                self.store.append_set(&[0, other]);
+                self.clock += 1.0;
+            }
+            Ok(())
+        }
+        fn select(&mut self, k: usize) -> Selection {
+            self.clock += 10.0;
+            select_seeds(&self.store, k)
+        }
+        fn store(&self) -> &dyn RrrSets {
+            &self.store
+        }
+        fn elapsed_us(&self) -> f64 {
+            self.clock
+        }
+    }
+
+    fn cfg(k: usize, eps: f64) -> ImmConfig {
+        ImmConfig::paper_default()
+            .with_k(k)
+            .with_epsilon(eps)
+            .with_source_elimination(false)
+            .with_packed(false)
+    }
+
+    #[test]
+    fn driver_selects_the_hub_and_terminates() {
+        let mut e = ToyEngine::new(64, None);
+        let r = run_imm(&mut e, &cfg(2, 0.3)).unwrap();
+        assert_eq!(r.seeds[0], 0);
+        assert!((r.coverage - 1.0).abs() < 1e-12);
+        assert!(r.num_sets >= 1);
+        assert!(r.lower_bound > 1.0);
+        assert!(r.theta >= 1);
+        assert_eq!(r.total_elements, r.num_sets * 2);
+    }
+
+    #[test]
+    fn estimated_spread_is_coverage_times_n() {
+        let mut e = ToyEngine::new(64, None);
+        let r = run_imm(&mut e, &cfg(2, 0.3)).unwrap();
+        assert!((r.estimated_spread(64) - 64.0 * r.coverage).abs() < 1e-12);
+        assert!(r.estimated_spread(64) <= 64.0);
+    }
+
+    #[test]
+    fn phases_are_attributed() {
+        let mut e = ToyEngine::new(64, None);
+        let r = run_imm(&mut e, &cfg(2, 0.3)).unwrap();
+        assert!(r.phases.estimation_us > 0.0);
+        assert!(r.phases.selection_us > 0.0);
+        assert!((r.elapsed_us() - e.clock).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_engine_terminates_gracefully() {
+        // Engine that can never produce more than 3 sets: the driver must
+        // settle rather than loop forever.
+        let mut e = ToyEngine::new(1 << 14, Some(3));
+        let r = run_imm(&mut e, &cfg(1, 0.5)).unwrap();
+        assert_eq!(r.num_sets, 3);
+        assert_eq!(r.seeds.len(), 1);
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_more_sets() {
+        let mut loose = ToyEngine::new(256, None);
+        let rl = run_imm(&mut loose, &cfg(2, 0.5)).unwrap();
+        let mut tight = ToyEngine::new(256, None);
+        let rt = run_imm(&mut tight, &cfg(2, 0.1)).unwrap();
+        assert!(
+            rt.num_sets > 5 * rl.num_sets,
+            "tight {} loose {}",
+            rt.num_sets,
+            rl.num_sets
+        );
+    }
+
+    #[test]
+    fn theta_uses_lambda_star_over_lb() {
+        let mut e = ToyEngine::new(128, None);
+        let r = run_imm(&mut e, &cfg(2, 0.4)).unwrap();
+        let ell = adjusted_ell(1.0, 128);
+        let ls = lambda_star(128, 2, 0.4, ell);
+        assert_eq!(r.theta, (ls / r.lower_bound).ceil() as usize);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        struct OomEngine {
+            store: PlainRrrStore,
+        }
+        impl ImmEngine for OomEngine {
+            fn n(&self) -> usize {
+                100
+            }
+            fn extend_to(&mut self, _t: usize) -> Result<(), EngineError> {
+                Err(EngineError::OutOfMemory {
+                    requested: 1,
+                    capacity: 0,
+                })
+            }
+            fn select(&mut self, k: usize) -> Selection {
+                select_seeds(&self.store, k)
+            }
+            fn store(&self) -> &dyn RrrSets {
+                &self.store
+            }
+            fn elapsed_us(&self) -> f64 {
+                0.0
+            }
+        }
+        let mut e = OomEngine {
+            store: PlainRrrStore::new(100),
+        };
+        let err = run_imm(&mut e, &cfg(1, 0.5)).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+}

@@ -1,0 +1,403 @@
+//! RRR-set stores: the paper's `R` / `O` / `C` triple (§3.1, §3.5).
+//!
+//! All of the RRR sets live concatenated in one flat array `R`; `O[i]` gives
+//! the start of set `i`; `C[v]` counts how many sets contain vertex `v`
+//! (the greedy-selection priority). Sets are stored sorted ascending so
+//! membership tests binary-search (§3.2: "this ordering enables us to use a
+//! binary search operation during the seed selection phase").
+//!
+//! Two backends share the [`RrrSets`] interface:
+//! * [`PlainRrrStore`] — `u32` elements, `u64` offsets (what gIM keeps);
+//! * [`PackedRrrStore`] — log-encoded elements at `ceil(log2 n)` bits (eIM).
+
+use eim_bitpack::{bits_for, PackedBuf};
+use eim_graph::VertexId;
+
+/// Read interface over a collection of sorted RRR sets.
+pub trait RrrSets: Sync {
+    /// Number of vertices in the underlying graph (`n`).
+    fn num_vertices(&self) -> usize;
+    /// Number of stored sets (`theta` once sampling finishes).
+    fn num_sets(&self) -> usize;
+    /// Total elements across all sets (`|R|` — the Figure 6 quantity).
+    fn total_elements(&self) -> usize;
+    /// Half-open element range of set `i` in the flat array.
+    fn set_bounds(&self, i: usize) -> (usize, usize);
+    /// Element at absolute index `idx` of the flat array.
+    fn element(&self, idx: usize) -> VertexId;
+    /// Per-vertex occurrence counts `C`.
+    fn counts(&self) -> &[u32];
+    /// Store bytes as laid out on the device (`R` + `O`).
+    fn bytes(&self) -> usize;
+
+    /// Length of set `i`.
+    fn set_len(&self, i: usize) -> usize {
+        let (s, e) = self.set_bounds(i);
+        e - s
+    }
+
+    /// Binary-search membership of `v` in set `i`. Returns the number of
+    /// probes performed alongside the verdict, so callers can charge the
+    /// simulated cost of the search.
+    fn contains_with_probes(&self, i: usize, v: VertexId) -> (bool, u32) {
+        let (mut lo, mut hi) = self.set_bounds(i);
+        let mut probes = 0;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            match self.element(mid).cmp(&v) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return (true, probes),
+            }
+        }
+        (false, probes)
+    }
+
+    /// Binary-search membership of `v` in set `i`.
+    fn contains(&self, i: usize, v: VertexId) -> bool {
+        self.contains_with_probes(i, v).0
+    }
+
+    /// Decodes set `i` into a `Vec`.
+    fn set_members(&self, i: usize) -> Vec<VertexId> {
+        let (s, e) = self.set_bounds(i);
+        (s..e).map(|idx| self.element(idx)).collect()
+    }
+}
+
+/// Append interface: both stores ingest sets the same way.
+pub trait RrrStoreBuilder: RrrSets {
+    /// Appends one sorted, deduplicated set, updating `O` and `C`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the set is unsorted or references `v >= n`.
+    fn append_set(&mut self, set: &[VertexId]);
+}
+
+fn validate_set(set: &[VertexId], n: usize) {
+    debug_assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "RRR sets must be sorted strictly ascending"
+    );
+    debug_assert!(
+        set.last().is_none_or(|&v| (v as usize) < n),
+        "set member out of range"
+    );
+}
+
+/// Uncompressed store: `u32` elements, `u64` offsets.
+#[derive(Clone, Debug)]
+pub struct PlainRrrStore {
+    n: usize,
+    r: Vec<VertexId>,
+    offsets: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl PlainRrrStore {
+    /// An empty store for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            r: Vec::new(),
+            offsets: vec![0],
+            counts: vec![0; n],
+        }
+    }
+}
+
+impl RrrSets for PlainRrrStore {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+    fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+    fn total_elements(&self) -> usize {
+        self.r.len()
+    }
+    fn set_bounds(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+    fn element(&self, idx: usize) -> VertexId {
+        self.r[idx]
+    }
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+    fn bytes(&self) -> usize {
+        self.r.len() * 4 + self.offsets.len() * 8
+    }
+}
+
+impl RrrStoreBuilder for PlainRrrStore {
+    fn append_set(&mut self, set: &[VertexId]) {
+        validate_set(set, self.n);
+        self.r.extend_from_slice(set);
+        self.offsets.push(self.r.len() as u64);
+        for &v in set {
+            self.counts[v as usize] += 1;
+        }
+    }
+}
+
+/// Log-encoded store: elements packed at `ceil(log2 n)` bits each.
+///
+/// Offsets are held as host `u64`s for simplicity; [`RrrSets::bytes`]
+/// reports them at their device (packed) width so memory comparisons match
+/// the layout the paper measures.
+#[derive(Clone, Debug)]
+pub struct PackedRrrStore {
+    n: usize,
+    r: PackedBuf,
+    offsets: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl PackedRrrStore {
+    /// An empty packed store for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let nbits = bits_for(n.saturating_sub(1) as u64);
+        Self {
+            n,
+            r: PackedBuf::new(nbits),
+            offsets: vec![0],
+            counts: vec![0; n],
+        }
+    }
+
+    /// Bits used per stored vertex id.
+    pub fn bits_per_element(&self) -> u32 {
+        self.r.bits_per_value()
+    }
+}
+
+impl RrrSets for PackedRrrStore {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+    fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+    fn total_elements(&self) -> usize {
+        self.r.len()
+    }
+    fn set_bounds(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+    fn element(&self, idx: usize) -> VertexId {
+        self.r.get(idx) as VertexId
+    }
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+    fn bytes(&self) -> usize {
+        // R at its packed width; O at the packed width of the largest
+        // offset (how the device lays both out under log encoding).
+        let off_bits = bits_for(self.r.len() as u64) as usize;
+        self.r.bytes() + (self.offsets.len() * off_bits).div_ceil(64) * 8
+    }
+}
+
+impl RrrStoreBuilder for PackedRrrStore {
+    fn append_set(&mut self, set: &[VertexId]) {
+        validate_set(set, self.n);
+        for &v in set {
+            self.r.push(v as u64);
+            self.counts[v as usize] += 1;
+        }
+        self.offsets.push(self.r.len() as u64);
+    }
+}
+
+/// Runtime-selected store backend, so engines can switch between plain and
+/// log-encoded layouts from one `packed` flag.
+#[derive(Clone, Debug)]
+pub enum AnyRrrStore {
+    /// Uncompressed backend.
+    Plain(PlainRrrStore),
+    /// Log-encoded backend.
+    Packed(PackedRrrStore),
+}
+
+impl AnyRrrStore {
+    /// An empty store for `n` vertices, packed or plain.
+    pub fn new(n: usize, packed: bool) -> Self {
+        if packed {
+            AnyRrrStore::Packed(PackedRrrStore::new(n))
+        } else {
+            AnyRrrStore::Plain(PlainRrrStore::new(n))
+        }
+    }
+
+    fn inner(&self) -> &dyn RrrSets {
+        match self {
+            AnyRrrStore::Plain(s) => s,
+            AnyRrrStore::Packed(s) => s,
+        }
+    }
+}
+
+impl RrrSets for AnyRrrStore {
+    fn num_vertices(&self) -> usize {
+        self.inner().num_vertices()
+    }
+    fn num_sets(&self) -> usize {
+        self.inner().num_sets()
+    }
+    fn total_elements(&self) -> usize {
+        self.inner().total_elements()
+    }
+    fn set_bounds(&self, i: usize) -> (usize, usize) {
+        self.inner().set_bounds(i)
+    }
+    fn element(&self, idx: usize) -> VertexId {
+        self.inner().element(idx)
+    }
+    fn counts(&self) -> &[u32] {
+        self.inner().counts()
+    }
+    fn bytes(&self) -> usize {
+        self.inner().bytes()
+    }
+}
+
+impl RrrStoreBuilder for AnyRrrStore {
+    fn append_set(&mut self, set: &[VertexId]) {
+        match self {
+            AnyRrrStore::Plain(s) => s.append_set(set),
+            AnyRrrStore::Packed(s) => s.append_set(set),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill<S: RrrStoreBuilder>(store: &mut S) {
+        store.append_set(&[1, 3, 5]);
+        store.append_set(&[0]);
+        store.append_set(&[2, 3, 4, 5]);
+        store.append_set(&[]);
+        store.append_set(&[5]);
+    }
+
+    fn check_common<S: RrrSets>(s: &S) {
+        assert_eq!(s.num_sets(), 5);
+        assert_eq!(s.total_elements(), 9);
+        assert_eq!(s.set_len(0), 3);
+        assert_eq!(s.set_len(3), 0);
+        assert_eq!(s.set_members(2), vec![2, 3, 4, 5]);
+        assert!(s.contains(0, 3));
+        assert!(!s.contains(0, 2));
+        assert!(!s.contains(3, 0));
+        assert!(s.contains(4, 5));
+        // C: v5 appears in sets 0, 2, 4.
+        assert_eq!(s.counts()[5], 3);
+        assert_eq!(s.counts()[3], 2);
+        assert_eq!(s.counts()[0], 1);
+    }
+
+    #[test]
+    fn plain_store_basics() {
+        let mut s = PlainRrrStore::new(6);
+        fill(&mut s);
+        check_common(&s);
+    }
+
+    #[test]
+    fn packed_store_basics() {
+        let mut s = PackedRrrStore::new(6);
+        fill(&mut s);
+        check_common(&s);
+        assert_eq!(s.bits_per_element(), 3); // ids 0..=5
+    }
+
+    #[test]
+    fn stores_agree_on_random_content() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let n = 1000;
+        let mut plain = PlainRrrStore::new(n);
+        let mut packed = PackedRrrStore::new(n);
+        for _ in 0..200 {
+            let len = rng.gen_range(0..20);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            plain.append_set(&set);
+            packed.append_set(&set);
+        }
+        assert_eq!(plain.num_sets(), packed.num_sets());
+        assert_eq!(plain.total_elements(), packed.total_elements());
+        assert_eq!(plain.counts(), packed.counts());
+        for i in 0..plain.num_sets() {
+            assert_eq!(plain.set_members(i), packed.set_members(i));
+            for probe in [0u32, 5, 999, 500] {
+                assert_eq!(plain.contains(i, probe), packed.contains(i, probe));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_store_is_smaller() {
+        let n = 100_000; // 17-bit ids vs 32-bit
+        let mut plain = PlainRrrStore::new(n);
+        let mut packed = PackedRrrStore::new(n);
+        let set: Vec<u32> = (0..50u32).map(|i| i * 1999).collect();
+        for _ in 0..100 {
+            plain.append_set(&set);
+            packed.append_set(&set);
+        }
+        assert!(
+            (packed.bytes() as f64) < 0.62 * plain.bytes() as f64,
+            "packed {} plain {}",
+            packed.bytes(),
+            plain.bytes()
+        );
+    }
+
+    #[test]
+    fn probes_are_logarithmic() {
+        let mut s = PlainRrrStore::new(1 << 16);
+        let set: Vec<u32> = (0..1024u32).map(|i| i * 7).collect();
+        s.append_set(&set);
+        let (found, probes) = s.contains_with_probes(0, 7 * 512);
+        assert!(found);
+        assert!(probes <= 11, "probes {probes}"); // log2(1024) + 1
+        let (found, probes) = s.contains_with_probes(0, 3);
+        assert!(!found);
+        assert!(probes <= 11);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = PackedRrrStore::new(10);
+        assert_eq!(s.num_sets(), 0);
+        assert_eq!(s.total_elements(), 0);
+        assert!(s.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn any_store_dispatches_both_backends() {
+        let mut plain = AnyRrrStore::new(6, false);
+        let mut packed = AnyRrrStore::new(6, true);
+        fill(&mut plain);
+        fill(&mut packed);
+        check_common(&plain);
+        check_common(&packed);
+        assert!(matches!(plain, AnyRrrStore::Plain(_)));
+        assert!(matches!(packed, AnyRrrStore::Packed(_)));
+    }
+
+    #[test]
+    fn empty_set_membership_probe_free() {
+        let mut s = PlainRrrStore::new(4);
+        s.append_set(&[]);
+        let (found, probes) = s.contains_with_probes(0, 2);
+        assert!(!found);
+        assert_eq!(probes, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Greedy max-coverage seed selection (§3.5, Algorithm 3 — CPU reference).
+//!
+//! Repeats `k` times: take the vertex appearing in the most *uncovered* RRR
+//! sets, mark every set containing it covered, and decrement the counts of
+//! all vertices in the newly covered sets. The thread-parallel count update
+//! assigns one task per RRR set, testing membership by binary search —
+//! structurally identical to the paper's thread-based GPU scan; the
+//! GPU-model variant with cost accounting lives in `eim-core`.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use eim_graph::VertexId;
+use rayon::prelude::*;
+
+use crate::rrrstore::RrrSets;
+
+/// Result of seed selection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Selected vertices, in selection (descending-marginal-gain) order.
+    pub seeds: Vec<VertexId>,
+    /// RRR sets covered by the seeds.
+    pub covered_sets: usize,
+    /// Total sets considered.
+    pub num_sets: usize,
+}
+
+impl Selection {
+    /// Fraction of RRR sets covered — `F_R(S)`, the martingale estimator of
+    /// `E[I(S)] / n`.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.num_sets == 0 {
+            0.0
+        } else {
+            self.covered_sets as f64 / self.num_sets as f64
+        }
+    }
+}
+
+/// Greedy max-coverage over `store`, choosing `k` seeds. Ties break toward
+/// the smallest vertex id, making the result deterministic.
+pub fn select_seeds<S: RrrSets + ?Sized>(store: &S, k: usize) -> Selection {
+    select_seeds_with_gains(store, k).0
+}
+
+/// [`select_seeds`] plus the marginal gain of each pick: element `i` of the
+/// gains vector is how many *additional* RRR sets seed `i` covered — the
+/// submodular diminishing-returns curve applications plot when choosing a
+/// budget.
+pub fn select_seeds_with_gains<S: RrrSets + ?Sized>(
+    store: &S,
+    k: usize,
+) -> (Selection, Vec<usize>) {
+    let n = store.num_vertices();
+    let num_sets = store.num_sets();
+    assert!(k <= n, "k exceeds vertex count");
+    let counts: Vec<AtomicU32> = store.counts().iter().map(|&c| AtomicU32::new(c)).collect();
+    // Covered flags, one bit per set (the paper's binary array F).
+    let flags: Vec<AtomicU32> = (0..num_sets.div_ceil(32))
+        .map(|_| AtomicU32::new(0))
+        .collect();
+    let covered = AtomicUsize::new(0);
+    let mut selected = vec![false; n];
+    let mut seeds = Vec::with_capacity(k);
+    let mut gains = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        // argmax_u C[u] over unselected vertices (parallel reduce, ties to
+        // the smallest id).
+        let best = (0..n)
+            .into_par_iter()
+            .filter(|&v| !selected[v])
+            .map(|v| (counts[v].load(Ordering::Relaxed), v))
+            .reduce(
+                || (0u32, usize::MAX),
+                |a, b| {
+                    if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
+        let v = if best.1 == usize::MAX {
+            break; // fewer than k vertices exist
+        } else {
+            best.1
+        };
+        selected[v] = true;
+        seeds.push(v as VertexId);
+        let vid = v as VertexId;
+        let covered_before = covered.load(Ordering::Relaxed);
+        // Thread-parallel scan: one task per set (Algorithm 3).
+        (0..num_sets).into_par_iter().for_each(|i| {
+            let (word, bit) = (i / 32, 1u32 << (i % 32));
+            if flags[word].load(Ordering::Relaxed) & bit != 0 {
+                return;
+            }
+            if store.contains(i, vid) {
+                // First marker wins; others skip the decrement.
+                if flags[word].fetch_or(bit, Ordering::Relaxed) & bit == 0 {
+                    covered.fetch_add(1, Ordering::Relaxed);
+                    let (s, e) = store.set_bounds(i);
+                    for idx in s..e {
+                        let u = store.element(idx) as usize;
+                        counts[u].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        gains.push(covered.load(Ordering::Relaxed) - covered_before);
+    }
+
+    (
+        Selection {
+            seeds,
+            covered_sets: covered.into_inner(),
+            num_sets,
+        },
+        gains,
+    )
+}
+
+/// CELF (lazy greedy) reference selector. Exact same maximization as
+/// [`select_seeds`], implemented independently with a priority queue over an
+/// explicit inverted index — used by tests to cross-validate coverage.
+pub fn select_seeds_celf<S: RrrSets + ?Sized>(store: &S, k: usize) -> Selection {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = store.num_vertices();
+    let num_sets = store.num_sets();
+    // Inverted index: vertex -> sets containing it.
+    let mut sets_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..num_sets {
+        let (s, e) = store.set_bounds(i);
+        for idx in s..e {
+            sets_of[store.element(idx) as usize].push(i as u32);
+        }
+    }
+    let mut covered = vec![false; num_sets];
+    let mut covered_count = 0usize;
+    // Heap of (gain, Reverse(vertex), round_validated).
+    let mut heap: BinaryHeap<(u32, Reverse<u32>, usize)> = (0..n as u32)
+        .map(|v| (sets_of[v as usize].len() as u32, Reverse(v), 0))
+        .collect();
+    let mut seeds = Vec::with_capacity(k);
+    let mut round = 0usize;
+    while seeds.len() < k {
+        let Some((gain, Reverse(v), validated)) = heap.pop() else {
+            break;
+        };
+        if validated == round {
+            // Gain is current: select.
+            seeds.push(v);
+            round += 1;
+            for &i in &sets_of[v as usize] {
+                if !covered[i as usize] {
+                    covered[i as usize] = true;
+                    covered_count += 1;
+                }
+            }
+            let _ = gain;
+        } else {
+            // Stale: recompute and reinsert (the lazy step).
+            let fresh = sets_of[v as usize]
+                .iter()
+                .filter(|&&i| !covered[i as usize])
+                .count() as u32;
+            heap.push((fresh, Reverse(v), round));
+        }
+    }
+    Selection {
+        seeds,
+        covered_sets: covered_count,
+        num_sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rrrstore::{PlainRrrStore, RrrStoreBuilder};
+    use rand::{Rng, SeedableRng};
+
+    fn store_from(sets: &[&[u32]], n: usize) -> PlainRrrStore {
+        let mut s = PlainRrrStore::new(n);
+        for set in sets {
+            s.append_set(set);
+        }
+        s
+    }
+
+    #[test]
+    fn picks_max_coverage_vertex_first() {
+        // Vertex 2 covers three sets; nothing else covers more than one.
+        let s = store_from(&[&[0, 2], &[1, 2], &[2, 3], &[4]], 5);
+        let sel = select_seeds(&s, 1);
+        assert_eq!(sel.seeds, vec![2]);
+        assert_eq!(sel.covered_sets, 3);
+        assert!((sel.coverage_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_seed_maximizes_marginal_gain() {
+        // After 2 covers {0,1,2}, the marginal winner is 4 (covers the last
+        // set), not 0/1/3 (whose sets are already covered).
+        let s = store_from(&[&[0, 2], &[1, 2], &[2, 3], &[4]], 5);
+        let sel = select_seeds(&s, 2);
+        assert_eq!(sel.seeds, vec![2, 4]);
+        assert_eq!(sel.covered_sets, 4);
+        assert_eq!(sel.coverage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ties_break_to_smallest_id() {
+        let s = store_from(&[&[3], &[1], &[1, 3]], 5);
+        let sel = select_seeds(&s, 1);
+        assert_eq!(sel.seeds, vec![1]);
+    }
+
+    #[test]
+    fn empty_store_selects_lowest_ids() {
+        let s = store_from(&[], 5);
+        let sel = select_seeds(&s, 3);
+        assert_eq!(sel.seeds, vec![0, 1, 2]);
+        assert_eq!(sel.covered_sets, 0);
+        assert_eq!(sel.coverage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_useful_still_returns_k() {
+        let s = store_from(&[&[0]], 4);
+        let sel = select_seeds(&s, 3);
+        assert_eq!(sel.seeds.len(), 3);
+        assert_eq!(sel.seeds[0], 0);
+        assert_eq!(sel.covered_sets, 1);
+    }
+
+    #[test]
+    fn never_selects_same_vertex_twice() {
+        let s = store_from(&[&[0], &[0], &[0], &[0]], 3);
+        let sel = select_seeds(&s, 3);
+        let mut sorted = sel.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn gains_sum_to_coverage_and_decrease() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        let n = 80;
+        let mut store = PlainRrrStore::new(n);
+        for _ in 0..300 {
+            let len = rng.gen_range(1..8);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            store.append_set(&set);
+        }
+        let (sel, gains) = super::select_seeds_with_gains(&store, 8);
+        assert_eq!(gains.len(), sel.seeds.len());
+        assert_eq!(gains.iter().sum::<usize>(), sel.covered_sets);
+        // Submodularity of coverage: marginal gains never increase.
+        assert!(gains.windows(2).all(|w| w[0] >= w[1]), "{gains:?}");
+    }
+
+    #[test]
+    fn celf_matches_greedy_coverage_randomized() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        for trial in 0..20 {
+            let n = 60;
+            let mut store = PlainRrrStore::new(n);
+            for _ in 0..150 {
+                let len = rng.gen_range(1..8);
+                let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+                set.sort_unstable();
+                set.dedup();
+                store.append_set(&set);
+            }
+            for k in [1, 3, 7] {
+                let a = select_seeds(&store, k);
+                let b = select_seeds_celf(&store, k);
+                // Greedy max-coverage is deterministic up to tie-breaking;
+                // covered counts must agree exactly.
+                assert_eq!(
+                    a.covered_sets, b.covered_sets,
+                    "trial {trial} k {k}: {:?} vs {:?}",
+                    a.seeds, b.seeds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_k() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let n = 40;
+        let mut store = PlainRrrStore::new(n);
+        for _ in 0..100 {
+            let len = rng.gen_range(1..6);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            store.append_set(&set);
+        }
+        let mut prev = 0;
+        for k in 1..10 {
+            let sel = select_seeds(&store, k);
+            assert!(sel.covered_sets >= prev);
+            prev = sel.covered_sets;
+        }
+    }
+
+    #[test]
+    fn selection_deterministic_under_parallelism() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let n = 200;
+        let mut store = PlainRrrStore::new(n);
+        for _ in 0..500 {
+            let len = rng.gen_range(1..10);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            store.append_set(&set);
+        }
+        let a = select_seeds(&store, 10);
+        let b = select_seeds(&store, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Source-vertex elimination (§3.4).
+//!
+//! Sources are chosen uniformly at random, so a source's own membership in
+//! its RRR set carries no ranking information — but singleton sets (source
+//! only) depress the coverage ratio and force extra sampling rounds.
+//! Removing the source from every set (and discarding sets that become
+//! empty) eliminates all singletons while preserving the vertices that can
+//! actually influence the source.
+
+use eim_graph::VertexId;
+
+/// Applies the heuristic to one sampled set (sorted ascending, containing
+/// `source`). Returns `None` when the set reduces to empty — the caller
+/// discards such samples entirely.
+pub fn apply_source_elimination(set: &[VertexId], source: VertexId) -> Option<Vec<VertexId>> {
+    if set.len() <= 1 {
+        debug_assert!(set.is_empty() || set[0] == source);
+        return None;
+    }
+    let mut out = Vec::with_capacity(set.len() - 1);
+    for &v in set {
+        if v != source {
+            out.push(v);
+        }
+    }
+    debug_assert_eq!(out.len(), set.len() - 1, "source must appear exactly once");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_becomes_none() {
+        assert_eq!(apply_source_elimination(&[7], 7), None);
+    }
+
+    #[test]
+    fn source_is_removed_order_preserved() {
+        assert_eq!(apply_source_elimination(&[1, 4, 9], 4), Some(vec![1, 9]));
+        assert_eq!(apply_source_elimination(&[1, 4, 9], 1), Some(vec![4, 9]));
+        assert_eq!(apply_source_elimination(&[1, 4, 9], 9), Some(vec![1, 4]));
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        assert_eq!(apply_source_elimination(&[], 3), None);
+    }
+
+    #[test]
+    fn two_element_set_keeps_the_other() {
+        assert_eq!(apply_source_elimination(&[2, 5], 5), Some(vec![2]));
+    }
+}

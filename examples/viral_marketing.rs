@@ -1,0 +1,58 @@
+//! Viral-marketing scenario (the paper's motivating application, §1):
+//! pick campaign ambassadors on a social network and study how the
+//! marginal value of each additional ambassador decays.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+
+use eim::diffusion::estimate_spread;
+use eim::prelude::*;
+
+fn main() {
+    // A synthetic stand-in for a mid-sized social network, generated from
+    // the registry recipe of soc-Epinions1 at 1/64 scale.
+    let dataset = eim::graph::Dataset::by_abbrev("SE").expect("registered");
+    let graph = dataset.generate(1.0 / 64.0, WeightModel::WeightedCascade, 2024);
+    println!(
+        "campaign network: {} ({} vertices, {} edges at 1/64 scale)\n",
+        dataset.name,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Budget sweep: how much reach does each ambassador tier buy?
+    println!(
+        "{:>10} {:>14} {:>12} {:>14}",
+        "budget k", "spread E[I(S)]", "reach %", "marginal gain"
+    );
+    let mut prev = 0.0;
+    for k in [1, 2, 5, 10, 20, 50] {
+        let result = EimBuilder::new(&graph)
+            .k(k)
+            .epsilon(0.15)
+            .model(DiffusionModel::IndependentCascade)
+            .seed(5)
+            .run()
+            .expect("device fits");
+        let spread = estimate_spread(
+            &graph,
+            &result.seeds,
+            DiffusionModel::IndependentCascade,
+            600,
+            77,
+        );
+        println!(
+            "{:>10} {:>14.1} {:>11.2}% {:>14.1}",
+            k,
+            spread,
+            100.0 * spread / graph.num_vertices() as f64,
+            spread - prev
+        );
+        prev = spread;
+    }
+
+    // Submodularity in action: the first few seeds buy most of the reach.
+    println!("\nDiminishing returns above are the submodularity of influence");
+    println!("spread — the property that makes greedy (1 - 1/e)-optimal.");
+}

@@ -1,0 +1,258 @@
+//! `eim` — command-line influence maximization.
+//!
+//! ```text
+//! eim --input graph.txt [OPTIONS]
+//! eim --dataset EE --scale 0.01 [OPTIONS]    # synthetic stand-in
+//!
+//! Input (exactly one):
+//!   --input <file>       SNAP edge list (src dst per line, # comments)
+//!   --weighted <file>    weighted edge list (src dst p per line)
+//!   --dataset <abbrev>   registry stand-in (WV, PG, ..., SL)
+//!
+//! Options:
+//!   --k <n>              seed-set size                 [50]
+//!   --eps <f>            approximation parameter       [0.1]
+//!   --model <ic|lt>      diffusion model               [ic]
+//!   --engine <eim|gim|curipples|cpu>                   [eim]
+//!   --scale <f>          dataset scale (with --dataset) [0.01]
+//!   --seed <n>           RNG seed                      [7]
+//!   --no-pack            disable log encoding (eIM only)
+//!   --no-elim            disable source elimination (eIM only)
+//!   --spread-sims <n>    Monte-Carlo spread evaluations [0 = skip]
+//!   --json               machine-readable output
+//! ```
+
+use std::fs::File;
+
+use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
+use eim::core::{EimEngine, ScanStrategy};
+use eim::diffusion::estimate_spread;
+use eim::gpusim::{Device, DeviceSpec};
+use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
+use eim::imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig, ImmEngine, ImmResult};
+use eim::prelude::*;
+
+struct Args {
+    input: Option<String>,
+    weighted: Option<String>,
+    dataset: Option<String>,
+    k: usize,
+    eps: f64,
+    model: DiffusionModel,
+    engine: String,
+    scale: f64,
+    seed: u64,
+    pack: bool,
+    elim: bool,
+    spread_sims: usize,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eim (--input <file> | --weighted <file> | --dataset <abbrev>) \
+         [--k n] [--eps f] [--model ic|lt] [--engine eim|gim|curipples|cpu] \
+         [--scale f] [--seed n] [--no-pack] [--no-elim] [--spread-sims n] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        input: None,
+        weighted: None,
+        dataset: None,
+        k: 50,
+        eps: 0.1,
+        model: DiffusionModel::IndependentCascade,
+        engine: "eim".into(),
+        scale: 0.01,
+        seed: 7,
+        pack: true,
+        elim: true,
+        spread_sims: 0,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--input" => a.input = Some(val()),
+            "--weighted" => a.weighted = Some(val()),
+            "--dataset" => a.dataset = Some(val()),
+            "--k" => a.k = val().parse().unwrap_or_else(|_| usage()),
+            "--eps" => a.eps = val().parse().unwrap_or_else(|_| usage()),
+            "--model" => {
+                a.model = match val().to_ascii_lowercase().as_str() {
+                    "ic" => DiffusionModel::IndependentCascade,
+                    "lt" => DiffusionModel::LinearThreshold,
+                    _ => usage(),
+                }
+            }
+            "--engine" => a.engine = val().to_ascii_lowercase(),
+            "--scale" => a.scale = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--no-pack" => a.pack = false,
+            "--no-elim" => a.elim = false,
+            "--spread-sims" => a.spread_sims = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => a.json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let sources = [a.input.is_some(), a.weighted.is_some(), a.dataset.is_some()]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+    if sources != 1 {
+        usage();
+    }
+    a
+}
+
+fn load_graph(a: &Args) -> Graph {
+    if let Some(path) = &a.input {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_edge_list(file, WeightModel::WeightedCascade)
+            .unwrap_or_else(|e| {
+                eprintln!("parse error: {e}");
+                std::process::exit(1);
+            })
+            .0
+    } else if let Some(path) = &a.weighted {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_weighted_edge_list(file)
+            .unwrap_or_else(|e| {
+                eprintln!("parse error: {e}");
+                std::process::exit(1);
+            })
+            .0
+    } else {
+        let abbrev = a.dataset.as_deref().unwrap();
+        let Some(d) = Dataset::by_abbrev(abbrev) else {
+            eprintln!(
+                "unknown dataset {abbrev}; known: WV PG SE SD EE WS WN CD CA WB WG CY SPR WT CO SL"
+            );
+            std::process::exit(1);
+        };
+        d.generate(a.scale, WeightModel::WeightedCascade, a.seed)
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let graph = load_graph(&a);
+    let stats = GraphStats::of(&graph);
+    let config = ImmConfig::paper_default()
+        .with_k(a.k)
+        .with_epsilon(a.eps)
+        .with_model(a.model)
+        .with_seed(a.seed)
+        .with_packed(a.pack)
+        .with_source_elimination(a.elim);
+    let baseline = config.with_packed(false).with_source_elimination(false);
+    let spec = DeviceSpec::rtx_a6000();
+    let wall = std::time::Instant::now();
+
+    let run_err = |e: eim::imm::EngineError| -> ! {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    };
+    let (result, sim_us): (ImmResult, Option<f64>) = match a.engine.as_str() {
+        "eim" => {
+            let mut e = EimEngine::new(
+                &graph,
+                config,
+                Device::new(spec),
+                ScanStrategy::ThreadPerSet,
+            )
+            .unwrap_or_else(|e| run_err(e));
+            let r = run_imm(&mut e, &config).unwrap_or_else(|e| run_err(e));
+            let us = e.elapsed_us();
+            (r, Some(us))
+        }
+        "gim" => {
+            let mut e =
+                GimEngine::new(&graph, baseline, Device::new(spec)).unwrap_or_else(|e| run_err(e));
+            let r = run_imm(&mut e, &baseline).unwrap_or_else(|e| run_err(e));
+            let us = e.elapsed_us();
+            (r, Some(us))
+        }
+        "curipples" => {
+            let mut e =
+                CuRipplesEngine::new(&graph, baseline, Device::new(spec), HostSpec::default())
+                    .unwrap_or_else(|e| run_err(e));
+            let r = run_imm(&mut e, &baseline).unwrap_or_else(|e| run_err(e));
+            let us = e.elapsed_us();
+            (r, Some(us))
+        }
+        "cpu" => {
+            let mut e = CpuEngine::new(&graph, config, CpuParallelism::Rayon);
+            let r = run_imm(&mut e, &config).unwrap_or_else(|e| run_err(e));
+            (r, None)
+        }
+        _ => usage(),
+    };
+    let wall_s = wall.elapsed().as_secs_f64();
+    let spread = (a.spread_sims > 0).then(|| {
+        estimate_spread(
+            &graph,
+            &result.seeds,
+            a.model,
+            a.spread_sims,
+            a.seed ^ 0xe7a1,
+        )
+    });
+
+    if a.json {
+        let out = serde_json::json!({
+            "engine": a.engine,
+            "model": a.model.to_string(),
+            "k": a.k,
+            "epsilon": a.eps,
+            "graph": { "vertices": stats.vertices, "edges": stats.edges },
+            "seeds": result.seeds,
+            "coverage": result.coverage,
+            "rrr_sets": result.num_sets,
+            "rrr_elements": result.total_elements,
+            "store_bytes": result.store_bytes,
+            "theta": result.theta,
+            "wall_seconds": wall_s,
+            "simulated_device_ms": sim_us.map(|us| us / 1000.0),
+            "estimated_spread": spread,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!(
+            "graph: {} vertices, {} edges | engine: {} | model: {} | k = {}, eps = {}",
+            stats.vertices, stats.edges, a.engine, a.model, a.k, a.eps
+        );
+        println!(
+            "seeds: {:?}\ncoverage: {:.2}% of {} RRR sets ({} elements, {} KB)",
+            result.seeds,
+            result.coverage * 100.0,
+            result.num_sets,
+            result.total_elements,
+            result.store_bytes / 1024
+        );
+        match sim_us {
+            Some(us) => println!(
+                "time: {wall_s:.2}s wall, {:.2} ms simulated device",
+                us / 1000.0
+            ),
+            None => println!("time: {wall_s:.2}s wall (CPU engine)"),
+        }
+        if let Some(s) = spread {
+            println!(
+                "estimated spread: {s:.1} vertices ({:.2}% of the graph)",
+                100.0 * s / stats.vertices.max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # eim — efficient Influence Maximization
+//!
+//! Facade crate re-exporting the whole eIM reproduction workspace:
+//!
+//! * [`graph`] — CSR/CSC graphs, SNAP parsing, generators, dataset registry.
+//! * [`bitpack`] — thread-safe log encoding for network data and RRR sets.
+//! * [`gpusim`] — the CUDA-like execution-model simulator the GPU algorithms
+//!   run on (warps, blocks, memory hierarchy, cost accounting).
+//! * [`diffusion`] — IC and LT models: forward simulation, spread
+//!   estimation, reverse samplers.
+//! * [`imm`] — the Influence Maximization via Martingales framework: theta
+//!   bounds, RRR stores, greedy selection, CPU engines.
+//! * [`core`] — eIM itself, the paper's contribution.
+//! * [`baselines`] — gIM, cuRipples, and Kempe greedy-MC baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eim::prelude::*;
+//!
+//! let graph = eim::graph::generators::barabasi_albert(
+//!     500, 4, WeightModel::WeightedCascade, 7);
+//! let result = EimBuilder::new(&graph)
+//!     .k(5)
+//!     .epsilon(0.2)
+//!     .model(DiffusionModel::IndependentCascade)
+//!     .seed(42)
+//!     .run()
+//!     .expect("fits default device");
+//! assert_eq!(result.seeds.len(), 5);
+//! ```
+
+pub use eim_baselines as baselines;
+pub use eim_bitpack as bitpack;
+pub use eim_core as core;
+pub use eim_diffusion as diffusion;
+pub use eim_gpusim as gpusim;
+pub use eim_graph as graph;
+pub use eim_imm as imm;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use eim_core::{EimBuilder, EimResult};
+    pub use eim_diffusion::DiffusionModel;
+    pub use eim_graph::{Graph, GraphBuilder, WeightModel};
+    pub use eim_imm::ImmConfig;
+}

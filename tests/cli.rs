@@ -1,0 +1,179 @@
+//! Integration tests for the `eim` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn eim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eim"))
+}
+
+fn write_edge_list() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("eim_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chain.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "# tiny chain with a hub").unwrap();
+    for i in 0..20 {
+        writeln!(f, "{} {}", i, i + 1).unwrap();
+        writeln!(f, "100 {}", i).unwrap();
+    }
+    path
+}
+
+#[test]
+fn runs_on_a_snap_file() {
+    let path = write_edge_list();
+    let out = eim()
+        .args([
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--eps",
+            "0.4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("seeds:"), "{stdout}");
+    assert!(stdout.contains("coverage:"));
+}
+
+#[test]
+fn json_output_is_valid_json_with_expected_fields() {
+    let out = eim()
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--json",
+            "--spread-sims",
+            "50",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout parses as JSON");
+    assert_eq!(v["k"], 3);
+    assert_eq!(v["engine"], "eim");
+    assert_eq!(v["seeds"].as_array().unwrap().len(), 3);
+    assert!(v["estimated_spread"].as_f64().unwrap() >= 3.0);
+    assert!(v["rrr_sets"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn every_engine_flag_works() {
+    for engine in ["eim", "gim", "curipples", "cpu"] {
+        let out = eim()
+            .args([
+                "--dataset",
+                "PG",
+                "--scale",
+                "0.004",
+                "--k",
+                "2",
+                "--eps",
+                "0.5",
+                "--engine",
+                engine,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        assert_eq!(v["engine"], engine);
+        assert_eq!(v["seeds"].as_array().unwrap().len(), 2);
+    }
+}
+
+#[test]
+fn engines_agree_on_seeds_via_cli() {
+    let seeds_for = |engine: &str| -> serde_json::Value {
+        let out = eim()
+            .args([
+                "--dataset",
+                "SE",
+                "--scale",
+                "0.004",
+                "--k",
+                "3",
+                "--eps",
+                "0.4",
+                "--engine",
+                engine,
+                "--no-pack",
+                "--no-elim",
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        serde_json::from_slice::<serde_json::Value>(&out.stdout).unwrap()["seeds"].clone()
+    };
+    assert_eq!(seeds_for("eim"), seeds_for("gim"));
+    assert_eq!(seeds_for("eim"), seeds_for("curipples"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    // No input source at all.
+    let out = eim().args(["--k", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    // Two input sources.
+    let out = eim()
+        .args(["--dataset", "WV", "--input", "x.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Unknown dataset.
+    let out = eim().args(["--dataset", "NOPE"]).output().unwrap();
+    assert!(!out.status.success());
+    // Missing file.
+    let out = eim()
+        .args(["--input", "/nonexistent/file.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn lt_model_flag() {
+    let out = eim()
+        .args([
+            "--dataset",
+            "EE",
+            "--scale",
+            "0.002",
+            "--model",
+            "lt",
+            "--k",
+            "2",
+            "--eps",
+            "0.5",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["model"], "LT");
+}

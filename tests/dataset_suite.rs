@@ -1,0 +1,64 @@
+//! Smoke suite over all 16 registered networks at tiny scale: generation,
+//! packing, and a full eIM run succeed on each, and dataset-level structure
+//! matches the recipe intent.
+
+use eim::bitpack::PackedCsc;
+use eim::graph::{GraphStats, DATASETS};
+use eim::prelude::*;
+
+const SCALE: f64 = 1.0 / 8192.0;
+
+#[test]
+fn all_sixteen_networks_generate_and_run() {
+    for d in &DATASETS {
+        let g = d.generate(SCALE, WeightModel::WeightedCascade, 7);
+        assert!(g.num_vertices() >= 64, "{}", d.abbrev);
+        assert!(g.num_edges() > 0, "{}", d.abbrev);
+        let r = EimBuilder::new(&g)
+            .k(3)
+            .epsilon(0.4)
+            .seed(1)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", d.abbrev));
+        assert_eq!(r.seeds.len(), 3, "{}", d.abbrev);
+    }
+}
+
+#[test]
+fn packing_saves_on_every_network() {
+    for d in &DATASETS {
+        let g = d.generate(SCALE, WeightModel::WeightedCascade, 9);
+        let packed = PackedCsc::from_graph(&g);
+        let rep = packed.memory_report(g.csc());
+        assert!(
+            rep.saved_fraction() > 0.05,
+            "{}: saved only {:.1}%",
+            d.abbrev,
+            rep.saved_fraction() * 100.0
+        );
+    }
+}
+
+#[test]
+fn periphery_ordering_shows_in_singleton_rates() {
+    // EE (72% periphery) must produce a much higher zero-in-degree rate
+    // than CO (2%), which is what drives their Figure 5 positions.
+    let ee = eim::graph::Dataset::by_abbrev("EE").unwrap();
+    let co = eim::graph::Dataset::by_abbrev("CO").unwrap();
+    let g_ee = ee.generate(1.0 / 2048.0, WeightModel::WeightedCascade, 3);
+    let g_co = co.generate(1.0 / 2048.0, WeightModel::WeightedCascade, 3);
+    let z_ee = GraphStats::of(&g_ee).zero_in_fraction();
+    let z_co = GraphStats::of(&g_co).zero_in_fraction();
+    assert!(z_ee > z_co + 0.2, "EE {z_ee:.2} vs CO {z_co:.2}");
+}
+
+#[test]
+fn web_graphs_are_more_skewed_than_p2p() {
+    let wb = eim::graph::Dataset::by_abbrev("WB").unwrap();
+    let pg = eim::graph::Dataset::by_abbrev("PG").unwrap();
+    let g_wb = wb.generate(1.0 / 2048.0, WeightModel::WeightedCascade, 3);
+    let g_pg = pg.generate(1.0 / 2048.0, WeightModel::WeightedCascade, 3);
+    let gini_wb = GraphStats::of(&g_wb).in_degree.gini;
+    let gini_pg = GraphStats::of(&g_pg).in_degree.gini;
+    assert!(gini_wb > gini_pg, "WB {gini_wb:.2} vs PG {gini_pg:.2}");
+}

@@ -1,0 +1,157 @@
+//! Cross-engine equivalence: with the heuristics disabled, eIM, gIM,
+//! cuRipples, and the CPU reference all sample the same RRR multiset (same
+//! per-index RNG streams) and run the same greedy — so they must return the
+//! *identical* seed set. That invariant is what makes the timing
+//! comparisons of Figures 7-8 and Tables 2-5 apples-to-apples.
+
+use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
+use eim::core::{EimEngine, ScanStrategy};
+use eim::gpusim::{Device, DeviceSpec};
+use eim::graph::generators;
+use eim::imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig, RrrSets};
+use eim::prelude::*;
+
+fn test_graph(seed: u64) -> Graph {
+    generators::rmat(
+        400,
+        2_400,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        seed,
+    )
+}
+
+fn plain_config(model: DiffusionModel) -> ImmConfig {
+    ImmConfig::paper_default()
+        .with_k(4)
+        .with_epsilon(0.3)
+        .with_seed(1234)
+        .with_model(model)
+        .with_packed(false)
+        .with_source_elimination(false)
+}
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::rtx_a6000_with_mem(512 << 20)
+}
+
+#[test]
+fn identical_seeds_across_all_engines_ic() {
+    let g = test_graph(7);
+    let c = plain_config(DiffusionModel::IndependentCascade);
+
+    let mut eim = EimEngine::new(&g, c, Device::new(spec()), ScanStrategy::ThreadPerSet).unwrap();
+    let r_eim = run_imm(&mut eim, &c).unwrap();
+
+    let mut gim = GimEngine::new(&g, c, Device::new(spec())).unwrap();
+    let r_gim = run_imm(&mut gim, &c).unwrap();
+
+    let mut cur = CuRipplesEngine::new(&g, c, Device::new(spec()), HostSpec::default()).unwrap();
+    let r_cur = run_imm(&mut cur, &c).unwrap();
+
+    assert_eq!(r_eim.seeds, r_gim.seeds);
+    assert_eq!(r_eim.seeds, r_cur.seeds);
+    assert_eq!(r_eim.num_sets, r_gim.num_sets);
+    assert_eq!(r_eim.total_elements, r_gim.total_elements);
+}
+
+#[test]
+fn identical_seeds_across_all_engines_lt() {
+    let g = test_graph(19);
+    let c = plain_config(DiffusionModel::LinearThreshold);
+
+    let mut eim = EimEngine::new(&g, c, Device::new(spec()), ScanStrategy::ThreadPerSet).unwrap();
+    let r_eim = run_imm(&mut eim, &c).unwrap();
+
+    let mut gim = GimEngine::new(&g, c, Device::new(spec())).unwrap();
+    let r_gim = run_imm(&mut gim, &c).unwrap();
+
+    assert_eq!(r_eim.seeds, r_gim.seeds, "LT walks must match");
+    assert_eq!(r_eim.num_sets, r_gim.num_sets);
+}
+
+#[test]
+fn gpu_sampler_matches_cpu_sampler_set_for_set() {
+    // The device kernel and the serial reference consume the same
+    // per-index RNG stream and traverse in the same order, so every RRR
+    // set must be *identical*, not just statistically alike.
+    use eim::diffusion::{sample_rng, sample_rrr};
+    use eim_core::sampler::sample_batch;
+    use eim_core::PlainDeviceGraph;
+    use rand::Rng;
+
+    let g = test_graph(29);
+    let n = g.num_vertices() as u32;
+    for model in [
+        DiffusionModel::IndependentCascade,
+        DiffusionModel::LinearThreshold,
+    ] {
+        let device = Device::new(spec());
+        let dg = PlainDeviceGraph::new(&g);
+        let batch = sample_batch(&device, &dg, model, 1234, 0, 200, false);
+        for (i, set) in batch.sets.iter().enumerate() {
+            let mut rng = sample_rng(1234, i as u64);
+            let source: u32 = rng.gen_range(0..n);
+            let reference = sample_rrr(&g, model, source, &mut rng);
+            assert_eq!(
+                set.as_deref(),
+                Some(reference.as_slice()),
+                "{model}: sample {i} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_sampler_matches_cpu_store_statistics() {
+    // The device sampler and the CPU reference draw from the same RRR
+    // distribution: average set sizes across many samples must agree.
+    let g = test_graph(3);
+    let c = plain_config(DiffusionModel::IndependentCascade);
+    let mut gpu = EimEngine::new(&g, c, Device::new(spec()), ScanStrategy::ThreadPerSet).unwrap();
+    let mut cpu = CpuEngine::new(&g, c, CpuParallelism::Rayon);
+    use eim::imm::ImmEngine as _;
+    gpu.extend_to(4_000).unwrap();
+    cpu.extend_to(4_000).unwrap();
+    let mean = |s: &dyn RrrSets| s.total_elements() as f64 / s.num_sets() as f64;
+    let (mg, mc) = (mean(gpu.store()), mean(cpu.store()));
+    let rel = (mg - mc).abs() / mc;
+    assert!(rel < 0.05, "gpu mean {mg:.3} vs cpu mean {mc:.3}");
+}
+
+#[test]
+fn scan_strategy_never_changes_results() {
+    let g = test_graph(11);
+    let c = plain_config(DiffusionModel::IndependentCascade);
+    let run = |scan| {
+        let mut e = EimEngine::new(&g, c, Device::new(spec()), scan).unwrap();
+        run_imm(&mut e, &c).unwrap().seeds
+    };
+    assert_eq!(
+        run(ScanStrategy::ThreadPerSet),
+        run(ScanStrategy::WarpPerSet)
+    );
+}
+
+#[test]
+fn packing_never_changes_results() {
+    let g = test_graph(23);
+    for elim in [false, true] {
+        let base = ImmConfig::paper_default()
+            .with_k(4)
+            .with_epsilon(0.3)
+            .with_seed(77)
+            .with_source_elimination(elim);
+        let run = |packed: bool| {
+            let c = base.with_packed(packed);
+            let mut e =
+                EimEngine::new(&g, c, Device::new(spec()), ScanStrategy::ThreadPerSet).unwrap();
+            run_imm(&mut e, &c).unwrap()
+        };
+        let plain = run(false);
+        let packed = run(true);
+        assert_eq!(plain.seeds, packed.seeds, "elim = {elim}");
+        assert_eq!(plain.num_sets, packed.num_sets);
+        assert!(packed.store_bytes < plain.store_bytes);
+    }
+}

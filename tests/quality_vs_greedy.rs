@@ -1,0 +1,106 @@
+//! Solution-quality validation: IMM-based engines must match the classic
+//! greedy-MC algorithm (the (1 - 1/e - eps) gold standard) within
+//! Monte-Carlo noise on small graphs — the §4.1 claim that "quality of
+//! solutions provided by eIM remains the same".
+
+use eim::baselines::greedy_mc;
+use eim::diffusion::estimate_spread;
+use eim::graph::generators;
+use eim::prelude::*;
+
+fn spread(graph: &Graph, seeds: &[u32], model: DiffusionModel) -> f64 {
+    estimate_spread(graph, seeds, model, 1_500, 0xabc)
+}
+
+fn check_quality(graph: &Graph, k: usize, model: DiffusionModel, tolerance: f64) {
+    let greedy = greedy_mc(graph, k, model, 150, 77);
+    let greedy_spread = spread(graph, &greedy.seeds, model);
+    let eim = EimBuilder::new(graph)
+        .k(k)
+        .epsilon(0.15)
+        .model(model)
+        .seed(42)
+        .run()
+        .expect("fits");
+    let eim_spread = spread(graph, &eim.seeds, model);
+    assert!(
+        eim_spread >= (1.0 - tolerance) * greedy_spread,
+        "{model}: eIM {eim_spread:.1} vs greedy {greedy_spread:.1} (seeds {:?} vs {:?})",
+        eim.seeds,
+        greedy.seeds
+    );
+}
+
+#[test]
+fn ic_quality_on_scale_free_graph() {
+    let graph = generators::barabasi_albert(400, 3, WeightModel::WeightedCascade, 21);
+    check_quality(&graph, 5, DiffusionModel::IndependentCascade, 0.08);
+}
+
+#[test]
+fn lt_quality_on_scale_free_graph() {
+    let graph = generators::barabasi_albert(400, 3, WeightModel::WeightedCascade, 21);
+    check_quality(&graph, 5, DiffusionModel::LinearThreshold, 0.08);
+}
+
+#[test]
+fn ic_quality_on_rmat() {
+    let graph = generators::rmat(
+        300,
+        2_400,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        5,
+    );
+    check_quality(&graph, 4, DiffusionModel::IndependentCascade, 0.08);
+}
+
+#[test]
+fn source_elimination_does_not_hurt_quality() {
+    let graph = generators::rmat(
+        350,
+        2_000,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        13,
+    );
+    let model = DiffusionModel::IndependentCascade;
+    let with = EimBuilder::new(&graph)
+        .k(5)
+        .epsilon(0.2)
+        .source_elimination(true)
+        .seed(3)
+        .run()
+        .unwrap();
+    let without = EimBuilder::new(&graph)
+        .k(5)
+        .epsilon(0.2)
+        .source_elimination(false)
+        .seed(3)
+        .run()
+        .unwrap();
+    let s_with = spread(&graph, &with.seeds, model);
+    let s_without = spread(&graph, &without.seeds, model);
+    assert!(
+        s_with >= 0.93 * s_without,
+        "elimination degraded spread: {s_with:.1} vs {s_without:.1}"
+    );
+}
+
+#[test]
+fn all_gpu_engines_match_greedy_on_star() {
+    // Unambiguous optimum: the out-star hub.
+    let graph = generators::star_out(150, WeightModel::WeightedCascade);
+    let greedy = greedy_mc(&graph, 1, DiffusionModel::IndependentCascade, 50, 3);
+    assert_eq!(greedy.seeds, vec![0]);
+    for packed in [false, true] {
+        let r = EimBuilder::new(&graph)
+            .k(1)
+            .epsilon(0.3)
+            .packed(packed)
+            .seed(8)
+            .run()
+            .unwrap();
+        assert_eq!(r.seeds, vec![0], "packed = {packed}");
+    }
+}
