@@ -16,7 +16,7 @@
 //! * selection scans assign one **warp** per RRR set.
 
 use eim_diffusion::{sample_rng, DiffusionModel};
-use eim_gpusim::{Device, MemoryError, Op, WARP_SIZE};
+use eim_gpusim::{Device, MemoryError, Op, TransferDirection, WARP_SIZE};
 use eim_graph::{Graph, VertexId};
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -50,7 +50,6 @@ pub struct GimEngine<'g> {
     config: ImmConfig,
     store: AnyRrrStore,
     next_index: u64,
-    clock_us: f64,
     store_alloc_bytes: usize,
     leaked_bytes: usize,
     spill_events: u64,
@@ -69,6 +68,9 @@ impl<'g> GimEngine<'g> {
             .memory()
             .alloc(graph.csc_bytes() + scratch)
             .map_err(to_engine_error)?;
+        // Upload the uncompressed network over PCIe.
+        let upload_us = device.transfer(graph.csc_bytes(), TransferDirection::HostToDevice);
+        device.advance_clock(upload_us);
         Ok(Self {
             device,
             graph,
@@ -76,7 +78,6 @@ impl<'g> GimEngine<'g> {
             store: AnyRrrStore::new(n, false),
             config,
             next_index: 0,
-            clock_us: 0.0,
             store_alloc_bytes: 0,
             leaked_bytes: 0,
             spill_events: 0,
@@ -274,10 +275,11 @@ impl<'g> GimEngine<'g> {
             .alloc(new_alloc)
             .map_err(to_engine_error)?;
         self.device.memory().free(self.store_alloc_bytes);
-        self.clock_us += self
-            .device
-            .spec()
-            .device_copy_us(self.store_alloc_bytes.min(needed));
+        self.device.advance_clock(
+            self.device
+                .spec()
+                .device_copy_us(self.store_alloc_bytes.min(needed)),
+        );
         self.store_alloc_bytes = new_alloc;
         Ok(())
     }
@@ -295,7 +297,7 @@ impl ImmEngine for GimEngine<'_> {
                 .sample_batch(self.next_index, batch_size)
                 .map_err(to_engine_error)?;
             self.next_index += batch_size as u64;
-            self.clock_us += us;
+            self.device.advance_clock(us);
             self.spill_events += spills;
             self.leaked_bytes += leaked;
             for set in &sets {
@@ -313,7 +315,15 @@ impl ImmEngine for GimEngine<'_> {
         if flags_ok {
             self.device.memory().free(flag_bytes);
         }
-        self.clock_us += result.elapsed_us;
+        let ts = self.device.advance_clock(result.elapsed_us);
+        self.device.run_trace().record_kernel(
+            "gim_select",
+            ts,
+            result.elapsed_us,
+            result.launches as usize,
+            result.total_cycles,
+            0,
+        );
         result.selection
     }
 
@@ -322,7 +332,7 @@ impl ImmEngine for GimEngine<'_> {
     }
 
     fn elapsed_us(&self) -> f64 {
-        self.clock_us
+        self.device.clock_us()
     }
 }
 

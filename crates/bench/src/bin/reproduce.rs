@@ -40,8 +40,9 @@ use eim_bench::experiments::{
     phase_breakdown, quality_check, table1, table2_ic_k, table3_ic_eps, table4_lt_k, table5_lt_eps,
     EPS_SWEEP, K_SWEEP,
 };
-use eim_bench::{write_csv, HarnessConfig, Table};
-use eim_graph::{Dataset, DATASETS};
+use eim_bench::{run_algo_traced, write_csv, AlgoKind, HarnessConfig, Table};
+use eim_gpusim::RunTrace;
+use eim_graph::{Dataset, WeightModel, DATASETS};
 use eim_imm::ImmConfig;
 
 struct Args {
@@ -121,6 +122,37 @@ fn parse_args() -> Args {
         k_cap,
         datasets,
         out,
+    }
+}
+
+/// Records one representative traced eIM run for `experiment` so each
+/// regenerated table or figure has a Perfetto-loadable timeline next to its
+/// CSVs, under `<out>/traces/<experiment>.trace.json`. Purely additive: the
+/// tables and figures themselves are produced by untraced runs as before.
+fn write_experiment_trace(
+    experiment: &str,
+    cfg: &HarnessConfig,
+    dataset: &Dataset,
+    base: &ImmConfig,
+    out: &Path,
+) {
+    let trace = RunTrace::enabled();
+    let graph = dataset.generate(cfg.scale, WeightModel::WeightedCascade, cfg.seed);
+    let outcome = run_algo_traced(&graph, base, cfg.device_spec(), AlgoKind::Eim, &trace);
+    if outcome.ok().is_none() {
+        eprintln!("warning: trace run for {experiment} hit device OOM; partial trace kept");
+    }
+    let path = out.join("traces").join(format!("{experiment}.trace.json"));
+    let metadata = [
+        ("experiment", experiment.to_string()),
+        ("dataset", dataset.abbrev.to_string()),
+        ("scale", cfg.scale.to_string()),
+        ("algo", "eIM".to_string()),
+        ("seed", cfg.seed.to_string()),
+    ];
+    match trace.write_chrome_file(&path, &metadata) {
+        Ok(()) => println!("[{experiment}: trace -> {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write trace for {experiment}: {e}"),
     }
 }
 
@@ -281,7 +313,11 @@ fn main() {
                 &args.out,
                 t0,
             ),
-            other => eprintln!("unknown experiment {other}; skipping"),
+            other => {
+                eprintln!("unknown experiment {other}; skipping");
+                continue;
+            }
         }
+        write_experiment_trace(exp, &args.cfg, ds[0], &base, &args.out);
     }
 }

@@ -17,5 +17,5 @@ mod runner;
 mod table;
 
 pub use harness::HarnessConfig;
-pub use runner::{run_algo, AlgoKind, RunData, RunOutcome};
+pub use runner::{run_algo, run_algo_traced, AlgoKind, RunData, RunOutcome};
 pub use table::{write_csv, Table};

@@ -3,9 +3,9 @@
 
 use eim_baselines::{CuRipplesEngine, GimEngine, HostSpec};
 use eim_core::{EimEngine, ScanStrategy};
-use eim_gpusim::{Device, DeviceSpec};
+use eim_gpusim::{Device, DeviceSpec, RunTrace};
 use eim_graph::{Graph, VertexId};
-use eim_imm::{run_imm, EngineError, ImmConfig, ImmEngine};
+use eim_imm::{run_imm_traced, EngineError, ImmConfig, ImmEngine};
 
 /// Which implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,13 +74,26 @@ impl RunOutcome {
 /// `source_elimination`); the baselines always run plain/no-elimination as
 /// their papers describe, regardless of those flags.
 pub fn run_algo(graph: &Graph, config: &ImmConfig, spec: DeviceSpec, algo: AlgoKind) -> RunOutcome {
+    run_algo_traced(graph, config, spec, algo, &RunTrace::disabled())
+}
+
+/// Like [`run_algo`], but every kernel launch, memory event, PCIe transfer,
+/// and driver phase of the run lands in `trace` for export as a Chrome
+/// trace-event file.
+pub fn run_algo_traced(
+    graph: &Graph,
+    config: &ImmConfig,
+    spec: DeviceSpec,
+    algo: AlgoKind,
+    trace: &RunTrace,
+) -> RunOutcome {
     let baseline_config = config.with_packed(false).with_source_elimination(false);
     let result = match algo {
         AlgoKind::Eim => {
-            let device = Device::new(spec);
+            let device = Device::with_run_trace(spec, trace.clone());
             EimEngine::new(graph, *config, device, ScanStrategy::ThreadPerSet).and_then(
                 |mut engine| {
-                    let imm = run_imm(&mut engine, config)?;
+                    let imm = run_imm_traced(&mut engine, config, trace)?;
                     let counters = engine.counters();
                     Ok(RunData {
                         sim_us: engine.elapsed_us(),
@@ -96,9 +109,9 @@ pub fn run_algo(graph: &Graph, config: &ImmConfig, spec: DeviceSpec, algo: AlgoK
             )
         }
         AlgoKind::Gim => {
-            let device = Device::new(spec);
+            let device = Device::with_run_trace(spec, trace.clone());
             GimEngine::new(graph, baseline_config, device).and_then(|mut engine| {
-                let imm = run_imm(&mut engine, &baseline_config)?;
+                let imm = run_imm_traced(&mut engine, &baseline_config, trace)?;
                 Ok(RunData {
                     sim_us: engine.elapsed_us(),
                     seeds: imm.seeds,
@@ -112,10 +125,10 @@ pub fn run_algo(graph: &Graph, config: &ImmConfig, spec: DeviceSpec, algo: AlgoK
             })
         }
         AlgoKind::CuRipples => {
-            let device = Device::new(spec);
+            let device = Device::with_run_trace(spec, trace.clone());
             CuRipplesEngine::new(graph, baseline_config, device, HostSpec::default()).and_then(
                 |mut engine| {
-                    let imm = run_imm(&mut engine, &baseline_config)?;
+                    let imm = run_imm_traced(&mut engine, &baseline_config, trace)?;
                     Ok(RunData {
                         sim_us: engine.elapsed_us(),
                         seeds: imm.seeds,
@@ -168,6 +181,30 @@ mod tests {
         assert_eq!(e.seeds, c_.seeds);
         // Structural ordering: cuRipples pays transfers, so it is slowest.
         assert!(c_.sim_us > e.sim_us);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_fills_the_trace() {
+        let g = generators::rmat(
+            300,
+            1_800,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            4,
+        );
+        let c = ImmConfig::paper_default().with_k(3).with_epsilon(0.35);
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let plain = run_algo(&g, &c, spec, AlgoKind::Eim);
+        let trace = RunTrace::enabled();
+        let traced = run_algo_traced(&g, &c, spec, AlgoKind::Eim, &trace);
+        let (p, t) = (plain.ok().unwrap(), traced.ok().unwrap());
+        // Telemetry is observational: same seeds, same simulated time.
+        assert_eq!(p.seeds, t.seeds);
+        assert_eq!(p.sim_us, t.sim_us);
+        let s = trace.summary();
+        assert!(s.kernel_launches > 0);
+        assert!(s.peak_bytes > 0);
+        assert_eq!(s.phase_us.len(), 3);
     }
 
     #[test]

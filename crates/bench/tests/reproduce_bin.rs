@@ -44,8 +44,19 @@ fn fig56_on_one_tiny_dataset() {
     let out = std::env::temp_dir().join("eim_reproduce_fig56");
     let output = reproduce()
         .args([
-            "fig56", "--datasets", "EE", "--scale", "0.0002", "--runs", "1", "--eps", "0.4",
-            "--k", "5", "--out", out.to_str().unwrap(),
+            "fig56",
+            "--datasets",
+            "EE",
+            "--scale",
+            "0.0002",
+            "--runs",
+            "1",
+            "--eps",
+            "0.4",
+            "--k",
+            "5",
+            "--out",
+            out.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");

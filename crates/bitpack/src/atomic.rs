@@ -84,9 +84,14 @@ impl AtomicPackedArray {
     /// Reads slot `i`. Reads racing a concurrent `set` of the *same* slot may
     /// observe a partial value (same as on the device); reads of slots whose
     /// writes happened-before are exact.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds, exactly like [`AtomicPackedArray::set`]
+    /// — an out-of-range read of the final word would otherwise be caught
+    /// only in debug builds while the matching write always panics.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        debug_assert!(i < self.len);
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let bit = i * self.nbits as usize;
         let word = bit >> 6;
         let off = (bit & 63) as u32;
@@ -221,10 +226,47 @@ mod tests {
     }
 
     #[test]
+    fn final_slot_ending_exactly_on_the_word_boundary() {
+        // 4 slots x 16 bits = exactly one word; slot 3 sits at off = 48 and
+        // ends at bit 64 sharp (`off + nbits == 64`). The straddle branch
+        // must NOT fire: there is no words[1] to touch.
+        let a = AtomicPackedArray::zeroed(4, 16);
+        assert_eq!(a.bytes(), 8);
+        a.set(3, 0xffff);
+        a.set(0, 0xabcd);
+        assert_eq!(a.get(3), 0xffff);
+        assert_eq!(a.get(0), 0xabcd);
+        assert_eq!(a.into_packed().decode(), vec![0xabcd, 0, 0, 0xffff]);
+    }
+
+    #[test]
+    fn final_slot_straddling_into_the_last_word() {
+        // 7 slots x 20 bits = 140 bits = 3 words; slot 6 starts at bit 120
+        // (off = 56) and spills 12 bits into the final word
+        // (`off + nbits > 64`). Both halves must land and read back.
+        let a = AtomicPackedArray::zeroed(7, 20);
+        assert_eq!(a.bytes(), 24);
+        a.set(6, 0xfffff);
+        a.set(5, 0x12345);
+        assert_eq!(a.get(6), 0xfffff);
+        assert_eq!(a.get(5), 0x12345);
+        let decoded = a.into_packed().decode();
+        assert_eq!(decoded[6], 0xfffff);
+        assert_eq!(decoded[5], 0x12345);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn set_bounds_checked() {
         let a = AtomicPackedArray::zeroed(3, 4);
         a.set(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let a = AtomicPackedArray::zeroed(3, 4);
+        a.get(3);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Fluent public API: configure and run eIM in one expression.
 
 use eim_diffusion::DiffusionModel;
-use eim_gpusim::{Device, DeviceSpec};
+use eim_gpusim::{Device, DeviceSpec, RunTrace};
 use eim_graph::{Graph, VertexId};
-use eim_imm::{run_imm, EngineError, ImmConfig, PhaseBreakdown};
+use eim_imm::{run_imm_traced, EngineError, ImmConfig, PhaseBreakdown};
 
 use crate::engine::EimEngine;
 use crate::memory::MemoryFootprint;
@@ -67,6 +67,7 @@ pub struct EimBuilder<'g> {
     config: ImmConfig,
     device: DeviceSpec,
     scan: ScanStrategy,
+    trace: RunTrace,
 }
 
 impl<'g> EimBuilder<'g> {
@@ -79,6 +80,7 @@ impl<'g> EimBuilder<'g> {
             config: ImmConfig::paper_default(),
             device: DeviceSpec::rtx_a6000(),
             scan: ScanStrategy::ThreadPerSet,
+            trace: RunTrace::disabled(),
         }
     }
 
@@ -136,11 +138,23 @@ impl<'g> EimBuilder<'g> {
         self
     }
 
+    /// Attach a run-telemetry recorder: kernel launches, memory traffic,
+    /// PCIe transfers, and driver phases all land in `trace`.
+    pub fn trace(mut self, trace: RunTrace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Runs the complete IMM pipeline.
     pub fn run(self) -> Result<EimResult, EngineError> {
-        let mut engine =
-            EimEngine::new(self.graph, self.config, Device::new(self.device), self.scan)?;
-        let imm = run_imm(&mut engine, &self.config)?;
+        let trace = self.trace.clone();
+        let mut engine = EimEngine::new(
+            self.graph,
+            self.config,
+            Device::with_run_trace(self.device, self.trace),
+            self.scan,
+        )?;
+        let imm = run_imm_traced(&mut engine, &self.config, &trace)?;
         Ok(EimResult {
             seeds: imm.seeds,
             coverage: imm.coverage,
@@ -187,6 +201,29 @@ mod tests {
         let r = EimBuilder::new(&g).k(1).epsilon(0.5).run().unwrap();
         assert!(r.singleton_fraction() > 0.5);
         assert!(r.singleton_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn traced_run_collects_all_event_categories() {
+        let g = generators::barabasi_albert(300, 3, WeightModel::WeightedCascade, 5);
+        let trace = RunTrace::enabled();
+        let r = EimBuilder::new(&g)
+            .k(3)
+            .epsilon(0.35)
+            .trace(trace.clone())
+            .run()
+            .unwrap();
+        let s = trace.summary();
+        assert!(s.kernel_launches > 0, "sampling + selection kernels");
+        assert!(s.alloc_events > 0, "graph/scratch/store allocations");
+        assert!(s.peak_bytes > 0);
+        assert!(s.transfer_events > 0, "graph upload");
+        let names: Vec<&str> = s.phase_us.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["estimation", "sampling", "selection"]);
+        let total: f64 = s.phase_us.iter().map(|(_, us)| us).sum();
+        // Phase spans cover the device timeline from after the graph upload
+        // to the end of the run.
+        assert!(total > 0.0 && total <= r.sim_time_us());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! [`ImmEngine`] backend for the shared IMM driver.
 
 use eim_bitpack::PackedCsc;
-use eim_gpusim::{Device, MemoryError};
+use eim_gpusim::{Device, MemoryError, TransferDirection};
 use eim_graph::Graph;
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -44,7 +44,6 @@ pub struct EimEngine<'g> {
     scan: ScanStrategy,
     store: AnyRrrStore,
     next_index: u64,
-    clock_us: f64,
     counters: SamplerCounters,
     store_alloc_bytes: usize,
     scratch: ScratchPlan,
@@ -72,6 +71,9 @@ impl<'g> EimEngine<'g> {
             .memory()
             .alloc(repr.device_bytes() + scratch.total())
             .map_err(to_engine_error)?;
+        // Upload the network over PCIe; the run's timeline starts here.
+        let upload_us = device.transfer(repr.device_bytes(), TransferDirection::HostToDevice);
+        device.advance_clock(upload_us);
         Ok(Self {
             device,
             graph: repr,
@@ -79,7 +81,6 @@ impl<'g> EimEngine<'g> {
             config,
             scan,
             next_index: 0,
-            clock_us: 0.0,
             counters: SamplerCounters::default(),
             store_alloc_bytes: 0,
             scratch,
@@ -144,10 +145,11 @@ impl<'g> EimEngine<'g> {
             .alloc(new_alloc)
             .map_err(to_engine_error)?;
         self.device.memory().free(self.store_alloc_bytes);
-        self.clock_us += self
-            .device
-            .spec()
-            .device_copy_us(self.store_alloc_bytes.min(needed));
+        self.device.advance_clock(
+            self.device
+                .spec()
+                .device_copy_us(self.store_alloc_bytes.min(needed)),
+        );
         self.store_alloc_bytes = new_alloc;
         Ok(())
     }
@@ -167,7 +169,7 @@ impl ImmEngine for EimEngine<'_> {
         let batch_size = target - self.next_index as usize;
         let batch = self.run_batch(batch_size);
         self.next_index = target as u64;
-        self.clock_us += batch.stats.elapsed_us;
+        self.device.advance_clock(batch.stats.elapsed_us);
         self.counters.sampled += batch.counters.sampled;
         self.counters.singletons += batch.counters.singletons;
         self.counters.discarded += batch.counters.discarded;
@@ -190,7 +192,17 @@ impl ImmEngine for EimEngine<'_> {
         if flags_ok {
             self.device.memory().free(flag_bytes);
         }
-        self.clock_us += result.elapsed_us;
+        // `select_on_device` models its launches analytically rather than
+        // through `Device::launch`, so record the aggregate kernel work here.
+        let ts = self.device.advance_clock(result.elapsed_us);
+        self.device.run_trace().record_kernel(
+            "eim_select",
+            ts,
+            result.elapsed_us,
+            result.launches as usize,
+            result.total_cycles,
+            0,
+        );
         result.selection
     }
 
@@ -199,7 +211,7 @@ impl ImmEngine for EimEngine<'_> {
     }
 
     fn elapsed_us(&self) -> f64 {
-        self.clock_us
+        self.device.clock_us()
     }
 }
 

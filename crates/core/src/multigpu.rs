@@ -9,11 +9,13 @@
 //!   device runs the standard eIM sampling kernel on its share, so the
 //!   phase's simulated time is the *max* over devices (they run
 //!   concurrently).
-//! * Before each selection, the non-primary devices' partitions are
-//!   gathered onto device 0 across the interconnect (charged at PCIe
-//!   bandwidth; an NVLink-class bandwidth can be configured through the
-//!   device spec).
-//! * Selection runs on device 0 with the thread-per-set scan.
+//! * Each non-primary device streams its freshly sampled partition to
+//!   device 0 over its own interconnect link, double-buffered against the
+//!   sampling kernel (every device has a dedicated DMA engine, so copies
+//!   overlap compute and each other). A sampling round therefore costs
+//!   `max_j max(sample_j, copy_j)`, not `max_j sample_j + copy_total`.
+//! * Selection runs on device 0 with the thread-per-set scan; by then the
+//!   partitions have already landed there.
 //!
 //! Determinism is preserved: sample `i` still derives from stream
 //! `(seed, i)` no matter which device draws it, so the merged store is the
@@ -152,6 +154,7 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                 device_times.push(0.0);
                 continue;
             }
+            let partition_before = self.partition_bytes[j];
             let batch = match &self.graph {
                 GraphRepr::Plain(g) => sample_batch(
                     dev,
@@ -172,7 +175,6 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                     self.config.source_elimination,
                 ),
             };
-            device_times.push(batch.stats.elapsed_us);
             self.counters.sampled += batch.counters.sampled;
             self.counters.singletons += batch.counters.singletons;
             self.counters.discarded += batch.counters.discarded;
@@ -182,6 +184,17 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                     all.push((base + off as u64, s));
                 }
             }
+            // Non-primary devices stage this round's partition to device 0
+            // on their own DMA engine, double-buffered against the sampling
+            // kernel: the device is done when both finish.
+            let device_time = if j == 0 {
+                batch.stats.elapsed_us
+            } else {
+                let staged = self.partition_bytes[j] - partition_before;
+                self.gathered_bytes += staged;
+                batch.stats.elapsed_us.max(dev.spec().transfer_us(staged))
+            };
+            device_times.push(device_time);
             base += share as u64;
         }
         self.next_index = target as u64;
@@ -197,7 +210,8 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
-        // Gather the not-yet-gathered partitions onto device 0.
+        // The eager per-round staging normally leaves nothing to gather;
+        // this drains any remainder onto device 0 before the scan.
         let to_gather: usize =
             self.partition_bytes[1..].iter().sum::<usize>() - self.gathered_bytes;
         if to_gather > 0 {

@@ -42,6 +42,10 @@ pub struct DeviceSelection {
     pub selection: Selection,
     /// Simulated device time of all k scan iterations, microseconds.
     pub elapsed_us: f64,
+    /// Total simulated cycles across all argmax + membership-scan launches.
+    pub total_cycles: u64,
+    /// Number of simulated kernel launches (two per greedy iteration).
+    pub launches: u64,
 }
 
 /// Runs greedy max-coverage over `store` on `device`, charging simulated
@@ -158,6 +162,8 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
             num_sets,
         },
         elapsed_us: spec.cycles_to_us(total_cycles) + launches as f64 * costs.kernel_launch_us,
+        total_cycles,
+        launches,
     }
 }
 

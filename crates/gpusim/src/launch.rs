@@ -1,5 +1,8 @@
 //! Kernel launch and makespan accounting.
 
+use std::sync::Arc;
+
+use eim_trace::{RunTrace, SimClock};
 use rayon::prelude::*;
 
 use crate::block::{BlockCtx, OpCounts};
@@ -41,22 +44,37 @@ pub struct TraceEntry {
     pub stats: LaunchStats,
 }
 
-/// A simulated device: the spec plus its (capacity-tracked) global memory.
+/// A simulated device: the spec plus its (capacity-tracked) global memory,
+/// a simulated clock, and an optional run-telemetry sink.
 #[derive(Debug)]
 pub struct Device {
     spec: DeviceSpec,
     memory: DeviceMemory,
     trace: Option<parking_lot::Mutex<Vec<TraceEntry>>>,
+    run_trace: RunTrace,
+    clock: Arc<SimClock>,
 }
 
 impl Device {
-    /// Creates a device from a spec.
+    /// Creates a device from a spec (telemetry disabled).
     pub fn new(spec: DeviceSpec) -> Self {
-        let memory = DeviceMemory::new(spec.global_mem_bytes);
+        Self::with_run_trace(spec, RunTrace::disabled())
+    }
+
+    /// Creates a device that reports kernel launches, memory traffic, and
+    /// PCIe transfers to `trace`, all timestamped on the device's simulated
+    /// clock. The engines driving this device advance the clock via
+    /// [`Device::advance_clock`].
+    pub fn with_run_trace(spec: DeviceSpec, run_trace: RunTrace) -> Self {
+        let clock = Arc::new(SimClock::new());
+        let memory =
+            DeviceMemory::with_telemetry(spec.global_mem_bytes, run_trace.clone(), clock.clone());
         Self {
             spec,
             memory,
             trace: None,
+            run_trace,
+            clock,
         }
     }
 
@@ -80,6 +98,30 @@ impl Device {
     /// The device spec.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// The run-telemetry recorder this device reports to (disabled unless
+    /// built with [`Device::with_run_trace`]).
+    pub fn run_trace(&self) -> &RunTrace {
+        &self.run_trace
+    }
+
+    /// Current simulated time on this device's clock, in microseconds.
+    pub fn clock_us(&self) -> f64 {
+        self.clock.now_us()
+    }
+
+    /// Advances the simulated clock by `us`, returning the time *before*
+    /// the advance. The engines call this at every point where they consume
+    /// simulated time (kernel makespans, transfers, device-side copies), so
+    /// recorded events line up on one timeline.
+    pub fn advance_clock(&self, us: f64) -> f64 {
+        self.clock.advance(us)
+    }
+
+    /// Resets the simulated clock to zero (between independent runs).
+    pub fn reset_clock(&self) {
+        self.clock.reset()
     }
 
     /// The global-memory tracker.
@@ -128,6 +170,16 @@ impl Device {
                 stats,
             });
         }
+        // Timestamped at the current clock; the driving engine advances the
+        // clock by `elapsed_us` when it accounts for this launch.
+        self.run_trace.record_kernel(
+            name,
+            self.clock.now_us(),
+            stats.elapsed_us,
+            stats.num_blocks,
+            stats.total_cycles,
+            stats.max_block_cycles,
+        );
         LaunchResult { outputs, stats }
     }
 
@@ -175,8 +227,15 @@ impl Device {
     }
 
     /// Simulated microseconds to move `bytes` across PCIe.
-    pub fn transfer(&self, bytes: usize, _direction: TransferDirection) -> f64 {
-        self.spec.transfer_us(bytes)
+    pub fn transfer(&self, bytes: usize, direction: TransferDirection) -> f64 {
+        let us = self.spec.transfer_us(bytes);
+        let name = match direction {
+            TransferDirection::HostToDevice => "pcie:h2d",
+            TransferDirection::DeviceToHost => "pcie:d2h",
+        };
+        self.run_trace
+            .record_transfer(name, self.clock.now_us(), us, bytes);
+        us
     }
 }
 

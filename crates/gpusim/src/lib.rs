@@ -46,6 +46,10 @@ pub use schedule::slot_makespan_cycles;
 pub use spec::{CostModel, DeviceSpec};
 pub use transfer::TransferDirection;
 
+// Telemetry types appear in `Device`'s API; re-export so downstream crates
+// can attach a recorder without a direct `eim-trace` dependency.
+pub use eim_trace::{RunTrace, SimClock, TraceSummary};
+
 /// Lanes per warp — fixed at 32 across every NVIDIA generation and baked
 /// into the paper's algorithms ("each block launches a single warp").
 pub const WARP_SIZE: usize = 32;

@@ -8,6 +8,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use eim_trace::{RunTrace, SimClock};
 
 /// Allocation failure: the requested bytes did not fit the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,15 +52,25 @@ pub struct DeviceMemory {
     capacity: usize,
     in_use: AtomicUsize,
     peak: AtomicUsize,
+    trace: RunTrace,
+    clock: Arc<SimClock>,
 }
 
 impl DeviceMemory {
-    /// A tracker with the given capacity.
+    /// A tracker with the given capacity (telemetry disabled).
     pub fn new(capacity: usize) -> Self {
+        Self::with_telemetry(capacity, RunTrace::disabled(), Arc::new(SimClock::new()))
+    }
+
+    /// A tracker that reports every alloc/free to `trace`, timestamped on
+    /// `clock` (the owning device's simulated clock).
+    pub fn with_telemetry(capacity: usize, trace: RunTrace, clock: Arc<SimClock>) -> Self {
         Self {
             capacity,
             in_use: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            trace,
+            clock,
         }
     }
 
@@ -68,6 +81,8 @@ impl DeviceMemory {
         loop {
             let next = cur.saturating_add(bytes);
             if next > self.capacity {
+                self.trace
+                    .record_alloc_failure(self.clock.now_us(), bytes, cur);
                 return Err(MemoryError {
                     requested: bytes,
                     in_use: cur,
@@ -80,6 +95,7 @@ impl DeviceMemory {
             {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::Relaxed);
+                    self.trace.record_alloc(self.clock.now_us(), bytes, next);
                     return Ok(());
                 }
                 Err(actual) => cur = actual,
@@ -91,6 +107,8 @@ impl DeviceMemory {
     pub fn free(&self, bytes: usize) {
         let prev = self.in_use.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "freeing more than allocated");
+        self.trace
+            .record_free(self.clock.now_us(), bytes, prev.saturating_sub(bytes));
     }
 
     /// Current usage snapshot.
@@ -152,6 +170,26 @@ mod tests {
         assert_eq!(m.stats().in_use, 0);
         assert_eq!(m.stats().peak, 0);
         m.alloc(100).unwrap();
+    }
+
+    #[test]
+    fn telemetry_records_allocs_frees_and_failures() {
+        let trace = RunTrace::enabled();
+        let clock = Arc::new(SimClock::new());
+        let m = DeviceMemory::with_telemetry(100, trace.clone(), clock.clone());
+        m.alloc(60).unwrap();
+        clock.advance(3.0);
+        m.alloc(60).unwrap_err();
+        m.free(60);
+        let s = trace.summary();
+        assert_eq!(s.alloc_events, 1);
+        assert_eq!(s.free_events, 1);
+        assert_eq!(s.peak_bytes, 60);
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        // The failed alloc is timestamped after the clock advance.
+        assert_eq!(events[1].name, "alloc_failed");
+        assert_eq!(events[1].ts_us, 3.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod source_elim;
 
 pub use config::ImmConfig;
 pub use engine::{CpuEngine, CpuParallelism};
-pub use martingale::{run_imm, EngineError, ImmEngine, ImmResult, PhaseBreakdown};
+pub use martingale::{run_imm, run_imm_traced, EngineError, ImmEngine, ImmResult, PhaseBreakdown};
 pub use rrrstore::{AnyRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};
 pub use selection::{select_seeds, select_seeds_celf, select_seeds_with_gains, Selection};
 pub use source_elim::apply_source_elimination;

@@ -6,6 +6,7 @@
 //! RRR sets. That is the controlled comparison the paper's evaluation makes.
 
 use eim_graph::VertexId;
+use eim_trace::RunTrace;
 
 use crate::bounds::{
     adjusted_ell, epsilon_prime, lambda_prime, lambda_star, max_estimation_iterations,
@@ -129,6 +130,18 @@ impl ImmResult {
 /// Estimation sets are reused for the final phase (the standard
 /// implementation practice of Ripples/gIM, which the paper follows).
 pub fn run_imm<E: ImmEngine>(engine: &mut E, config: &ImmConfig) -> Result<ImmResult, EngineError> {
+    run_imm_traced(engine, config, &RunTrace::disabled())
+}
+
+/// [`run_imm`] with run telemetry: each driver phase (estimation, sampling,
+/// selection) is recorded as a span on `trace`, timestamped on the engine's
+/// own timeline (`elapsed_us`) so the spans enclose the kernel, memory, and
+/// transfer events the engine's device records into the same sink.
+pub fn run_imm_traced<E: ImmEngine>(
+    engine: &mut E,
+    config: &ImmConfig,
+    trace: &RunTrace,
+) -> Result<ImmResult, EngineError> {
     let n = engine.n();
     config.validate(n);
     let k = config.k;
@@ -167,6 +180,7 @@ pub fn run_imm<E: ImmEngine>(engine: &mut E, config: &ImmConfig) -> Result<ImmRe
     }
     let estimation_sets = engine.store().num_sets();
     let t1 = engine.elapsed_us();
+    trace.record_phase("estimation", t0, t1 - t0);
 
     let theta = (ls / lower_bound).ceil().max(1.0) as usize;
     if engine.store().num_sets() > 0 || engine.logical_sets() == 0 {
@@ -175,9 +189,11 @@ pub fn run_imm<E: ImmEngine>(engine: &mut E, config: &ImmConfig) -> Result<ImmRe
     // else: every estimation sample was eliminated (degenerate input);
     // further sampling cannot add coverage, so skip the final extension.
     let t2 = engine.elapsed_us();
+    trace.record_phase("sampling", t1, t2 - t1);
 
     let sel = engine.select(k);
     let t3 = engine.elapsed_us();
+    trace.record_phase("selection", t2, t3 - t2);
 
     let store = engine.store();
     Ok(ImmResult {
@@ -285,6 +301,28 @@ mod tests {
         assert!(r.phases.estimation_us > 0.0);
         assert!(r.phases.selection_us > 0.0);
         assert!((r.elapsed_us() - e.clock).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_run_records_the_three_phases() {
+        let trace = RunTrace::enabled();
+        let mut e = ToyEngine::new(64, None);
+        let r = run_imm_traced(&mut e, &cfg(2, 0.3), &trace).unwrap();
+        let s = trace.summary();
+        let names: Vec<&str> = s.phase_us.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["estimation", "sampling", "selection"]);
+        let total: f64 = s.phase_us.iter().map(|(_, us)| us).sum();
+        assert!((total - r.elapsed_us()).abs() < 1e-9);
+        // Spans tile the engine's timeline: each starts where the previous
+        // ended.
+        let events = trace.events();
+        assert_eq!(events[0].ts_us, 0.0);
+        for w in events.windows(2) {
+            let eim_trace::EventKind::Span { dur_us } = w[0].kind else {
+                panic!("phase events are spans");
+            };
+            assert!((w[0].ts_us + dur_us - w[1].ts_us).abs() < 1e-9);
+        }
     }
 
     #[test]

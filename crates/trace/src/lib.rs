@@ -1,0 +1,614 @@
+//! Run telemetry for the eIM workspace.
+//!
+//! One [`RunTrace`] recorder is shared (cheaply, via `Arc`) between the
+//! simulated device, its memory tracker, the PCIe transfer model, and the
+//! IMM driver. Everything that happens on the simulated timeline lands in a
+//! single event stream:
+//!
+//! - **phase spans** — the IMM driver's estimation / sampling / selection
+//!   phases,
+//! - **kernel events** — every simulated kernel launch with its block count,
+//!   simulated cycle totals, and per-SM makespan,
+//! - **memory events** — device allocations and frees with the running
+//!   in-use counter (rendered as a Perfetto counter track),
+//! - **transfer events** — PCIe host↔device copies with byte counts.
+//!
+//! The stream exports as Chrome trace-event JSON ([`RunTrace::chrome_json`]),
+//! loadable in Perfetto / `chrome://tracing`, and condenses to a
+//! [`TraceSummary`] for machine-readable CLI output.
+//!
+//! A disabled recorder ([`RunTrace::disabled`]) holds no buffer and every
+//! `record_*` call is a branch on a `None` — no allocation, no locking — so
+//! the hot sampling loop pays nothing when tracing is off.
+
+#![warn(missing_docs)]
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::{json, Value};
+
+/// Simulated-time clock, in microseconds.
+///
+/// The simulated device owns one of these and shares it with its memory
+/// tracker so that every recorded event carries a timestamp on the *device*
+/// timeline (not wall time). Stored as `f64` bits in an atomic so kernel
+/// blocks running on the thread pool can read it without locking.
+#[derive(Debug)]
+pub struct SimClock {
+    bits: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at 0 µs.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The current simulated time in microseconds.
+    pub fn now_us(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `us` and returns the time *before* the advance
+    /// (the natural start timestamp for the event that consumed the time).
+    pub fn advance(&self, us: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let now = f64::from_bits(cur);
+            let next = (now + us).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return now,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Resets the clock to 0 µs (between independent runs on one device).
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Event category: which subsystem emitted the event. Becomes the Chrome
+/// `cat` field and selects the rendering lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventCat {
+    /// IMM driver phase (estimation / sampling / selection).
+    Phase,
+    /// Simulated kernel launch.
+    Kernel,
+    /// Device-memory allocation or free.
+    Memory,
+    /// PCIe host↔device transfer.
+    Transfer,
+}
+
+impl EventCat {
+    /// The Chrome trace `cat` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventCat::Phase => "phase",
+            EventCat::Kernel => "kernel",
+            EventCat::Memory => "memory",
+            EventCat::Transfer => "transfer",
+        }
+    }
+
+    /// The synthetic thread id (lane) events of this category render on.
+    fn lane(self) -> u64 {
+        match self {
+            EventCat::Phase => 0,
+            EventCat::Kernel => 1,
+            EventCat::Memory => 2,
+            EventCat::Transfer => 3,
+        }
+    }
+
+    /// Human name of the rendering lane.
+    fn lane_name(self) -> &'static str {
+        match self {
+            EventCat::Phase => "imm phases",
+            EventCat::Kernel => "kernel launches",
+            EventCat::Memory => "device memory",
+            EventCat::Transfer => "pcie transfers",
+        }
+    }
+}
+
+/// How an event occupies the timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A duration event (Chrome `ph: "X"`).
+    Span {
+        /// Duration in simulated microseconds.
+        dur_us: f64,
+    },
+    /// A point-in-time event (Chrome `ph: "i"`).
+    Instant,
+    /// A sampled counter value (Chrome `ph: "C"`), e.g. device bytes in use.
+    Counter {
+        /// The counter's value at this timestamp.
+        value: f64,
+    },
+}
+
+/// One argument attached to an event (lands in Chrome's `args` object).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Floating-point argument.
+    F64(f64),
+    /// String argument.
+    Str(String),
+}
+
+impl From<&ArgValue> for Value {
+    fn from(v: &ArgValue) -> Value {
+        match v {
+            ArgValue::U64(x) => Value::from(*x),
+            ArgValue::F64(x) => Value::from(*x),
+            ArgValue::Str(s) => Value::from(s.as_str()),
+        }
+    }
+}
+
+/// One recorded telemetry event on the simulated timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event label (kernel name, phase name, transfer label, …).
+    pub name: String,
+    /// Emitting subsystem.
+    pub cat: EventCat,
+    /// Start timestamp in simulated microseconds.
+    pub ts_us: f64,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Extra key–value detail.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Mutex<Vec<TraceEvent>>,
+    kernel_launches: AtomicU64,
+    kernel_cycles: AtomicU64,
+    alloc_events: AtomicU64,
+    free_events: AtomicU64,
+    peak_bytes: AtomicU64,
+    transfer_events: AtomicU64,
+    transfer_bytes: AtomicU64,
+}
+
+/// Shared run-telemetry recorder.
+///
+/// Clones share one buffer. A recorder is either *enabled* (holds an event
+/// buffer plus counters) or *disabled* (a `None`; every record call returns
+/// immediately without touching memory).
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl RunTrace {
+    /// A recorder that drops everything. Zero overhead beyond one branch
+    /// per record call.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().expect("trace buffer poisoned").push(ev);
+        }
+    }
+
+    /// Records one IMM driver phase as a span.
+    pub fn record_phase(&self, name: &str, ts_us: f64, dur_us: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::Phase,
+            ts_us,
+            kind: EventKind::Span { dur_us },
+            args: Vec::new(),
+        });
+    }
+
+    /// Records one simulated kernel launch as a span, with its grid size and
+    /// cycle accounting (`total_cycles` across all blocks, `max_block_cycles`
+    /// for the most expensive block — the load-imbalance indicator).
+    pub fn record_kernel(
+        &self,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        num_blocks: usize,
+        total_cycles: u64,
+        max_block_cycles: u64,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .kernel_cycles
+            .fetch_add(total_cycles, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::Kernel,
+            ts_us,
+            kind: EventKind::Span { dur_us },
+            args: vec![
+                ("blocks", ArgValue::U64(num_blocks as u64)),
+                ("total_cycles", ArgValue::U64(total_cycles)),
+                ("max_block_cycles", ArgValue::U64(max_block_cycles)),
+            ],
+        });
+    }
+
+    /// Records a device allocation: `bytes` reserved, `in_use` the total
+    /// after the allocation. Emits a counter sample for the memory track.
+    pub fn record_alloc(&self, ts_us: f64, bytes: usize, in_use: usize) {
+        let Some(inner) = &self.inner else { return };
+        inner.alloc_events.fetch_add(1, Ordering::Relaxed);
+        inner.peak_bytes.fetch_max(in_use as u64, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: "device_mem_in_use".to_string(),
+            cat: EventCat::Memory,
+            ts_us,
+            kind: EventKind::Counter {
+                value: in_use as f64,
+            },
+            args: vec![("alloc_bytes", ArgValue::U64(bytes as u64))],
+        });
+    }
+
+    /// Records a device free: `bytes` released, `in_use` the total after.
+    pub fn record_free(&self, ts_us: f64, bytes: usize, in_use: usize) {
+        let Some(inner) = &self.inner else { return };
+        inner.free_events.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: "device_mem_in_use".to_string(),
+            cat: EventCat::Memory,
+            ts_us,
+            kind: EventKind::Counter {
+                value: in_use as f64,
+            },
+            args: vec![("free_bytes", ArgValue::U64(bytes as u64))],
+        });
+    }
+
+    /// Records a failed device allocation (the request that did not fit).
+    pub fn record_alloc_failure(&self, ts_us: f64, requested: usize, in_use: usize) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(TraceEvent {
+            name: "alloc_failed".to_string(),
+            cat: EventCat::Memory,
+            ts_us,
+            kind: EventKind::Instant,
+            args: vec![
+                ("requested", ArgValue::U64(requested as u64)),
+                ("in_use", ArgValue::U64(in_use as u64)),
+            ],
+        });
+    }
+
+    /// Records a PCIe transfer (`name` like `"h2d:graph"`) as a span.
+    pub fn record_transfer(&self, name: &str, ts_us: f64, dur_us: f64, bytes: usize) {
+        let Some(inner) = &self.inner else { return };
+        inner.transfer_events.fetch_add(1, Ordering::Relaxed);
+        inner
+            .transfer_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::Transfer,
+            ts_us,
+            kind: EventKind::Span { dur_us },
+            args: vec![("bytes", ArgValue::U64(bytes as u64))],
+        });
+    }
+
+    /// A snapshot of every event recorded so far, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.events.lock().expect("trace buffer poisoned").clone())
+            .unwrap_or_default()
+    }
+
+    /// Condenses the recorded stream into summary counters.
+    pub fn summary(&self) -> TraceSummary {
+        let Some(inner) = &self.inner else {
+            return TraceSummary::default();
+        };
+        let phase_us = inner
+            .events
+            .lock()
+            .expect("trace buffer poisoned")
+            .iter()
+            .filter(|e| e.cat == EventCat::Phase)
+            .filter_map(|e| match e.kind {
+                EventKind::Span { dur_us } => Some((e.name.clone(), dur_us)),
+                _ => None,
+            })
+            .collect();
+        TraceSummary {
+            kernel_launches: inner.kernel_launches.load(Ordering::Relaxed),
+            kernel_cycles: inner.kernel_cycles.load(Ordering::Relaxed),
+            alloc_events: inner.alloc_events.load(Ordering::Relaxed),
+            free_events: inner.free_events.load(Ordering::Relaxed),
+            peak_bytes: inner.peak_bytes.load(Ordering::Relaxed),
+            transfer_events: inner.transfer_events.load(Ordering::Relaxed),
+            transfer_bytes: inner.transfer_bytes.load(Ordering::Relaxed),
+            phase_us,
+        }
+    }
+
+    /// Serializes the stream as a Chrome trace-event JSON object (the
+    /// `{"traceEvents": [...]}` dictionary form), loadable in Perfetto or
+    /// `chrome://tracing`. `metadata` lands under `otherData`; the
+    /// [`TraceSummary`] is embedded under `summary`.
+    pub fn chrome_json(&self, metadata: &[(&str, String)]) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        // Name the synthetic lanes so Perfetto shows subsystems, not tids.
+        for cat in [
+            EventCat::Phase,
+            EventCat::Kernel,
+            EventCat::Memory,
+            EventCat::Transfer,
+        ] {
+            events.push(json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": cat.lane(),
+                "args": serde_json::json!({ "name": cat.lane_name() }),
+            }));
+        }
+        for ev in self.events() {
+            let mut args = serde_json::Map::new();
+            for (k, v) in &ev.args {
+                args.insert((*k).to_string(), Value::from(v));
+            }
+            let mut obj = serde_json::Map::new();
+            obj.insert("name".to_string(), Value::from(ev.name.as_str()));
+            obj.insert("cat".to_string(), Value::from(ev.cat.as_str()));
+            obj.insert("pid".to_string(), Value::from(0u64));
+            obj.insert("tid".to_string(), Value::from(ev.cat.lane()));
+            obj.insert("ts".to_string(), Value::from(ev.ts_us));
+            match ev.kind {
+                EventKind::Span { dur_us } => {
+                    obj.insert("ph".to_string(), Value::from("X"));
+                    obj.insert("dur".to_string(), Value::from(dur_us));
+                }
+                EventKind::Instant => {
+                    obj.insert("ph".to_string(), Value::from("i"));
+                    obj.insert("s".to_string(), Value::from("t"));
+                }
+                EventKind::Counter { value } => {
+                    obj.insert("ph".to_string(), Value::from("C"));
+                    args.insert("in_use".to_string(), Value::from(value));
+                }
+            }
+            obj.insert("args".to_string(), Value::Object(args));
+            events.push(Value::Object(obj));
+        }
+        let mut other = serde_json::Map::new();
+        for (k, v) in metadata {
+            other.insert((*k).to_string(), Value::from(v.as_str()));
+        }
+        json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": Value::Object(other),
+            "summary": self.summary().to_json(),
+        })
+    }
+
+    /// Writes [`RunTrace::chrome_json`] to `path`, creating parent
+    /// directories as needed.
+    pub fn write_chrome_file(
+        &self,
+        path: &Path,
+        metadata: &[(&str, String)],
+    ) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json = serde_json::to_string_pretty(&self.chrome_json(metadata))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Machine-readable condensation of one run's telemetry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Number of simulated kernel launches.
+    pub kernel_launches: u64,
+    /// Total simulated cycles across all launches' blocks.
+    pub kernel_cycles: u64,
+    /// Number of device allocations.
+    pub alloc_events: u64,
+    /// Number of device frees.
+    pub free_events: u64,
+    /// High-water mark of device bytes in use, as seen by the recorder.
+    pub peak_bytes: u64,
+    /// Number of PCIe transfers.
+    pub transfer_events: u64,
+    /// Total bytes moved across PCIe.
+    pub transfer_bytes: u64,
+    /// Per-phase simulated durations `(name, µs)`, in completion order.
+    pub phase_us: Vec<(String, f64)>,
+}
+
+impl TraceSummary {
+    /// The summary as a JSON object (embedded in trace files and `--json`
+    /// CLI output).
+    pub fn to_json(&self) -> Value {
+        let mut phases = serde_json::Map::new();
+        for (name, us) in &self.phase_us {
+            phases.insert(name.clone(), Value::from(*us));
+        }
+        json!({
+            "kernel_launches": self.kernel_launches,
+            "kernel_cycles": self.kernel_cycles,
+            "alloc_events": self.alloc_events,
+            "free_events": self.free_events,
+            "peak_device_bytes": self.peak_bytes,
+            "transfer_events": self.transfer_events,
+            "transfer_bytes": self.transfer_bytes,
+            "phase_us": Value::Object(phases),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_returns_start() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0.0);
+        assert_eq!(c.advance(5.0), 0.0);
+        assert_eq!(c.advance(2.5), 5.0);
+        assert_eq!(c.now_us(), 7.5);
+        c.reset();
+        assert_eq!(c.now_us(), 0.0);
+    }
+
+    #[test]
+    fn clock_is_race_free() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now_us(), 8000.0);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = RunTrace::disabled();
+        t.record_phase("sampling", 0.0, 10.0);
+        t.record_kernel("k", 0.0, 1.0, 4, 100, 50);
+        t.record_alloc(0.0, 64, 64);
+        t.record_transfer("h2d", 0.0, 1.0, 1024);
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.summary(), TraceSummary::default());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = RunTrace::enabled();
+        let t2 = t.clone();
+        t.record_kernel("a", 0.0, 1.0, 2, 10, 7);
+        t2.record_kernel("b", 1.0, 1.0, 2, 20, 9);
+        let s = t.summary();
+        assert_eq!(s.kernel_launches, 2);
+        assert_eq!(s.kernel_cycles, 30);
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn summary_tracks_memory_high_water() {
+        let t = RunTrace::enabled();
+        t.record_alloc(0.0, 100, 100);
+        t.record_alloc(1.0, 400, 500);
+        t.record_free(2.0, 400, 100);
+        t.record_alloc(3.0, 50, 150);
+        let s = t.summary();
+        assert_eq!(s.peak_bytes, 500);
+        assert_eq!(s.alloc_events, 3);
+        assert_eq!(s.free_events, 1);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = RunTrace::enabled();
+        t.record_phase("estimation", 0.0, 3.0);
+        t.record_kernel("eim_sample", 0.5, 2.0, 8, 1000, 200);
+        t.record_alloc(0.1, 64, 64);
+        t.record_transfer("h2d:graph", 0.0, 0.4, 4096);
+        let v = t.chrome_json(&[("engine", "eim".to_string())]);
+        let events = v["traceEvents"].as_array().expect("array");
+        // 4 lane-name metadata events + 4 recorded events.
+        assert_eq!(events.len(), 8);
+        let phase = events
+            .iter()
+            .find(|e| e["name"] == "estimation")
+            .expect("phase event");
+        assert_eq!(phase["ph"], "X");
+        assert_eq!(phase["dur"].as_f64(), Some(3.0));
+        let kernel = events
+            .iter()
+            .find(|e| e["name"] == "eim_sample")
+            .expect("kernel event");
+        assert_eq!(kernel["cat"], "kernel");
+        assert_eq!(kernel["args"]["blocks"].as_u64(), Some(8));
+        let counter = events
+            .iter()
+            .find(|e| e["ph"] == "C")
+            .expect("counter event");
+        assert_eq!(counter["args"]["in_use"].as_f64(), Some(64.0));
+        assert_eq!(v["otherData"]["engine"], "eim");
+        assert_eq!(v["summary"]["kernel_launches"].as_u64(), Some(1));
+        // Round-trips through the serializer and parser.
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["summary"]["transfer_bytes"].as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn write_chrome_file_creates_dirs() {
+        let dir = std::env::temp_dir().join("eim_trace_test_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.trace.json");
+        let t = RunTrace::enabled();
+        t.record_phase("sampling", 0.0, 1.0);
+        t.write_chrome_file(&path, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert!(v["traceEvents"].as_array().unwrap().len() >= 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

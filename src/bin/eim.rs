@@ -16,20 +16,25 @@
 //!   --engine <eim|gim|curipples|cpu>                   [eim]
 //!   --scale <f>          dataset scale (with --dataset) [0.01]
 //!   --seed <n>           RNG seed                      [7]
+//!   --device-mem-mb <f>  override device memory capacity (MB)
 //!   --no-pack            disable log encoding (eIM only)
 //!   --no-elim            disable source elimination (eIM only)
 //!   --spread-sims <n>    Monte-Carlo spread evaluations [0 = skip]
+//!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
 //!   --json               machine-readable output
 //! ```
 
 use std::fs::File;
+use std::path::Path;
 
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
 use eim::core::{EimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
-use eim::gpusim::{Device, DeviceSpec};
+use eim::gpusim::{Device, DeviceSpec, RunTrace};
 use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
-use eim::imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig, ImmEngine, ImmResult};
+use eim::imm::{
+    run_imm_traced, CpuEngine, CpuParallelism, EngineError, ImmConfig, ImmEngine, ImmResult,
+};
 use eim::prelude::*;
 
 struct Args {
@@ -42,9 +47,11 @@ struct Args {
     engine: String,
     scale: f64,
     seed: u64,
+    device_mem_mb: Option<f64>,
     pack: bool,
     elim: bool,
     spread_sims: usize,
+    trace: Option<String>,
     json: bool,
 }
 
@@ -52,7 +59,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: eim (--input <file> | --weighted <file> | --dataset <abbrev>) \
          [--k n] [--eps f] [--model ic|lt] [--engine eim|gim|curipples|cpu] \
-         [--scale f] [--seed n] [--no-pack] [--no-elim] [--spread-sims n] [--json]"
+         [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
+         [--spread-sims n] [--trace <file>] [--json]"
     );
     std::process::exit(2);
 }
@@ -68,9 +76,11 @@ fn parse_args() -> Args {
         engine: "eim".into(),
         scale: 0.01,
         seed: 7,
+        device_mem_mb: None,
         pack: true,
         elim: true,
         spread_sims: 0,
+        trace: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -92,9 +102,11 @@ fn parse_args() -> Args {
             "--engine" => a.engine = val().to_ascii_lowercase(),
             "--scale" => a.scale = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--device-mem-mb" => a.device_mem_mb = Some(val().parse().unwrap_or_else(|_| usage())),
             "--no-pack" => a.pack = false,
             "--no-elim" => a.elim = false,
             "--spread-sims" => a.spread_sims = val().parse().unwrap_or_else(|_| usage()),
+            "--trace" => a.trace = Some(val()),
             "--json" => a.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -145,6 +157,31 @@ fn load_graph(a: &Args) -> Graph {
     }
 }
 
+/// Reports an engine failure and exits nonzero. Under `--json` the error is
+/// a structured object on stdout so harnesses can parse the failure mode
+/// (the OOM cells of the paper's tables); otherwise a plain message on
+/// stderr. Never panics.
+fn report_engine_error(json: bool, e: EngineError) -> ! {
+    if json {
+        let err = match e {
+            EngineError::OutOfMemory {
+                requested,
+                capacity,
+            } => serde_json::json!({
+                "kind": "out_of_memory",
+                "message": e.to_string(),
+                "requested_bytes": requested,
+                "capacity_bytes": capacity,
+            }),
+        };
+        let out = serde_json::json!({ "error": err });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        eprintln!("error: {e}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let a = parse_args();
     let graph = load_graph(&a);
@@ -157,44 +194,59 @@ fn main() {
         .with_packed(a.pack)
         .with_source_elimination(a.elim);
     let baseline = config.with_packed(false).with_source_elimination(false);
-    let spec = DeviceSpec::rtx_a6000();
+    let spec = match a.device_mem_mb {
+        Some(mb) => DeviceSpec::rtx_a6000_with_mem((mb * 1024.0 * 1024.0) as usize),
+        None => DeviceSpec::rtx_a6000(),
+    };
+    // Recording is cheap at CLI scale: collect telemetry whenever the run
+    // will report it (a trace file or the --json summary).
+    let trace = if a.trace.is_some() || a.json {
+        RunTrace::enabled()
+    } else {
+        RunTrace::disabled()
+    };
     let wall = std::time::Instant::now();
 
-    let run_err = |e: eim::imm::EngineError| -> ! {
-        eprintln!("run failed: {e}");
-        std::process::exit(1);
-    };
+    let run_err = |e: EngineError| -> ! { report_engine_error(a.json, e) };
     let (result, sim_us): (ImmResult, Option<f64>) = match a.engine.as_str() {
         "eim" => {
             let mut e = EimEngine::new(
                 &graph,
                 config,
-                Device::new(spec),
+                Device::with_run_trace(spec, trace.clone()),
                 ScanStrategy::ThreadPerSet,
             )
             .unwrap_or_else(|e| run_err(e));
-            let r = run_imm(&mut e, &config).unwrap_or_else(|e| run_err(e));
+            let r = run_imm_traced(&mut e, &config, &trace).unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "gim" => {
-            let mut e =
-                GimEngine::new(&graph, baseline, Device::new(spec)).unwrap_or_else(|e| run_err(e));
-            let r = run_imm(&mut e, &baseline).unwrap_or_else(|e| run_err(e));
+            let mut e = GimEngine::new(
+                &graph,
+                baseline,
+                Device::with_run_trace(spec, trace.clone()),
+            )
+            .unwrap_or_else(|e| run_err(e));
+            let r = run_imm_traced(&mut e, &baseline, &trace).unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "curipples" => {
-            let mut e =
-                CuRipplesEngine::new(&graph, baseline, Device::new(spec), HostSpec::default())
-                    .unwrap_or_else(|e| run_err(e));
-            let r = run_imm(&mut e, &baseline).unwrap_or_else(|e| run_err(e));
+            let mut e = CuRipplesEngine::new(
+                &graph,
+                baseline,
+                Device::with_run_trace(spec, trace.clone()),
+                HostSpec::default(),
+            )
+            .unwrap_or_else(|e| run_err(e));
+            let r = run_imm_traced(&mut e, &baseline, &trace).unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "cpu" => {
             let mut e = CpuEngine::new(&graph, config, CpuParallelism::Rayon);
-            let r = run_imm(&mut e, &config).unwrap_or_else(|e| run_err(e));
+            let r = run_imm_traced(&mut e, &config, &trace).unwrap_or_else(|e| run_err(e));
             (r, None)
         }
         _ => usage(),
@@ -210,13 +262,34 @@ fn main() {
         )
     });
 
+    if let Some(path) = &a.trace {
+        let source = a
+            .dataset
+            .clone()
+            .or_else(|| a.input.clone())
+            .or_else(|| a.weighted.clone())
+            .unwrap_or_default();
+        let metadata = [
+            ("engine", a.engine.clone()),
+            ("source", source),
+            ("model", a.model.to_string()),
+            ("k", a.k.to_string()),
+            ("epsilon", a.eps.to_string()),
+            ("seed", a.seed.to_string()),
+        ];
+        if let Err(e) = trace.write_chrome_file(Path::new(path), &metadata) {
+            eprintln!("cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if a.json {
         let out = serde_json::json!({
             "engine": a.engine,
             "model": a.model.to_string(),
             "k": a.k,
             "epsilon": a.eps,
-            "graph": { "vertices": stats.vertices, "edges": stats.edges },
+            "graph": serde_json::json!({ "vertices": stats.vertices, "edges": stats.edges }),
             "seeds": result.seeds,
             "coverage": result.coverage,
             "rrr_sets": result.num_sets,
@@ -226,6 +299,7 @@ fn main() {
             "wall_seconds": wall_s,
             "simulated_device_ms": sim_us.map(|us| us / 1000.0),
             "estimated_spread": spread,
+            "telemetry": trace.summary().to_json(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
     } else {
@@ -253,6 +327,9 @@ fn main() {
                 "estimated spread: {s:.1} vertices ({:.2}% of the graph)",
                 100.0 * s / stats.vertices.max(1) as f64
             );
+        }
+        if let Some(path) = &a.trace {
+            println!("trace: {path}");
         }
     }
 }

@@ -156,6 +156,84 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn oom_is_a_clean_error_not_a_panic() {
+    // 0.1 MB cannot hold a ~2 MB graph: the run must fail with a clear
+    // message on stderr and a nonzero exit, not a panic.
+    let out = eim()
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.2",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--device-mem-mb",
+            "0.1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("out of device memory"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn oom_under_json_is_a_structured_error() {
+    let out = eim()
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.2",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--device-mem-mb",
+            "0.1",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout parses as JSON");
+    assert_eq!(v["error"]["kind"], "out_of_memory");
+    assert!(v["error"]["requested_bytes"].as_u64().unwrap() > 0);
+    assert!(v["error"]["capacity_bytes"].as_u64().unwrap() > 0);
+    assert!(v["error"]["message"]
+        .as_str()
+        .unwrap()
+        .contains("out of device memory"));
+}
+
+#[test]
+fn json_output_carries_telemetry_summary() {
+    let out = eim()
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "2",
+            "--eps",
+            "0.5",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let t = &v["telemetry"];
+    assert!(t["kernel_launches"].as_u64().unwrap() > 0);
+    assert!(t["peak_device_bytes"].as_u64().unwrap() > 0);
+    assert!(t["phase_us"]["estimation"].as_f64().unwrap() >= 0.0);
+}
+
+#[test]
 fn lt_model_flag() {
     let out = eim()
         .args([

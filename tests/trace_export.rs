@@ -1,0 +1,126 @@
+//! Golden test for the run-telemetry subsystem: drive a tiny deterministic
+//! graph through `eim --trace`, parse the emitted Chrome trace-event JSON,
+//! and assert the structural invariants every Perfetto-loadable trace of a
+//! run must satisfy — for all three simulated GPU engines.
+
+use std::process::Command;
+
+fn run_traced(engine: &str) -> serde_json::Value {
+    let dir = std::env::temp_dir().join("eim_trace_export_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{engine}.trace.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_eim"))
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--seed",
+            "11",
+            "--engine",
+            engine,
+            "--trace",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{engine}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    serde_json::from_str(&text).expect("trace parses as JSON")
+}
+
+fn events_of<'v>(v: &'v serde_json::Value, cat: &str) -> Vec<&'v serde_json::Value> {
+    v["traceEvents"]
+        .as_array()
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e["cat"] == cat)
+        .collect()
+}
+
+#[test]
+fn every_gpu_engine_emits_a_complete_trace() {
+    for engine in ["eim", "gim", "curipples"] {
+        let v = run_traced(engine);
+
+        // Phase spans: the three IMM driver phases, in timeline order,
+        // back to back.
+        let phases = events_of(&v, "phase");
+        let names: Vec<&str> = phases.iter().map(|e| e["name"].as_str().unwrap()).collect();
+        assert_eq!(
+            names,
+            ["estimation", "sampling", "selection"],
+            "{engine}: phase spans"
+        );
+        for pair in phases.windows(2) {
+            let end = pair[0]["ts"].as_f64().unwrap() + pair[0]["dur"].as_f64().unwrap();
+            let next = pair[1]["ts"].as_f64().unwrap();
+            assert!(
+                (end - next).abs() < 1e-6,
+                "{engine}: phases tile the timeline"
+            );
+        }
+
+        // Kernel events: at least one launch, with simulated cycles and a
+        // grid size, all `ph: X` duration events.
+        let kernels = events_of(&v, "kernel");
+        assert!(!kernels.is_empty(), "{engine}: no kernel events");
+        for k in &kernels {
+            assert_eq!(k["ph"], "X", "{engine}: kernel events are spans");
+            assert!(k["dur"].as_f64().unwrap() > 0.0);
+            assert!(k["args"]["blocks"].as_u64().unwrap() > 0);
+        }
+        let total_cycles: u64 = kernels
+            .iter()
+            .map(|k| k["args"]["total_cycles"].as_u64().unwrap())
+            .sum();
+        assert!(total_cycles > 0, "{engine}: kernels charged no cycles");
+
+        // Memory events: allocations with a nonzero high-water mark in the
+        // embedded summary.
+        assert!(
+            !events_of(&v, "memory").is_empty(),
+            "{engine}: no memory events"
+        );
+        let summary = &v["summary"];
+        assert!(
+            summary["peak_device_bytes"].as_u64().unwrap() > 0,
+            "{engine}: zero memory high-water mark"
+        );
+        assert!(summary["kernel_launches"].as_u64().unwrap() >= kernels.len() as u64);
+
+        // Transfer events: every engine uploads its graph; cuRipples also
+        // offloads RRR batches.
+        let transfers = events_of(&v, "transfer");
+        assert!(!transfers.is_empty(), "{engine}: no transfer events");
+        assert!(transfers
+            .iter()
+            .all(|t| t["args"]["bytes"].as_u64().is_some()));
+        if engine == "curipples" {
+            assert!(
+                transfers.len() > 1,
+                "curipples must offload RRR batches beyond the graph upload"
+            );
+        }
+
+        // Trace metadata names the engine.
+        assert_eq!(v["otherData"]["engine"].as_str().unwrap(), engine);
+    }
+}
+
+#[test]
+fn trace_is_deterministic_for_a_fixed_seed() {
+    let a = run_traced("eim");
+    let b = run_traced("eim");
+    assert_eq!(a["traceEvents"], b["traceEvents"]);
+    assert_eq!(a["summary"], b["summary"]);
+}

@@ -1,0 +1,215 @@
+//! Vendored, dependency-free micro-benchmark harness mirroring the subset of
+//! the `criterion` API this workspace's benches use.
+//!
+//! Statistical rigor is intentionally traded for hermeticity: each benchmark
+//! runs a short warmup followed by `sample_size` timed iterations and prints
+//! the mean time per iteration. Invoked without `--bench` (as `cargo test`
+//! does for `harness = false` bench targets) it runs one iteration per
+//! benchmark as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes --bench; plain execution (e.g. via
+        // `cargo test`, which runs harness=false bench targets) smoke-tests
+        // with a single iteration.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: 10,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, self.sample_size, self.quick, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration workload size (accepted for API
+    /// compatibility; throughput is not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.quick,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.criterion.sample_size, self.criterion.quick, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Workload-size annotation.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup (not timed).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, quick: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let iters = if quick { 1 } else { sample_size };
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total.as_secs_f64() / iters as f64;
+    if quick {
+        println!("bench {label}: ok (smoke, {:.3} ms)", per_iter * 1e3);
+    } else {
+        println!("bench {label}: {:.3} ms/iter over {iters} iters", per_iter * 1e3);
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

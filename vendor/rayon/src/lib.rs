@@ -1,0 +1,608 @@
+//! Vendored, dependency-free reimplementation of the subset of the `rayon`
+//! API this workspace uses: indexed parallel iterators over ranges, slices
+//! and vectors, with `map`/`filter`/`for_each`/`reduce`/`sum`/`collect`, and
+//! a `ThreadPoolBuilder` whose `install` scopes a thread-count override.
+//!
+//! Execution model: each parallel call splits the index space into fixed
+//! blocks, workers claim blocks through an atomic counter (cheap work
+//! stealing), and block results are recombined **in index order**. Because
+//! every combining operation the workspace uses is associative (sums, and
+//! argmax under a total order), results are identical for any thread count —
+//! the property `tests/determinism.rs` asserts.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! The traits most code wants in scope.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads for the current scope.
+fn effective_threads() -> usize {
+    POOL_OVERRIDE.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    })
+}
+
+/// Runs `fold_block` over fixed-size index blocks on a small worker crew and
+/// returns the per-block results **ordered by block index**. This ordering is
+/// what makes reductions deterministic under any scheduling.
+fn run_blocks<A, F>(len: usize, fold_block: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize) -> A + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads().min(len);
+    if threads <= 1 {
+        return vec![fold_block(0, len)];
+    }
+    // Enough blocks per thread to absorb skew, few enough to keep the
+    // bookkeeping negligible.
+    let block = len.div_ceil(threads * 8).max(1);
+    let nblocks = len.div_ceil(block);
+    let counter = AtomicUsize::new(0);
+    let fold_block = &fold_block;
+    let counter = &counter;
+    let mut parts: Vec<(usize, A)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, A)> = Vec::new();
+                    loop {
+                        let b = counter.fetch_add(1, Ordering::Relaxed);
+                        if b >= nblocks {
+                            break;
+                        }
+                        let start = b * block;
+                        let end = (start + block).min(len);
+                        mine.push((b, fold_block(start, end)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    parts.sort_unstable_by_key(|p| p.0);
+    parts.into_iter().map(|(_, a)| a).collect()
+}
+
+/// An indexed parallel iterator: a length plus a (filterable) item producer.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of index slots (an upper bound on produced items once filters
+    /// are involved).
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at slot `i`, or `None` if a filter rejected it.
+    fn par_get(&self, i: usize) -> Option<Self::Item>;
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only items for which `p` returns true.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_blocks(self.par_len(), |s, e| {
+            for i in s..e {
+                if let Some(item) = self.par_get(i) {
+                    f(item);
+                }
+            }
+        });
+    }
+
+    /// Reduces all items with `op`, seeding each partial fold with
+    /// `identity()`. `op` must be associative for the result to be
+    /// deterministic (all uses in this workspace are).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = run_blocks(self.par_len(), |s, e| {
+            let mut acc = identity();
+            for i in s..e {
+                if let Some(item) = self.par_get(i) {
+                    acc = op(acc, item);
+                }
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_blocks(self.par_len(), |s, e| {
+            (s..e).filter_map(|i| self.par_get(i)).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Counts the items that survive filtering.
+    fn count(self) -> usize {
+        run_blocks(self.par_len(), |s, e| {
+            (s..e).filter(|&i| self.par_get(i).is_some()).count()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Collects all items, in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let parts = run_blocks(self.par_len(), |s, e| {
+            let mut out = Vec::with_capacity(e - s);
+            for i in s..e {
+                if let Some(item) = self.par_get(i) {
+                    out.push(item);
+                }
+            }
+            out
+        });
+        let mut all = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            all.extend(p);
+        }
+        C::from_ordered_vec(all)
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in index order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Map adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> Option<R> {
+        self.base.par_get(i).map(&self.f)
+    }
+}
+
+/// Filter adapter.
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> Option<I::Item> {
+        self.base.par_get(i).filter(|x| (self.p)(x))
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator over an integer range.
+#[derive(Clone, Copy)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.len
+            }
+            fn par_get(&self, i: usize) -> Option<$t> {
+                Some(self.start + i as $t)
+            }
+        }
+    )*};
+}
+range_impl!(u32, u64, usize);
+
+impl IntoParallelIterator for std::ops::Range<i32> {
+    type Iter = RangeIter<i32>;
+    type Item = i32;
+    fn into_par_iter(self) -> RangeIter<i32> {
+        let len = if self.end > self.start {
+            (self.end as i64 - self.start as i64) as usize
+        } else {
+            0
+        };
+        RangeIter {
+            start: self.start,
+            len,
+        }
+    }
+}
+
+impl ParallelIterator for RangeIter<i32> {
+    type Item = i32;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn par_get(&self, i: usize) -> Option<i32> {
+        Some(self.start + i as i32)
+    }
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_get(&self, i: usize) -> Option<&'a T> {
+        Some(&self.slice[i])
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter {
+            items: self.into_iter().map(ItemSlot::new).collect(),
+        }
+    }
+}
+
+/// A parallel iterator that takes ownership of a `Vec`, handing each element
+/// out exactly once.
+pub struct VecIter<T> {
+    items: Vec<ItemSlot<T>>,
+}
+
+struct ItemSlot<T>(std::sync::Mutex<Option<T>>);
+
+impl<T> ItemSlot<T> {
+    fn new(v: T) -> Self {
+        Self(std::sync::Mutex::new(Some(v)))
+    }
+    fn take(&self) -> Option<T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_get(&self, i: usize) -> Option<T> {
+        self.items[i].take()
+    }
+}
+
+/// `.par_iter()` on shared collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on mutable collections: runs the closure over disjoint
+/// chunks; only `for_each` is supported on the result.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The resulting iterator.
+    type Iter;
+    /// The element type (a mutable reference).
+    type Item: 'data;
+    /// Mutably borrows `self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// A mutable parallel "iterator" supporting `for_each`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Applies `f` to every element in parallel over disjoint chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = effective_threads().min(self.slice.len().max(1));
+        if threads <= 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = self.slice.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in self.slice.chunks_mut(chunk) {
+                let f = &f;
+                s.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` — the only knob supported is
+/// the thread count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 means the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes parallel calls to a fixed thread count.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect for parallel calls
+    /// made on the current thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let guard = RestoreOverride(prev);
+        let result = op();
+        drop(guard);
+        result
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(effective_threads)
+    }
+}
+
+struct RestoreOverride(Option<usize>);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        POOL_OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+/// Returns the number of threads parallel calls will use here.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let v: Vec<u64> = (0u64..1000)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .map(|x| x + 1)
+            .collect();
+        let expect: Vec<u64> = (0u64..1000).filter(|x| x % 3 == 0).map(|x| x + 1).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn reduce_argmax_deterministic_across_thread_counts() {
+        let data: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let run = || {
+            data.par_iter()
+                .map(|&c| c)
+                .collect::<Vec<u32>>()
+                .into_par_iter()
+                .map(|c| (c, 0usize))
+                .reduce(|| (0, usize::MAX), |a, b| if b.0 > a.0 { b } else { a })
+        };
+        let base = run();
+        for n in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            assert_eq!(pool.install(run), base);
+        }
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: usize = (0usize..1001).into_par_iter().sum();
+        assert_eq!(s, 1000 * 1001 / 2);
+        let c = (0u64..1000).into_par_iter().filter(|x| x % 2 == 0).count();
+        assert_eq!(c, 500);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v = vec![String::from("a"), String::from("b"), String::from("c")];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn for_each_runs_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0usize..4096)
+            .into_par_iter()
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x *= 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+}
