@@ -16,7 +16,7 @@
 //! * selection scans assign one **warp** per RRR set.
 
 use eim_diffusion::{sample_rng, DiffusionModel};
-use eim_gpusim::{Device, MemoryError, Op, TransferDirection, WARP_SIZE};
+use eim_gpusim::{Device, Op, TransferDirection, WARP_SIZE};
 use eim_graph::{Graph, VertexId};
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -31,13 +31,6 @@ use eim_core::{DeviceGraph, PlainDeviceGraph};
 const FRAGMENTATION_LEAK: f64 = 0.10;
 /// Spill chunks round up to this multiple of the request (buddy-style).
 const ALLOC_ROUNDING: usize = 2;
-
-fn to_engine_error(e: MemoryError) -> EngineError {
-    EngineError::OutOfMemory {
-        requested: e.requested,
-        capacity: e.capacity,
-    }
-}
 
 /// Output of one gIM sampling batch: sets in index order, simulated
 /// microseconds, spill events, and fragmentation-leaked bytes.
@@ -67,7 +60,7 @@ impl<'g> GimEngine<'g> {
         device
             .memory()
             .alloc(graph.csc_bytes() + scratch)
-            .map_err(to_engine_error)?;
+            .map_err(EngineError::from)?;
         // Upload the uncompressed network over PCIe.
         let upload_us = device.transfer(graph.csc_bytes(), TransferDirection::HostToDevice);
         device.advance_clock(upload_us);
@@ -104,7 +97,10 @@ impl<'g> GimEngine<'g> {
         self.store.bytes()
     }
 
-    fn sample_batch(&self, start: u64, count: usize) -> Result<GimBatch, MemoryError> {
+    fn sample_batch(&self, start: u64, count: usize) -> Result<GimBatch, EngineError> {
+        // Injected launch faults hit before the kernel touches anything, so
+        // a retry resamples the identical index range from scratch.
+        self.device.check_kernel_fault("gim_sample")?;
         let graph = PlainDeviceGraph::new(self.graph);
         let n = self.graph.num_vertices();
         let spec = *self.device.spec();
@@ -114,142 +110,146 @@ impl<'g> GimEngine<'g> {
         let seed = self.config.seed;
         let device = &self.device;
 
-        let result = device.try_launch("gim_sample", blocks, |ctx| {
-            let b = ctx.block_id();
-            let mut visited = vec![false; n];
-            ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access);
-            let mut out: Vec<(u64, Vec<VertexId>)> = Vec::new();
-            let mut spills = 0u64;
-            let mut leaked = 0usize;
-            let mut j = b;
-            while j < count {
-                let idx = start + j as u64;
-                let mut rng = sample_rng(seed, idx);
-                let source: VertexId = rng.gen_range(0..n as VertexId);
-                ctx.charge(Op::Rng, 1);
-                ctx.charge(Op::SharedAccess, 2); // queue init in shared mem
-                let mut queue = vec![source];
-                visited[source as usize] = true;
-                // Spill bookkeeping: chunks allocated when the queue grows
-                // past shared capacity.
-                let mut spilled_chunks = 0usize;
-                let chunk_bytes = shared_queue_entries * 4;
+        let result = device
+            .try_launch("gim_sample", blocks, |ctx| {
+                let b = ctx.block_id();
+                let mut visited = vec![false; n];
+                ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access);
+                let mut out: Vec<(u64, Vec<VertexId>)> = Vec::new();
+                let mut spills = 0u64;
+                let mut leaked = 0usize;
+                let mut j = b;
+                while j < count {
+                    let idx = start + j as u64;
+                    let mut rng = sample_rng(seed, idx);
+                    let source: VertexId = rng.gen_range(0..n as VertexId);
+                    ctx.charge(Op::Rng, 1);
+                    ctx.charge(Op::SharedAccess, 2); // queue init in shared mem
+                    let mut queue = vec![source];
+                    visited[source as usize] = true;
+                    // Spill bookkeeping: chunks allocated when the queue grows
+                    // past shared capacity.
+                    let mut spilled_chunks = 0usize;
+                    let chunk_bytes = shared_queue_entries * 4;
 
-                match model {
-                    DiffusionModel::IndependentCascade => {
-                        let wave = ctx.spec().costs.shared_access
-                            + ctx.spec().costs.global_access
-                            + ctx.spec().costs.rng;
-                        let mut head = 0;
-                        while head < queue.len() {
-                            let u = queue[head];
-                            head += 1;
-                            ctx.charge(Op::SharedAccess, 1);
-                            let d = graph.in_degree(u);
-                            ctx.charge_warp_sweep(d, wave);
-                            for i in 0..d {
-                                let v = graph.in_neighbor(u, i);
-                                let p = graph.in_weight(u, i);
-                                let r: f32 = rng.gen();
-                                if r <= p && !visited[v as usize] {
-                                    visited[v as usize] = true;
-                                    queue.push(v);
-                                    ctx.charge(Op::AtomicGlobal, 1);
-                                    // Overflow past shared capacity: gIM
-                                    // dynamically allocates a global chunk.
-                                    if queue.len() > shared_queue_entries * (spilled_chunks + 1) {
-                                        ctx.charge(Op::DeviceMalloc, 1);
-                                        let rounded = chunk_bytes * ALLOC_ROUNDING;
-                                        device.memory().alloc(rounded)?;
-                                        spilled_chunks += 1;
-                                        spills += 1;
+                    match model {
+                        DiffusionModel::IndependentCascade => {
+                            let wave = ctx.spec().costs.shared_access
+                                + ctx.spec().costs.global_access
+                                + ctx.spec().costs.rng;
+                            let mut head = 0;
+                            while head < queue.len() {
+                                let u = queue[head];
+                                head += 1;
+                                ctx.charge(Op::SharedAccess, 1);
+                                let d = graph.in_degree(u);
+                                ctx.charge_warp_sweep(d, wave);
+                                for i in 0..d {
+                                    let v = graph.in_neighbor(u, i);
+                                    let p = graph.in_weight(u, i);
+                                    let r: f32 = rng.gen();
+                                    if r <= p && !visited[v as usize] {
+                                        visited[v as usize] = true;
+                                        queue.push(v);
+                                        ctx.charge(Op::AtomicGlobal, 1);
+                                        // Overflow past shared capacity: gIM
+                                        // dynamically allocates a global chunk.
+                                        if queue.len() > shared_queue_entries * (spilled_chunks + 1)
+                                        {
+                                            ctx.charge(Op::DeviceMalloc, 1);
+                                            let rounded = chunk_bytes * ALLOC_ROUNDING;
+                                            device.memory().alloc(rounded)?;
+                                            spilled_chunks += 1;
+                                            spills += 1;
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    DiffusionModel::LinearThreshold => {
-                        // gIM's LT kernel serializes the weight accumulation
-                        // through atomic adds (the slow variant of §3.3).
-                        let mut u = source;
-                        loop {
-                            let d = graph.in_degree(u);
-                            if d == 0 {
-                                break;
-                            }
-                            ctx.charge(Op::Rng, 1);
-                            let tau: f32 = rng.gen();
-                            // One contended atomic per in-edge examined.
-                            let mut acc = 0.0f32;
-                            let mut chosen: Option<VertexId> = None;
-                            let mut examined = 0usize;
-                            for i in 0..d {
-                                examined += 1;
-                                let p = graph.in_weight(u, i);
-                                acc += p;
-                                if acc >= tau {
-                                    chosen = Some(graph.in_neighbor(u, i));
+                        DiffusionModel::LinearThreshold => {
+                            // gIM's LT kernel serializes the weight accumulation
+                            // through atomic adds (the slow variant of §3.3).
+                            let mut u = source;
+                            loop {
+                                let d = graph.in_degree(u);
+                                if d == 0 {
                                     break;
                                 }
-                            }
-                            ctx.charge_contended_atomic(examined.min(WARP_SIZE));
-                            ctx.charge(
-                                Op::AtomicGlobal,
-                                (examined.saturating_sub(WARP_SIZE)) as u64,
-                            );
-                            ctx.charge_warp_sweep(examined, ctx.spec().costs.global_access);
-                            match chosen {
-                                Some(v) if !visited[v as usize] => {
-                                    visited[v as usize] = true;
-                                    queue.push(v);
-                                    ctx.charge(Op::AtomicGlobal, 1);
-                                    if queue.len() > shared_queue_entries * (spilled_chunks + 1) {
-                                        ctx.charge(Op::DeviceMalloc, 1);
-                                        device.memory().alloc(chunk_bytes * ALLOC_ROUNDING)?;
-                                        spilled_chunks += 1;
-                                        spills += 1;
+                                ctx.charge(Op::Rng, 1);
+                                let tau: f32 = rng.gen();
+                                // One contended atomic per in-edge examined.
+                                let mut acc = 0.0f32;
+                                let mut chosen: Option<VertexId> = None;
+                                let mut examined = 0usize;
+                                for i in 0..d {
+                                    examined += 1;
+                                    let p = graph.in_weight(u, i);
+                                    acc += p;
+                                    if acc >= tau {
+                                        chosen = Some(graph.in_neighbor(u, i));
+                                        break;
                                     }
-                                    u = v;
                                 }
-                                _ => break,
+                                ctx.charge_contended_atomic(examined.min(WARP_SIZE));
+                                ctx.charge(
+                                    Op::AtomicGlobal,
+                                    (examined.saturating_sub(WARP_SIZE)) as u64,
+                                );
+                                ctx.charge_warp_sweep(examined, ctx.spec().costs.global_access);
+                                match chosen {
+                                    Some(v) if !visited[v as usize] => {
+                                        visited[v as usize] = true;
+                                        queue.push(v);
+                                        ctx.charge(Op::AtomicGlobal, 1);
+                                        if queue.len() > shared_queue_entries * (spilled_chunks + 1)
+                                        {
+                                            ctx.charge(Op::DeviceMalloc, 1);
+                                            device.memory().alloc(chunk_bytes * ALLOC_ROUNDING)?;
+                                            spilled_chunks += 1;
+                                            spills += 1;
+                                        }
+                                        u = v;
+                                    }
+                                    _ => break,
+                                }
                             }
                         }
                     }
-                }
 
-                let q = queue.len();
-                // Sort (gIM also stores ascending for binary search).
-                if q > 1 {
-                    let lg = (usize::BITS - (q - 1).leading_zeros()) as u64;
-                    ctx.charge_cycles(
-                        (q as u64 * lg * lg).div_ceil(WARP_SIZE as u64)
-                            * ctx.spec().costs.shared_access,
-                    );
-                    queue.sort_unstable();
-                }
-                // Copy queue -> temp RRR buffer -> R: twice the writes of
-                // eIM's direct copy, plus the C updates.
-                ctx.charge(Op::AtomicGlobal, 1);
-                ctx.charge_warp_sweep(q, ctx.spec().costs.global_access);
-                ctx.charge_warp_sweep(q, 2 * ctx.spec().costs.global_access);
-                ctx.charge(Op::AtomicGlobal, q as u64);
-                for &v in &queue {
-                    visited[v as usize] = false;
-                }
-                ctx.charge(Op::GlobalAccess, q as u64);
+                    let q = queue.len();
+                    // Sort (gIM also stores ascending for binary search).
+                    if q > 1 {
+                        let lg = (usize::BITS - (q - 1).leading_zeros()) as u64;
+                        ctx.charge_cycles(
+                            (q as u64 * lg * lg).div_ceil(WARP_SIZE as u64)
+                                * ctx.spec().costs.shared_access,
+                        );
+                        queue.sort_unstable();
+                    }
+                    // Copy queue -> temp RRR buffer -> R: twice the writes of
+                    // eIM's direct copy, plus the C updates.
+                    ctx.charge(Op::AtomicGlobal, 1);
+                    ctx.charge_warp_sweep(q, ctx.spec().costs.global_access);
+                    ctx.charge_warp_sweep(q, 2 * ctx.spec().costs.global_access);
+                    ctx.charge(Op::AtomicGlobal, q as u64);
+                    for &v in &queue {
+                        visited[v as usize] = false;
+                    }
+                    ctx.charge(Op::GlobalAccess, q as u64);
 
-                // Release spill chunks, leaking the fragmentation share.
-                if spilled_chunks > 0 {
-                    let total = spilled_chunks * chunk_bytes * ALLOC_ROUNDING;
-                    let leak = (total as f64 * FRAGMENTATION_LEAK) as usize;
-                    device.memory().free(total - leak);
-                    leaked += leak;
+                    // Release spill chunks, leaking the fragmentation share.
+                    if spilled_chunks > 0 {
+                        let total = spilled_chunks * chunk_bytes * ALLOC_ROUNDING;
+                        let leak = (total as f64 * FRAGMENTATION_LEAK) as usize;
+                        device.memory().free(total - leak);
+                        leaked += leak;
+                    }
+                    out.push((idx, std::mem::take(&mut queue)));
+                    j += blocks;
                 }
-                out.push((idx, std::mem::take(&mut queue)));
-                j += blocks;
-            }
-            Ok((out, spills, leaked))
-        })?;
+                Ok((out, spills, leaked))
+            })
+            .map_err(EngineError::from)?;
 
         let mut sets: Vec<Vec<VertexId>> = vec![Vec::new(); count];
         let mut spills = 0;
@@ -273,7 +273,7 @@ impl<'g> GimEngine<'g> {
         self.device
             .memory()
             .alloc(new_alloc)
-            .map_err(to_engine_error)?;
+            .map_err(EngineError::from)?;
         self.device.memory().free(self.store_alloc_bytes);
         self.device.advance_clock(
             self.device
@@ -291,11 +291,12 @@ impl ImmEngine for GimEngine<'_> {
     }
 
     fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+        // Heal a capacity deficit left by a previous OOM before sampling
+        // more (retries land here with the target possibly already met).
+        self.ensure_store_capacity()?;
         while self.store.num_sets() < target {
             let batch_size = target - self.store.num_sets();
-            let (sets, us, spills, leaked) = self
-                .sample_batch(self.next_index, batch_size)
-                .map_err(to_engine_error)?;
+            let (sets, us, spills, leaked) = self.sample_batch(self.next_index, batch_size)?;
             self.next_index += batch_size as u64;
             self.device.advance_clock(us);
             self.spill_events += spills;
@@ -333,6 +334,10 @@ impl ImmEngine for GimEngine<'_> {
 
     fn elapsed_us(&self) -> f64 {
         self.device.clock_us()
+    }
+
+    fn advance_time(&mut self, us: f64) {
+        self.device.advance_clock(us);
     }
 }
 

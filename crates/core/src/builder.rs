@@ -1,9 +1,13 @@
 //! Fluent public API: configure and run eIM in one expression.
 
+use std::sync::Arc;
+
 use eim_diffusion::DiffusionModel;
-use eim_gpusim::{Device, DeviceSpec, RunTrace};
+use eim_gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace};
 use eim_graph::{Graph, VertexId};
-use eim_imm::{run_imm_traced, EngineError, ImmConfig, PhaseBreakdown};
+use eim_imm::{
+    run_imm_recovering, EngineError, ImmConfig, PhaseBreakdown, RecoveryPolicy, RecoveryReport,
+};
 
 use crate::engine::EimEngine;
 use crate::memory::MemoryFootprint;
@@ -29,6 +33,8 @@ pub struct EimResult {
     pub memory: MemoryFootprint,
     /// Sampling outcome counters (singletons, discards).
     pub counters: SamplerCounters,
+    /// What it took to finish: retries, batch splits, host spills.
+    pub recovery: RecoveryReport,
 }
 
 impl EimResult {
@@ -68,6 +74,8 @@ pub struct EimBuilder<'g> {
     device: DeviceSpec,
     scan: ScanStrategy,
     trace: RunTrace,
+    recovery: RecoveryPolicy,
+    faults: Option<FaultSpec>,
 }
 
 impl<'g> EimBuilder<'g> {
@@ -81,6 +89,8 @@ impl<'g> EimBuilder<'g> {
             device: DeviceSpec::rtx_a6000(),
             scan: ScanStrategy::ThreadPerSet,
             trace: RunTrace::disabled(),
+            recovery: RecoveryPolicy::abort(),
+            faults: None,
         }
     }
 
@@ -145,16 +155,31 @@ impl<'g> EimBuilder<'g> {
         self
     }
 
+    /// How the run responds to injected faults and memory pressure
+    /// (default: abort on the first error, today's behavior).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Attach a deterministic fault-injection schedule (see
+    /// [`FaultSpec::parse`] for the spec grammar).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Runs the complete IMM pipeline.
     pub fn run(self) -> Result<EimResult, EngineError> {
         let trace = self.trace.clone();
-        let mut engine = EimEngine::new(
-            self.graph,
-            self.config,
-            Device::with_run_trace(self.device, self.trace),
-            self.scan,
-        )?;
-        let imm = run_imm_traced(&mut engine, &self.config, &trace)?;
+        let mut device = Device::with_run_trace(self.device, self.trace);
+        if let Some(spec) = self.faults {
+            if !spec.is_noop() {
+                device = device.with_fault_plan(Arc::new(FaultPlan::new(spec)));
+            }
+        }
+        let mut engine = EimEngine::new(self.graph, self.config, device, self.scan)?;
+        let imm = run_imm_recovering(&mut engine, &self.config, &self.recovery, &trace)?;
         Ok(EimResult {
             seeds: imm.seeds,
             coverage: imm.coverage,
@@ -164,6 +189,7 @@ impl<'g> EimBuilder<'g> {
             phases: imm.phases,
             memory: engine.footprint(),
             counters: engine.counters(),
+            recovery: imm.recovery,
         })
     }
 }

@@ -2,10 +2,12 @@
 //! [`ImmEngine`] backend for the shared IMM driver.
 
 use eim_bitpack::PackedCsc;
+use eim_gpusim::ArgValue;
 use eim_gpusim::{Device, MemoryError, TransferDirection};
 use eim_graph::Graph;
 use eim_imm::{
-    AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
+    AnyRrrStore, EngineError, ImmConfig, ImmEngine, PackedRrrBatch, RecoveryPolicy, RecoveryReport,
+    RrrSets, RrrStoreBuilder, Selection,
 };
 
 use crate::device_graph::{DeviceGraph, PlainDeviceGraph};
@@ -28,11 +30,13 @@ impl GraphRepr<'_> {
 }
 
 fn to_engine_error(e: MemoryError) -> EngineError {
-    EngineError::OutOfMemory {
-        requested: e.requested,
-        capacity: e.capacity,
-    }
+    EngineError::from(e)
 }
+
+/// Sets per spilled batch under host-spill degradation. Small enough that a
+/// few evictions relieve a marginal deficit, big enough to amortize the
+/// per-batch PCIe latency.
+const SPILL_BATCH_SETS: usize = 1024;
 
 /// eIM on a simulated device. Construct with [`EimEngine::new`], then either
 /// drive it manually or hand it to [`eim_imm::run_imm`] (which
@@ -47,6 +51,15 @@ pub struct EimEngine<'g> {
     counters: SamplerCounters,
     store_alloc_bytes: usize,
     scratch: ScratchPlan,
+    policy: RecoveryPolicy,
+    report: RecoveryReport,
+    /// Host-resident copies of the oldest `spill_cursor` sets, evicted under
+    /// memory pressure in `Degrade` mode. The canonical store keeps every
+    /// set (selection scans all of them); spilling reduces only the
+    /// *device-resident* byte accounting.
+    spill_arena: Vec<PackedRrrBatch>,
+    spill_cursor: usize,
+    spilled_bytes: usize,
 }
 
 impl<'g> EimEngine<'g> {
@@ -84,6 +97,11 @@ impl<'g> EimEngine<'g> {
             counters: SamplerCounters::default(),
             store_alloc_bytes: 0,
             scratch,
+            policy: RecoveryPolicy::abort(),
+            report: RecoveryReport::default(),
+            spill_arena: Vec::new(),
+            spill_cursor: 0,
+            spilled_bytes: 0,
         })
     }
 
@@ -107,7 +125,7 @@ impl<'g> EimEngine<'g> {
         }
     }
 
-    fn run_batch(&mut self, count: usize) -> SampleBatch {
+    fn run_batch(&mut self, count: usize) -> Result<SampleBatch, EngineError> {
         let (device, config) = (&self.device, &self.config);
         match &self.graph {
             GraphRepr::Plain(g) => sample_batch(
@@ -129,29 +147,88 @@ impl<'g> EimEngine<'g> {
                 config.source_elimination,
             ),
         }
+        .map_err(EngineError::from)
+    }
+
+    /// Bytes of the store that must be device-resident (total minus what
+    /// was spilled to the host).
+    fn resident_store_bytes(&self) -> usize {
+        self.store.bytes().saturating_sub(self.spilled_bytes)
+    }
+
+    /// Evicts the next [`SPILL_BATCH_SETS`] oldest sets to host memory,
+    /// paying the d2h transfer on the simulated clock. Returns `false` once
+    /// every stored set is already host-resident (nothing left to evict).
+    fn spill_oldest_batch(&mut self) -> bool {
+        let total = self.store.num_sets();
+        if self.spill_cursor >= total {
+            return false;
+        }
+        let end = (self.spill_cursor + SPILL_BATCH_SETS).min(total);
+        let batch = PackedRrrBatch::pack_range(&self.store, self.spill_cursor, end);
+        let bytes = batch.device_bytes();
+        let d2h = self.device.transfer(bytes, TransferDirection::DeviceToHost);
+        let ts = self.device.advance_clock(d2h);
+        self.device.run_trace().record_recovery(
+            "recover:spill",
+            ts,
+            vec![
+                ("sets", ArgValue::U64((end - self.spill_cursor) as u64)),
+                ("bytes", ArgValue::U64(bytes as u64)),
+            ],
+        );
+        self.spill_cursor = end;
+        self.spilled_bytes += bytes;
+        self.report.spill_events += 1;
+        self.report.spilled_bytes += bytes;
+        self.spill_arena.push(batch);
+        true
     }
 
     /// Grows the device allocation backing `R`/`O` when the store outgrew
     /// it: reserve the new extent, copy, release the old one. The transient
-    /// old+new residency is what makes growth a real OOM hazard.
+    /// old+new residency is what makes growth a real OOM hazard. Under
+    /// `Degrade`, an OOM here triggers host-spill of the oldest packed
+    /// batches (shrinking the resident footprint) before giving up; an
+    /// exact-fit allocation (no 1.5x headroom) is the last resort.
     fn ensure_store_capacity(&mut self) -> Result<(), EngineError> {
-        let needed = self.store.bytes();
-        if needed <= self.store_alloc_bytes {
-            return Ok(());
+        loop {
+            let needed = self.resident_store_bytes();
+            if needed <= self.store_alloc_bytes {
+                return Ok(());
+            }
+            let new_alloc = (needed * 3 / 2).max(4096);
+            let err = match self.device.memory().alloc(new_alloc) {
+                Ok(()) => {
+                    self.device.memory().free(self.store_alloc_bytes);
+                    self.device.advance_clock(
+                        self.device
+                            .spec()
+                            .device_copy_us(self.store_alloc_bytes.min(needed)),
+                    );
+                    self.store_alloc_bytes = new_alloc;
+                    return Ok(());
+                }
+                Err(e) => e,
+            };
+            if !self.policy.allows_degrade() {
+                return Err(to_engine_error(err));
+            }
+            // Exact fit before spilling: growth headroom is a luxury.
+            if new_alloc > needed && self.device.memory().alloc(needed).is_ok() {
+                self.device.memory().free(self.store_alloc_bytes);
+                self.device.advance_clock(
+                    self.device
+                        .spec()
+                        .device_copy_us(self.store_alloc_bytes.min(needed)),
+                );
+                self.store_alloc_bytes = needed;
+                return Ok(());
+            }
+            if !self.spill_oldest_batch() {
+                return Err(to_engine_error(err));
+            }
         }
-        let new_alloc = (needed * 3 / 2).max(4096);
-        self.device
-            .memory()
-            .alloc(new_alloc)
-            .map_err(to_engine_error)?;
-        self.device.memory().free(self.store_alloc_bytes);
-        self.device.advance_clock(
-            self.device
-                .spec()
-                .device_copy_us(self.store_alloc_bytes.min(needed)),
-        );
-        self.store_alloc_bytes = new_alloc;
-        Ok(())
     }
 }
 
@@ -161,13 +238,20 @@ impl ImmEngine for EimEngine<'_> {
     }
 
     fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+        // Heal first: a previous call may have appended sets and then OOMed
+        // growing the store allocation. Retrying (possibly after a split or
+        // a pressure window expiring) must fix that capacity deficit even
+        // when the sample target itself is already reached.
+        self.ensure_store_capacity()?;
         // Every sampled traversal counts toward theta; eliminated-to-empty
         // samples are not stored (see [`ImmEngine::logical_sets`]).
         if (self.next_index as usize) >= target {
             return Ok(());
         }
         let batch_size = target - self.next_index as usize;
-        let batch = self.run_batch(batch_size);
+        // A faulted launch commits nothing: next_index, counters, and the
+        // store are untouched, so a retry resamples the identical indices.
+        let batch = self.run_batch(batch_size)?;
         self.next_index = target as u64;
         self.device.advance_clock(batch.stats.elapsed_us);
         self.counters.sampled += batch.counters.sampled;
@@ -185,6 +269,21 @@ impl ImmEngine for EimEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
+        // Selection scans every stored set; spilled batches must be
+        // re-streamed from the host first (the degraded-mode cost).
+        if self.spilled_bytes > 0 {
+            let h2d = self
+                .device
+                .transfer(self.spilled_bytes, TransferDirection::HostToDevice);
+            let ts = self.device.advance_clock(h2d);
+            self.device.run_trace().record_recovery(
+                "recover:reload",
+                ts,
+                vec![("bytes", ArgValue::U64(self.spilled_bytes as u64))],
+            );
+            self.report.reloaded_bytes += self.spilled_bytes;
+            self.report.degraded_rounds += 1;
+        }
         // The covered-flag array F is transient device scratch.
         let flag_bytes = self.store.num_sets().div_ceil(8);
         let flags_ok = self.device.memory().alloc(flag_bytes).is_ok();
@@ -212,6 +311,18 @@ impl ImmEngine for EimEngine<'_> {
 
     fn elapsed_us(&self) -> f64 {
         self.device.clock_us()
+    }
+
+    fn advance_time(&mut self, us: f64) {
+        self.device.advance_clock(us);
+    }
+
+    fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    fn recovery_report(&self) -> RecoveryReport {
+        self.report
     }
 }
 
@@ -317,6 +428,49 @@ mod tests {
             }
             Err(err) => assert!(matches!(err, EngineError::OutOfMemory { .. })),
         }
+    }
+
+    #[test]
+    fn degrade_mode_finishes_where_abort_ooms_and_seeds_match() {
+        use eim_gpusim::RunTrace;
+        use eim_imm::{run_imm_recovering, RecoveryPolicy};
+        let g = generators::rmat(
+            500,
+            5_000,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            7,
+        );
+        let c = cfg().with_epsilon(0.1);
+        // Same budget that makes `store_growth_can_oom_mid_run` fail.
+        let scratch = ScratchPlan::new(500, 84 * 4).total();
+        let budget = scratch + (60 << 10);
+        let tiny = || Device::new(DeviceSpec::rtx_a6000_with_mem(budget));
+        let mut abort_engine = EimEngine::new(&g, c, tiny(), ScanStrategy::ThreadPerSet).unwrap();
+        let err = run_imm(&mut abort_engine, &c).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+
+        let mut degrade_engine = EimEngine::new(&g, c, tiny(), ScanStrategy::ThreadPerSet).unwrap();
+        let degraded = run_imm_recovering(
+            &mut degrade_engine,
+            &c,
+            &RecoveryPolicy::degrade(),
+            &RunTrace::disabled(),
+        )
+        .expect("host spill must rescue the run");
+        assert!(degraded.recovery.spill_events > 0, "nothing was spilled");
+        assert!(degraded.recovery.spilled_bytes > 0);
+        assert!(degraded.recovery.reloaded_bytes > 0, "selection reloads");
+        assert!(degraded.recovery.degraded_rounds > 0);
+
+        // Degradation trades time, never answers: a device with ample
+        // memory selects the same seeds.
+        let mut clean_engine = EimEngine::new(&g, c, device(), ScanStrategy::ThreadPerSet).unwrap();
+        let clean = run_imm(&mut clean_engine, &c).unwrap();
+        assert_eq!(degraded.seeds, clean.seeds);
+        assert_eq!(degraded.num_sets, clean.num_sets);
+        // The spilled run pays PCIe round-trips the clean run does not.
+        assert!(degrade_engine.elapsed_us() > clean_engine.elapsed_us());
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! same multiset the single-GPU engine produces — and therefore the same
 //! seed set.
 
+use std::sync::Arc;
+
 use eim_bitpack::PackedCsc;
-use eim_gpusim::{Device, DeviceSpec, MemoryError, TransferDirection};
+use eim_gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, TransferDirection};
 use eim_graph::Graph;
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -34,13 +36,6 @@ use crate::memory::ScratchPlan;
 use crate::sampler::{sample_batch, SamplerCounters};
 use crate::select::{select_on_device, ScanStrategy};
 use crate::DeviceGraph;
-
-fn to_engine_error(e: MemoryError) -> EngineError {
-    EngineError::OutOfMemory {
-        requested: e.requested,
-        capacity: e.capacity,
-    }
-}
 
 enum GraphRepr<'g> {
     Plain(PlainDeviceGraph<'g>),
@@ -88,7 +83,7 @@ impl<'g> MultiGpuEimEngine<'g> {
         for d in &devices {
             d.memory()
                 .alloc(graph_bytes + scratch.total())
-                .map_err(to_engine_error)?;
+                .map_err(EngineError::from)?;
         }
         Ok(Self {
             devices,
@@ -102,6 +97,19 @@ impl<'g> MultiGpuEimEngine<'g> {
             counters: SamplerCounters::default(),
             store_alloc_bytes: 0,
         })
+    }
+
+    /// Attaches a deterministic fault plan. Device `j` runs an independent
+    /// but still deterministic schedule derived from `spec`
+    /// ([`FaultSpec::derive`] with the device index as salt).
+    pub fn with_faults(mut self, spec: &FaultSpec) -> Self {
+        let devices = std::mem::take(&mut self.devices);
+        self.devices = devices
+            .into_iter()
+            .enumerate()
+            .map(|(j, d)| d.with_fault_plan(Arc::new(FaultPlan::new(spec.derive(j as u64)))))
+            .collect();
+        self
     }
 
     /// Number of devices.
@@ -123,22 +131,16 @@ impl<'g> MultiGpuEimEngine<'g> {
         self.devices[0]
             .memory()
             .alloc(new_alloc)
-            .map_err(to_engine_error)?;
+            .map_err(EngineError::from)?;
         self.devices[0].memory().free(self.store_alloc_bytes);
         self.store_alloc_bytes = new_alloc;
         Ok(())
     }
-}
 
-impl ImmEngine for MultiGpuEimEngine<'_> {
-    fn n(&self) -> usize {
-        self.store.num_vertices()
-    }
-
-    fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
-        if (self.next_index as usize) >= target {
-            return Ok(());
-        }
+    /// One sampling round over all devices. On a fault this returns early
+    /// with per-device accounting partially committed — the caller rolls
+    /// that back (the store and `next_index` are only touched on success).
+    fn sample_round(&mut self, target: usize) -> Result<(), EngineError> {
         let total = target - self.next_index as usize;
         let d = self.devices.len();
         // Blocked dealing: device j samples the contiguous global range
@@ -164,7 +166,7 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                     base,
                     share,
                     self.config.source_elimination,
-                ),
+                )?,
                 GraphRepr::Packed(g) => sample_batch(
                     dev,
                     g,
@@ -173,7 +175,7 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                     base,
                     share,
                     self.config.source_elimination,
-                ),
+                )?,
             };
             self.counters.sampled += batch.counters.sampled;
             self.counters.singletons += batch.counters.singletons;
@@ -191,8 +193,9 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
                 batch.stats.elapsed_us
             } else {
                 let staged = self.partition_bytes[j] - partition_before;
+                let copy_us = dev.checked_transfer(staged, TransferDirection::DeviceToHost)?;
                 self.gathered_bytes += staged;
-                batch.stats.elapsed_us.max(dev.spec().transfer_us(staged))
+                batch.stats.elapsed_us.max(copy_us)
             };
             device_times.push(device_time);
             base += share as u64;
@@ -205,8 +208,38 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
         for (_, set) in &all {
             self.store.append_set(set);
         }
-        self.grow_primary_store()?;
         Ok(())
+    }
+}
+
+impl ImmEngine for MultiGpuEimEngine<'_> {
+    fn n(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+        // Heal first: a prior round may have committed sets and then OOMed
+        // growing the primary store; a retry must fix that deficit even
+        // when the sample target itself is already met.
+        self.grow_primary_store()?;
+        if (self.next_index as usize) >= target {
+            return Ok(());
+        }
+        let counters_before = self.counters;
+        let partitions_before = self.partition_bytes.clone();
+        let gathered_before = self.gathered_bytes;
+        match self.sample_round(target) {
+            Ok(()) => self.grow_primary_store(),
+            Err(e) => {
+                // A faulted launch or staging copy aborts the whole round:
+                // restore the per-device accounting so the retry (which
+                // re-deals the identical index ranges) commits exactly once.
+                self.counters = counters_before;
+                self.partition_bytes = partitions_before;
+                self.gathered_bytes = gathered_before;
+                Err(e)
+            }
+        }
     }
 
     fn select(&mut self, k: usize) -> Selection {
@@ -233,6 +266,10 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
 
     fn elapsed_us(&self) -> f64 {
         self.clock_us
+    }
+
+    fn advance_time(&mut self, us: f64) {
+        self.clock_us += us;
     }
 }
 

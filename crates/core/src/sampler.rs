@@ -18,7 +18,7 @@
 //! owns a deterministic RNG stream.
 
 use eim_diffusion::{sample_rng, DiffusionModel};
-use eim_gpusim::{Device, LaunchStats, Op, WARP_SIZE};
+use eim_gpusim::{Device, LaunchStats, Op, SimFault, WARP_SIZE};
 use eim_graph::VertexId;
 use eim_imm::apply_source_elimination;
 use rand::Rng;
@@ -57,6 +57,10 @@ struct BlockOutput {
 /// `device`, under `model`. Grid size is `4x` the SM count (persistent
 /// blocks, one warp each), with indices interleaved across blocks — the
 /// paper's round-robin assignment.
+///
+/// Fails only when the device's fault plan schedules a transient launch
+/// fault; sample content is untouched by retries (every set index owns a
+/// deterministic RNG stream), so callers can simply re-invoke.
 pub fn sample_batch<G: DeviceGraph>(
     device: &Device,
     graph: &G,
@@ -65,10 +69,10 @@ pub fn sample_batch<G: DeviceGraph>(
     start: u64,
     count: usize,
     source_elim: bool,
-) -> SampleBatch {
+) -> Result<SampleBatch, SimFault> {
     let n = graph.n();
     let blocks = (device.spec().num_sms * 4).min(count.max(1));
-    let result = device.launch("eim_sample", blocks, |ctx| {
+    let result = device.checked_launch("eim_sample", blocks, |ctx| {
         let b = ctx.block_id();
         // Per-block scratch, reused across this block's sets: the visited
         // bitmap M (zeroed once per launch; reset per set by walking Q —
@@ -105,7 +109,7 @@ pub fn sample_batch<G: DeviceGraph>(
             j += blocks;
         }
         out
-    });
+    })?;
     let mut sets: Vec<Option<Vec<VertexId>>> = (0..count).map(|_| None).collect();
     let mut counters = SamplerCounters::default();
     for block in result.outputs {
@@ -116,11 +120,11 @@ pub fn sample_batch<G: DeviceGraph>(
             sets[(idx - start) as usize] = set;
         }
     }
-    SampleBatch {
+    Ok(SampleBatch {
         sets,
         stats: result.stats,
         counters,
-    }
+    })
 }
 
 /// The source vertex for sample `idx` — the first draw of its RNG stream.
@@ -297,7 +301,8 @@ mod tests {
             0,
             100,
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(batch.sets.len(), 100);
         assert_eq!(batch.counters.sampled, 100);
         assert_eq!(batch.counters.discarded, 0);
@@ -332,7 +337,8 @@ mod tests {
             10,
             64,
             false,
-        );
+        )
+        .unwrap();
         let b2 = sample_batch(
             &d2,
             &dg,
@@ -341,7 +347,8 @@ mod tests {
             10,
             64,
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(b1.sets, b2.sets, "content independent of grid layout");
         let b3 = sample_batch(
             &d1,
@@ -351,7 +358,8 @@ mod tests {
             10,
             64,
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(b1.sets, b3.sets);
         assert_eq!(b1.stats, b3.stats, "timing deterministic per device");
     }
@@ -362,7 +370,8 @@ mod tests {
         let g = generators::star_in(64, WeightModel::WeightedCascade);
         let dg = PlainDeviceGraph::new(&g);
         let d = device();
-        let batch = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 1, 0, 200, true);
+        let batch =
+            sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 1, 0, 200, true).unwrap();
         assert_eq!(batch.counters.sampled, 200);
         assert!(batch.counters.singletons > 150, "mostly singletons");
         assert_eq!(batch.counters.discarded, batch.counters.singletons);
@@ -379,8 +388,10 @@ mod tests {
         let g = generators::path(20, WeightModel::WeightedCascade);
         let dg = PlainDeviceGraph::new(&g);
         let d = device();
-        let with = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, false);
-        let without = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, true);
+        let with =
+            sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, false).unwrap();
+        let without =
+            sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, true).unwrap();
         for (a, b) in with.sets.iter().zip(&without.sets) {
             let a = a.as_ref().unwrap();
             match b {
@@ -398,7 +409,8 @@ mod tests {
         let g = generators::path(30, WeightModel::WeightedCascade);
         let dg = PlainDeviceGraph::new(&g);
         let d = device();
-        let batch = sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 2, 0, 40, false);
+        let batch =
+            sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 2, 0, 40, false).unwrap();
         for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
             // A set rooted at source s on the path must be exactly {0..=s}.
             let src = *set.last().unwrap();
@@ -418,7 +430,8 @@ mod tests {
         );
         let dg = PlainDeviceGraph::new(&g);
         let d = device();
-        let batch = sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 6, 0, 80, false);
+        let batch =
+            sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 6, 0, 80, false).unwrap();
         for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
             assert!(!set.is_empty());
             assert!(set.windows(2).all(|w| w[0] < w[1]));
@@ -431,7 +444,8 @@ mod tests {
         let g = generators::cycle(8, WeightModel::WeightedCascade);
         let dg = PlainDeviceGraph::new(&g);
         let d = device();
-        let batch = sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 7, 0, 10, false);
+        let batch =
+            sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 7, 0, 10, false).unwrap();
         for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
             assert_eq!(set.len(), 8, "full lap then stop");
         }
@@ -452,7 +466,8 @@ mod tests {
             0,
             64,
             false,
-        );
+        )
+        .unwrap();
         let mean = batch.stats.total_cycles / batch.stats.num_blocks.max(1) as u64;
         assert!(batch.stats.max_block_cycles >= mean);
     }

@@ -33,6 +33,7 @@
 //! ```
 
 mod block;
+mod fault;
 mod launch;
 mod memory;
 mod schedule;
@@ -40,6 +41,7 @@ mod spec;
 mod transfer;
 
 pub use block::{BlockCtx, Op, OpCounts};
+pub use fault::{FaultDecision, FaultPlan, FaultSpec, PressureWindow, SimFault};
 pub use launch::{Device, LaunchResult, LaunchStats, TraceEntry};
 pub use memory::{DeviceMemory, MemoryError, MemoryStats};
 pub use schedule::slot_makespan_cycles;
@@ -48,7 +50,7 @@ pub use transfer::TransferDirection;
 
 // Telemetry types appear in `Device`'s API; re-export so downstream crates
 // can attach a recorder without a direct `eim-trace` dependency.
-pub use eim_trace::{RunTrace, SimClock, TraceSummary};
+pub use eim_trace::{ArgValue, RunTrace, SimClock, TraceSummary};
 
 /// Lanes per warp — fixed at 32 across every NVIDIA generation and baked
 /// into the paper's algorithms ("each block launches a single warp").

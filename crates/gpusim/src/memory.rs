@@ -52,6 +52,9 @@ pub struct DeviceMemory {
     capacity: usize,
     in_use: AtomicUsize,
     peak: AtomicUsize,
+    /// Bytes artificially reserved by a fault plan's pressure window —
+    /// subtracted from usable capacity while the window is active.
+    pressure: AtomicUsize,
     trace: RunTrace,
     clock: Arc<SimClock>,
 }
@@ -69,36 +72,54 @@ impl DeviceMemory {
             capacity,
             in_use: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            pressure: AtomicUsize::new(0),
             trace,
             clock,
         }
     }
 
+    /// Artificially reserves `bytes` of capacity (a fault plan's
+    /// memory-pressure window). Pass 0 to lift the pressure. Does not touch
+    /// `in_use`: allocations made while pressure was active stay valid when
+    /// it lifts.
+    pub fn set_pressure(&self, bytes: usize) {
+        self.pressure.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently under artificial pressure.
+    pub fn pressure(&self) -> usize {
+        self.pressure.load(Ordering::Relaxed)
+    }
+
     /// Reserves `bytes`, failing if capacity would be exceeded. Safe to call
     /// concurrently from kernel blocks (gIM's dynamic spill allocations).
     pub fn alloc(&self, bytes: usize) -> Result<(), MemoryError> {
-        let mut cur = self.in_use.load(Ordering::Relaxed);
         loop {
+            // Re-load both `in_use` and the pressure reservation on every
+            // iteration: a lost compare-exchange race means either may have
+            // moved, and the capacity check must run against fresh values.
+            let cur = self.in_use.load(Ordering::Relaxed);
+            let usable = self
+                .capacity
+                .saturating_sub(self.pressure.load(Ordering::Relaxed));
             let next = cur.saturating_add(bytes);
-            if next > self.capacity {
+            if next > usable {
                 self.trace
                     .record_alloc_failure(self.clock.now_us(), bytes, cur);
                 return Err(MemoryError {
                     requested: bytes,
                     in_use: cur,
-                    capacity: self.capacity,
+                    capacity: usable,
                 });
             }
-            match self
+            if self
                 .in_use
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
             {
-                Ok(_) => {
-                    self.peak.fetch_max(next, Ordering::Relaxed);
-                    self.trace.record_alloc(self.clock.now_us(), bytes, next);
-                    return Ok(());
-                }
-                Err(actual) => cur = actual,
+                self.peak.fetch_max(next, Ordering::Relaxed);
+                self.trace.record_alloc(self.clock.now_us(), bytes, next);
+                return Ok(());
             }
         }
     }
@@ -124,6 +145,7 @@ impl DeviceMemory {
     pub fn reset(&self) {
         self.in_use.store(0, Ordering::Relaxed);
         self.peak.store(0, Ordering::Relaxed);
+        self.pressure.store(0, Ordering::Relaxed);
     }
 }
 
@@ -208,6 +230,70 @@ mod tests {
                     m.free(held);
                 });
             }
+        });
+        assert_eq!(m.stats().in_use, 0);
+        assert!(m.stats().peak <= 10_000);
+    }
+
+    #[test]
+    fn pressure_shrinks_usable_capacity() {
+        let m = DeviceMemory::new(1000);
+        m.alloc(300).unwrap();
+        m.set_pressure(600);
+        // 300 in use + 600 reserved leaves 100 usable.
+        let err = m.alloc(200).unwrap_err();
+        assert_eq!(err.capacity, 400); // usable = capacity - pressure
+        assert_eq!(err.in_use, 300);
+        m.alloc(100).unwrap();
+        // Lifting the pressure restores the full capacity; existing
+        // allocations stay valid.
+        m.set_pressure(0);
+        m.alloc(600).unwrap();
+        assert_eq!(m.stats().in_use, 1000);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_under_shifting_pressure() {
+        // Satellite: the alloc loop must re-check capacity (including the
+        // pressure reservation) against freshly loaded values on every CAS
+        // retry. Hammer it with mixed alloc/free traffic while another
+        // thread toggles pressure; in-use must never exceed capacity and
+        // the books must balance at the end.
+        let m = DeviceMemory::new(10_000);
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let m = &m;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut on = false;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    m.set_pressure(if on { 9_000 } else { 0 });
+                    on = !on;
+                    std::thread::yield_now();
+                }
+                m.set_pressure(0);
+            });
+            let workers: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut held = 0usize;
+                        for i in 0..2000 {
+                            if i % 3 == 2 && held >= 7 {
+                                m.free(7);
+                                held -= 7;
+                            } else if m.alloc(7).is_ok() {
+                                held += 7;
+                            }
+                            assert!(m.stats().in_use <= 10_000);
+                        }
+                        m.free(held);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            stop.store(1, Ordering::Relaxed);
         });
         assert_eq!(m.stats().in_use, 0);
         assert!(m.stats().peak <= 10_000);

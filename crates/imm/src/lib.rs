@@ -26,13 +26,19 @@ pub mod bounds;
 mod config;
 mod engine;
 mod martingale;
+mod recovery;
 mod rrrstore;
 mod selection;
 mod source_elim;
+mod spill;
 
 pub use config::ImmConfig;
 pub use engine::{CpuEngine, CpuParallelism};
-pub use martingale::{run_imm, run_imm_traced, EngineError, ImmEngine, ImmResult, PhaseBreakdown};
+pub use martingale::{
+    run_imm, run_imm_recovering, run_imm_traced, EngineError, ImmEngine, ImmResult, PhaseBreakdown,
+};
+pub use recovery::{MartingaleCheckpoint, RecoveryMode, RecoveryPolicy, RecoveryReport};
 pub use rrrstore::{AnyRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};
 pub use selection::{select_seeds, select_seeds_celf, select_seeds_with_gains, Selection};
 pub use source_elim::apply_source_elimination;
+pub use spill::PackedRrrBatch;

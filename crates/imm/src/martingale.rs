@@ -5,13 +5,15 @@
 //! selection logic and differs only in how it samples, stores, and scans
 //! RRR sets. That is the controlled comparison the paper's evaluation makes.
 
+use eim_gpusim::{MemoryError, SimFault};
 use eim_graph::VertexId;
-use eim_trace::RunTrace;
+use eim_trace::{ArgValue, RunTrace};
 
 use crate::bounds::{
     adjusted_ell, epsilon_prime, lambda_prime, lambda_star, max_estimation_iterations,
 };
 use crate::config::ImmConfig;
+use crate::recovery::{MartingaleCheckpoint, RecoveryPolicy, RecoveryReport};
 use crate::rrrstore::RrrSets;
 use crate::selection::Selection;
 
@@ -23,8 +25,21 @@ pub enum EngineError {
     OutOfMemory {
         /// Bytes the failing allocation requested.
         requested: usize,
-        /// Device capacity.
+        /// Bytes already in use when the allocation failed.
+        in_use: usize,
+        /// Usable device capacity at the time (total minus any artificial
+        /// pressure reservation).
         capacity: usize,
+    },
+    /// An injected transient simulator fault reached the caller unhandled
+    /// (recovery disabled, or the fault escaped the retryable paths).
+    Fault(SimFault),
+    /// A transient fault persisted through the policy's whole retry budget.
+    RetriesExhausted {
+        /// The last fault observed.
+        fault: SimFault,
+        /// Retries performed before giving up.
+        attempts: u32,
     },
 }
 
@@ -33,16 +48,37 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::OutOfMemory {
                 requested,
+                in_use,
                 capacity,
             } => write!(
                 f,
-                "out of device memory (requested {requested} B of {capacity} B)"
+                "out of device memory (requested {requested} B with {in_use} B in use of {capacity} B)"
             ),
+            EngineError::Fault(fault) => write!(f, "{fault}"),
+            EngineError::RetriesExhausted { fault, attempts } => {
+                write!(f, "{fault} (gave up after {attempts} retries)")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<MemoryError> for EngineError {
+    fn from(e: MemoryError) -> Self {
+        EngineError::OutOfMemory {
+            requested: e.requested,
+            in_use: e.in_use,
+            capacity: e.capacity,
+        }
+    }
+}
+
+impl From<SimFault> for EngineError {
+    fn from(f: SimFault) -> Self {
+        EngineError::Fault(f)
+    }
+}
 
 /// A sampling/selection backend the IMM driver can run.
 pub trait ImmEngine {
@@ -65,6 +101,18 @@ pub trait ImmEngine {
     /// Time consumed so far: wall-clock microseconds for CPU backends,
     /// simulated device microseconds for GPU-model backends.
     fn elapsed_us(&self) -> f64;
+    /// Advances the engine's timeline by `us` without doing work — the
+    /// driver charges retry backoff through this. Default: no-op (CPU
+    /// backends measure wall time and cannot be advanced).
+    fn advance_time(&mut self, _us: f64) {}
+    /// Installs the recovery policy before a run. Engines that degrade
+    /// internally (host-spill) read their mode from it; others ignore it.
+    fn set_recovery_policy(&mut self, _policy: RecoveryPolicy) {}
+    /// Recovery actions the engine performed internally (spills, reloads).
+    /// The driver merges this into the run's [`RecoveryReport`].
+    fn recovery_report(&self) -> RecoveryReport {
+        RecoveryReport::default()
+    }
 }
 
 /// Per-phase time attribution of one run.
@@ -107,6 +155,8 @@ pub struct ImmResult {
     pub estimation_sets: usize,
     /// Time attribution.
     pub phases: PhaseBreakdown,
+    /// What recovery did (empty for a clean run under any policy).
+    pub recovery: RecoveryReport,
 }
 
 impl ImmResult {
@@ -142,6 +192,88 @@ pub fn run_imm_traced<E: ImmEngine>(
     config: &ImmConfig,
     trace: &RunTrace,
 ) -> Result<ImmResult, EngineError> {
+    run_imm_recovering(engine, config, &RecoveryPolicy::abort(), trace)
+}
+
+/// One recovery-aware sampling round: drive `engine` to `target` logical
+/// sets, retrying transient faults (with exponential simulated backoff) and
+/// halving the step on OOM down to the policy's floor.
+///
+/// Each attempt runs against a fresh [`MartingaleCheckpoint`]; because the
+/// engines commit sets only on success and sample content is a pure function
+/// of the set index, a replayed round regenerates identical sets and the
+/// stopping rule sees exactly the state a clean run would.
+fn extend_with_recovery<E: ImmEngine>(
+    engine: &mut E,
+    target: usize,
+    policy: &RecoveryPolicy,
+    trace: &RunTrace,
+    report: &mut RecoveryReport,
+) -> Result<(), EngineError> {
+    if !policy.allows_retry() {
+        return engine.extend_to(target);
+    }
+    let mut batch = target.saturating_sub(engine.logical_sets()).max(1);
+    let mut attempts: u32 = 0;
+    loop {
+        let ckpt = MartingaleCheckpoint::capture(engine);
+        if ckpt.logical_sets >= target {
+            return Ok(());
+        }
+        let step_target = (ckpt.logical_sets + batch).min(target);
+        match engine.extend_to(step_target) {
+            Ok(()) => attempts = 0,
+            Err(EngineError::Fault(fault)) => {
+                // Engines commit per-batch, so a faulted call may still have
+                // banked earlier batches — but never regressed.
+                debug_assert!(engine.logical_sets() >= ckpt.logical_sets);
+                if attempts >= policy.max_retries {
+                    return Err(EngineError::RetriesExhausted { fault, attempts });
+                }
+                attempts += 1;
+                report.retries += 1;
+                let backoff = policy.backoff_us * (1u64 << (attempts - 1).min(16)) as f64;
+                engine.advance_time(backoff);
+                trace.record_recovery(
+                    "recover:retry",
+                    engine.elapsed_us(),
+                    vec![
+                        ("attempt", ArgValue::U64(attempts as u64)),
+                        ("fault_ordinal", ArgValue::U64(fault.ordinal())),
+                        ("backoff_us", ArgValue::F64(backoff)),
+                    ],
+                );
+            }
+            Err(oom @ EngineError::OutOfMemory { .. }) => {
+                if batch <= policy.min_batch {
+                    return Err(oom);
+                }
+                batch = (batch / 2).max(policy.min_batch);
+                attempts = 0;
+                report.batch_splits += 1;
+                trace.record_recovery(
+                    "recover:batch_split",
+                    engine.elapsed_us(),
+                    vec![("batch", ArgValue::U64(batch as u64))],
+                );
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// [`run_imm_traced`] under an explicit [`RecoveryPolicy`]: every sampling
+/// round goes through retry / batch-split recovery, and the returned
+/// [`ImmResult::recovery`] merges the driver's actions with whatever the
+/// engine did internally (host spills under `Degrade`).
+pub fn run_imm_recovering<E: ImmEngine>(
+    engine: &mut E,
+    config: &ImmConfig,
+    policy: &RecoveryPolicy,
+    trace: &RunTrace,
+) -> Result<ImmResult, EngineError> {
+    engine.set_recovery_policy(*policy);
+    let mut report = RecoveryReport::default();
     let n = engine.n();
     config.validate(n);
     let k = config.k;
@@ -158,7 +290,7 @@ pub fn run_imm_traced<E: ImmEngine>(
     for i in 1..=max_estimation_iterations(n) {
         let x = n_f / 2f64.powi(i as i32);
         let theta_i = (lp / x).ceil().max(1.0) as usize;
-        engine.extend_to(theta_i)?;
+        extend_with_recovery(engine, theta_i, policy, trace, &mut report)?;
         let short = engine.logical_sets() < theta_i;
         let sel = engine.select(k);
         last_coverage = sel.coverage_fraction();
@@ -184,7 +316,7 @@ pub fn run_imm_traced<E: ImmEngine>(
 
     let theta = (ls / lower_bound).ceil().max(1.0) as usize;
     if engine.store().num_sets() > 0 || engine.logical_sets() == 0 {
-        engine.extend_to(theta)?;
+        extend_with_recovery(engine, theta, policy, trace, &mut report)?;
     }
     // else: every estimation sample was eliminated (degenerate input);
     // further sampling cannot add coverage, so skip the final extension.
@@ -195,6 +327,7 @@ pub fn run_imm_traced<E: ImmEngine>(
     let t3 = engine.elapsed_us();
     trace.record_phase("selection", t2, t3 - t2);
 
+    report.merge(&engine.recovery_report());
     let store = engine.store();
     Ok(ImmResult {
         seeds: sel.seeds.clone(),
@@ -210,6 +343,7 @@ pub fn run_imm_traced<E: ImmEngine>(
             sampling_us: t2 - t1,
             selection_us: t3 - t2,
         },
+        recovery: report,
     })
 }
 
@@ -370,6 +504,7 @@ mod tests {
             fn extend_to(&mut self, _t: usize) -> Result<(), EngineError> {
                 Err(EngineError::OutOfMemory {
                     requested: 1,
+                    in_use: 0,
                     capacity: 0,
                 })
             }
@@ -387,6 +522,143 @@ mod tests {
             store: PlainRrrStore::new(100),
         };
         let err = run_imm(&mut e, &cfg(1, 0.5)).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+
+    /// A toy engine whose `extend_to` fails with a scripted error sequence
+    /// before eventually succeeding — exercises the driver-level recovery
+    /// loop without a simulated device.
+    struct FlakyEngine {
+        inner: ToyEngine,
+        script: Vec<Option<EngineError>>,
+        calls: usize,
+        /// OOM clears once the requested step is at or below this size.
+        oom_until_batch: Option<usize>,
+    }
+
+    impl ImmEngine for FlakyEngine {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+            let call = self.calls;
+            self.calls += 1;
+            if let Some(limit) = self.oom_until_batch {
+                if target.saturating_sub(self.inner.store.num_sets()) > limit {
+                    return Err(EngineError::OutOfMemory {
+                        requested: target,
+                        in_use: 0,
+                        capacity: limit,
+                    });
+                }
+            }
+            if let Some(Some(err)) = self.script.get(call) {
+                return Err(*err);
+            }
+            self.inner.extend_to(target)
+        }
+        fn select(&mut self, k: usize) -> Selection {
+            self.inner.select(k)
+        }
+        fn store(&self) -> &dyn RrrSets {
+            self.inner.store()
+        }
+        fn elapsed_us(&self) -> f64 {
+            self.inner.elapsed_us()
+        }
+        fn advance_time(&mut self, us: f64) {
+            self.inner.clock += us;
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_seeds_match_clean_run() {
+        let fault = EngineError::Fault(eim_gpusim::SimFault::KernelLaunch { ordinal: 0 });
+        let mut flaky = FlakyEngine {
+            inner: ToyEngine::new(64, None),
+            script: vec![Some(fault), None, Some(fault)],
+            calls: 0,
+            oom_until_batch: None,
+        };
+        let r = run_imm_recovering(
+            &mut flaky,
+            &cfg(2, 0.3),
+            &RecoveryPolicy::retry(),
+            &RunTrace::disabled(),
+        )
+        .unwrap();
+        assert!(r.recovery.retries >= 1);
+        let mut clean = ToyEngine::new(64, None);
+        let rc = run_imm(&mut clean, &cfg(2, 0.3)).unwrap();
+        assert_eq!(r.seeds, rc.seeds);
+        assert_eq!(r.num_sets, rc.num_sets);
+        assert!(rc.recovery.is_empty());
+        // Backoff consumed simulated time beyond the clean run's.
+        assert!(flaky.inner.clock > clean.clock);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_typed_error() {
+        let fault = EngineError::Fault(eim_gpusim::SimFault::Transfer { ordinal: 3 });
+        let mut flaky = FlakyEngine {
+            inner: ToyEngine::new(64, None),
+            script: vec![Some(fault); 32],
+            calls: 0,
+            oom_until_batch: None,
+        };
+        let err = run_imm_recovering(
+            &mut flaky,
+            &cfg(2, 0.3),
+            &RecoveryPolicy::retry().with_max_retries(2),
+            &RunTrace::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::RetriesExhausted { attempts: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn oom_splits_the_batch_down_to_the_floor() {
+        // OOM whenever a single step asks for more than 8 sets: the driver
+        // must halve its way down and still finish, counting the splits.
+        let mut flaky = FlakyEngine {
+            inner: ToyEngine::new(64, None),
+            script: Vec::new(),
+            calls: 0,
+            oom_until_batch: Some(8),
+        };
+        let trace = RunTrace::enabled();
+        let r = run_imm_recovering(
+            &mut flaky,
+            &cfg(2, 0.3),
+            &RecoveryPolicy::retry().with_min_batch(2),
+            &trace,
+        )
+        .unwrap();
+        assert!(r.recovery.batch_splits >= 1);
+        assert!(trace.summary().recovery_events >= 1);
+        let mut clean = ToyEngine::new(64, None);
+        let rc = run_imm(&mut clean, &cfg(2, 0.3)).unwrap();
+        assert_eq!(r.seeds, rc.seeds);
+    }
+
+    #[test]
+    fn oom_below_the_floor_aborts_with_the_original_error() {
+        let mut flaky = FlakyEngine {
+            inner: ToyEngine::new(64, None),
+            script: Vec::new(),
+            calls: 0,
+            oom_until_batch: Some(0), // every step OOMs regardless of size
+        };
+        let err = run_imm_recovering(
+            &mut flaky,
+            &cfg(2, 0.3),
+            &RecoveryPolicy::retry().with_min_batch(4),
+            &RunTrace::disabled(),
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
     }
 }

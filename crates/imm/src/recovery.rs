@@ -1,0 +1,202 @@
+//! Recovery policies for runs under injected faults and memory pressure.
+//!
+//! The IMM driver's martingale structure (one `extend_to` / `select` round
+//! per estimation iteration) makes round-level recovery sound: a faulted
+//! round can be replayed from its checkpoint without perturbing the RRR
+//! count the stopping rule sees, and — because sample `i`'s content derives
+//! only from the RNG stream keyed by `(seed, i)` — a replay regenerates
+//! byte-identical sets, so a recovered run selects the exact seed set of a
+//! clean run.
+
+use crate::martingale::ImmEngine;
+
+/// What the driver does when an engine reports a fault or OOM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Propagate the first error (today's behaviour; the Tables 2–5 "OOM"
+    /// cells).
+    #[default]
+    Abort,
+    /// Retry transient kernel/transfer faults with simulated-time backoff
+    /// and split the sampling batch on OOM, but never spill.
+    Retry,
+    /// Everything `Retry` does, plus host-spill degradation of the RRR
+    /// store (cuRipples-style) so the run keeps progressing under pressure.
+    Degrade,
+}
+
+/// How the driver and engines respond to faults — consumed by
+/// [`run_imm_recovering`](crate::run_imm_recovering) and pushed down to the
+/// engines via [`ImmEngine::set_recovery_policy`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Recovery mode.
+    pub mode: RecoveryMode,
+    /// Max consecutive retries of one transient fault before giving up.
+    pub max_retries: u32,
+    /// Base simulated-time backoff before a retry; doubles per consecutive
+    /// attempt.
+    pub backoff_us: f64,
+    /// Floor for adaptive batch splitting: once the sampling batch is down
+    /// to this many sets, a further OOM aborts.
+    pub min_batch: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::abort()
+    }
+}
+
+impl RecoveryPolicy {
+    /// Today's behaviour: the first error aborts the run.
+    pub fn abort() -> Self {
+        Self {
+            mode: RecoveryMode::Abort,
+            max_retries: 0,
+            backoff_us: 0.0,
+            min_batch: 1,
+        }
+    }
+
+    /// Bounded retry + batch splitting, no spill.
+    pub fn retry() -> Self {
+        Self {
+            mode: RecoveryMode::Retry,
+            max_retries: 3,
+            backoff_us: 50.0,
+            min_batch: 256,
+        }
+    }
+
+    /// Full graceful degradation: retry, split, and host-spill.
+    pub fn degrade() -> Self {
+        Self {
+            mode: RecoveryMode::Degrade,
+            ..Self::retry()
+        }
+    }
+
+    /// Overrides the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the base backoff.
+    pub fn with_backoff_us(mut self, backoff_us: f64) -> Self {
+        self.backoff_us = backoff_us;
+        self
+    }
+
+    /// Overrides the batch-split floor.
+    pub fn with_min_batch(mut self, min_batch: usize) -> Self {
+        self.min_batch = min_batch.max(1);
+        self
+    }
+
+    /// Whether transient faults are retried and OOM batches split.
+    pub fn allows_retry(&self) -> bool {
+        self.mode != RecoveryMode::Abort
+    }
+
+    /// Whether engines may spill RRR batches to host memory.
+    pub fn allows_degrade(&self) -> bool {
+        self.mode == RecoveryMode::Degrade
+    }
+}
+
+/// What recovery actually did during a run — part of the run result, the
+/// `--json` output, and (as instant events) the exported trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transient-fault retries performed by the driver.
+    pub retries: u32,
+    /// Times the sampling batch was halved after an OOM.
+    pub batch_splits: u32,
+    /// RRR batches evicted to host memory.
+    pub spill_events: u32,
+    /// Bytes evicted to host memory, total.
+    pub spilled_bytes: usize,
+    /// Bytes re-streamed from host for selection scans over spilled batches.
+    pub reloaded_bytes: usize,
+    /// Selection rounds that ran with part of the store host-resident.
+    pub degraded_rounds: u32,
+}
+
+impl RecoveryReport {
+    /// True when no recovery action fired (a clean run).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulates `other` into `self` (driver report + engine report).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.retries += other.retries;
+        self.batch_splits += other.batch_splits;
+        self.spill_events += other.spill_events;
+        self.spilled_bytes += other.spilled_bytes;
+        self.reloaded_bytes += other.reloaded_bytes;
+        self.degraded_rounds += other.degraded_rounds;
+    }
+}
+
+/// Martingale state captured before each recovery round, so a faulted round
+/// replays against the same stopping-rule inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MartingaleCheckpoint {
+    /// Samples counted toward theta when the round started.
+    pub logical_sets: usize,
+    /// Sets physically stored when the round started.
+    pub stored_sets: usize,
+}
+
+impl MartingaleCheckpoint {
+    /// Captures the current martingale state of `engine`.
+    pub fn capture<E: ImmEngine + ?Sized>(engine: &E) -> Self {
+        Self {
+            logical_sets: engine.logical_sets(),
+            stored_sets: engine.store().num_sets(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        assert!(!RecoveryPolicy::abort().allows_retry());
+        assert!(RecoveryPolicy::retry().allows_retry());
+        assert!(!RecoveryPolicy::retry().allows_degrade());
+        assert!(RecoveryPolicy::degrade().allows_retry());
+        assert!(RecoveryPolicy::degrade().allows_degrade());
+        assert_eq!(RecoveryPolicy::default().mode, RecoveryMode::Abort);
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = RecoveryReport {
+            retries: 1,
+            spilled_bytes: 100,
+            ..Default::default()
+        };
+        assert!(!a.is_empty());
+        a.merge(&RecoveryReport {
+            retries: 2,
+            batch_splits: 1,
+            spilled_bytes: 50,
+            ..Default::default()
+        });
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.batch_splits, 1);
+        assert_eq!(a.spilled_bytes, 150);
+        assert!(RecoveryReport::default().is_empty());
+    }
+
+    #[test]
+    fn min_batch_floor_is_at_least_one() {
+        assert_eq!(RecoveryPolicy::retry().with_min_batch(0).min_batch, 1);
+    }
+}

@@ -94,6 +94,8 @@ pub enum EventCat {
     Memory,
     /// PCIe host↔device transfer.
     Transfer,
+    /// Injected fault or recovery action (retry, batch split, host spill).
+    Fault,
 }
 
 impl EventCat {
@@ -104,6 +106,7 @@ impl EventCat {
             EventCat::Kernel => "kernel",
             EventCat::Memory => "memory",
             EventCat::Transfer => "transfer",
+            EventCat::Fault => "fault",
         }
     }
 
@@ -114,6 +117,7 @@ impl EventCat {
             EventCat::Kernel => 1,
             EventCat::Memory => 2,
             EventCat::Transfer => 3,
+            EventCat::Fault => 4,
         }
     }
 
@@ -124,6 +128,7 @@ impl EventCat {
             EventCat::Kernel => "kernel launches",
             EventCat::Memory => "device memory",
             EventCat::Transfer => "pcie transfers",
+            EventCat::Fault => "faults & recovery",
         }
     }
 }
@@ -191,6 +196,8 @@ struct Inner {
     peak_bytes: AtomicU64,
     transfer_events: AtomicU64,
     transfer_bytes: AtomicU64,
+    fault_events: AtomicU64,
+    recovery_events: AtomicU64,
 }
 
 /// Shared run-telemetry recorder.
@@ -337,6 +344,36 @@ impl RunTrace {
         });
     }
 
+    /// Records an injected simulator fault (`name` like `"fault:kernel_launch"`)
+    /// as an instant on the fault lane, keyed by its deterministic event
+    /// ordinal in the fault plan.
+    pub fn record_fault(&self, name: &str, ts_us: f64, ordinal: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.fault_events.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::Fault,
+            ts_us,
+            kind: EventKind::Instant,
+            args: vec![("ordinal", ArgValue::U64(ordinal))],
+        });
+    }
+
+    /// Records a recovery action (`name` like `"recover:retry"`,
+    /// `"recover:batch_split"`, `"recover:spill"`) as an instant on the
+    /// fault lane, with free-form detail arguments.
+    pub fn record_recovery(&self, name: &str, ts_us: f64, args: Vec<(&'static str, ArgValue)>) {
+        let Some(inner) = &self.inner else { return };
+        inner.recovery_events.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::Fault,
+            ts_us,
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
     /// A snapshot of every event recorded so far, in recording order.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner
@@ -369,6 +406,8 @@ impl RunTrace {
             peak_bytes: inner.peak_bytes.load(Ordering::Relaxed),
             transfer_events: inner.transfer_events.load(Ordering::Relaxed),
             transfer_bytes: inner.transfer_bytes.load(Ordering::Relaxed),
+            fault_events: inner.fault_events.load(Ordering::Relaxed),
+            recovery_events: inner.recovery_events.load(Ordering::Relaxed),
             phase_us,
         }
     }
@@ -385,6 +424,7 @@ impl RunTrace {
             EventCat::Kernel,
             EventCat::Memory,
             EventCat::Transfer,
+            EventCat::Fault,
         ] {
             events.push(json!({
                 "name": "thread_name",
@@ -469,6 +509,10 @@ pub struct TraceSummary {
     pub transfer_events: u64,
     /// Total bytes moved across PCIe.
     pub transfer_bytes: u64,
+    /// Number of injected simulator faults observed.
+    pub fault_events: u64,
+    /// Number of recovery actions (retries, batch splits, spills) recorded.
+    pub recovery_events: u64,
     /// Per-phase simulated durations `(name, µs)`, in completion order.
     pub phase_us: Vec<(String, f64)>,
 }
@@ -489,6 +533,8 @@ impl TraceSummary {
             "peak_device_bytes": self.peak_bytes,
             "transfer_events": self.transfer_events,
             "transfer_bytes": self.transfer_bytes,
+            "fault_events": self.fault_events,
+            "recovery_events": self.recovery_events,
             "phase_us": Value::Object(phases),
         })
     }
@@ -571,8 +617,8 @@ mod tests {
         t.record_transfer("h2d:graph", 0.0, 0.4, 4096);
         let v = t.chrome_json(&[("engine", "eim".to_string())]);
         let events = v["traceEvents"].as_array().expect("array");
-        // 4 lane-name metadata events + 4 recorded events.
-        assert_eq!(events.len(), 8);
+        // 5 lane-name metadata events + 4 recorded events.
+        assert_eq!(events.len(), 9);
         let phase = events
             .iter()
             .find(|e| e["name"] == "estimation")
@@ -596,6 +642,39 @@ mod tests {
         let text = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back["summary"]["transfer_bytes"].as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn fault_and_recovery_events_land_on_the_fault_lane() {
+        let t = RunTrace::enabled();
+        t.record_fault("fault:kernel_launch", 1.0, 7);
+        t.record_recovery(
+            "recover:retry",
+            2.0,
+            vec![
+                ("attempt", ArgValue::U64(1)),
+                ("backoff_us", ArgValue::F64(50.0)),
+            ],
+        );
+        let s = t.summary();
+        assert_eq!(s.fault_events, 1);
+        assert_eq!(s.recovery_events, 1);
+        let v = t.chrome_json(&[]);
+        let events = v["traceEvents"].as_array().unwrap();
+        let fault = events
+            .iter()
+            .find(|e| e["name"] == "fault:kernel_launch")
+            .expect("fault event");
+        assert_eq!(fault["cat"], "fault");
+        assert_eq!(fault["ph"], "i");
+        assert_eq!(fault["args"]["ordinal"].as_u64(), Some(7));
+        let rec = events
+            .iter()
+            .find(|e| e["name"] == "recover:retry")
+            .expect("recovery event");
+        assert_eq!(rec["args"]["attempt"].as_u64(), Some(1));
+        assert_eq!(v["summary"]["fault_events"].as_u64(), Some(1));
+        assert_eq!(v["summary"]["recovery_events"].as_u64(), Some(1));
     }
 
     #[test]

@@ -13,13 +13,18 @@
 //!   --k <n>              seed-set size                 [50]
 //!   --eps <f>            approximation parameter       [0.1]
 //!   --model <ic|lt>      diffusion model               [ic]
-//!   --engine <eim|gim|curipples|cpu>                   [eim]
+//!   --engine <eim|gim|curipples|cpu|multigpu>          [eim]
+//!   --devices <n>        device count (multigpu)       [2]
 //!   --scale <f>          dataset scale (with --dataset) [0.01]
 //!   --seed <n>           RNG seed                      [7]
 //!   --device-mem-mb <f>  override device memory capacity (MB)
 //!   --no-pack            disable log encoding (eIM only)
 //!   --no-elim            disable source elimination (eIM only)
 //!   --spread-sims <n>    Monte-Carlo spread evaluations [0 = skip]
+//!   --inject-faults <s>  deterministic fault schedule, e.g.
+//!                        "seed=42,kernel=0.05,transfer=0.02,pressure=0.6@8:24"
+//!   --recovery <mode>    abort | retry | degrade       [abort]
+//!   --max-retries <n>    retry budget per batch (with --recovery)
 //!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
 //!   --json               machine-readable output
 //! ```
@@ -27,13 +32,16 @@
 use std::fs::File;
 use std::path::Path;
 
+use std::sync::Arc;
+
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
-use eim::core::{EimEngine, ScanStrategy};
+use eim::core::{EimEngine, MultiGpuEimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
-use eim::gpusim::{Device, DeviceSpec, RunTrace};
+use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace};
 use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
 use eim::imm::{
-    run_imm_traced, CpuEngine, CpuParallelism, EngineError, ImmConfig, ImmEngine, ImmResult,
+    run_imm_recovering, CpuEngine, CpuParallelism, EngineError, ImmConfig, ImmEngine, ImmResult,
+    RecoveryPolicy, RecoveryReport,
 };
 use eim::prelude::*;
 
@@ -51,6 +59,10 @@ struct Args {
     pack: bool,
     elim: bool,
     spread_sims: usize,
+    devices: usize,
+    faults: Option<FaultSpec>,
+    recovery: RecoveryPolicy,
+    max_retries: Option<u32>,
     trace: Option<String>,
     json: bool,
 }
@@ -58,9 +70,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: eim (--input <file> | --weighted <file> | --dataset <abbrev>) \
-         [--k n] [--eps f] [--model ic|lt] [--engine eim|gim|curipples|cpu] \
+         [--k n] [--eps f] [--model ic|lt] \
+         [--engine eim|gim|curipples|cpu|multigpu] [--devices n] \
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
-         [--spread-sims n] [--trace <file>] [--json]"
+         [--spread-sims n] [--inject-faults spec] \
+         [--recovery abort|retry|degrade] [--max-retries n] \
+         [--trace <file>] [--json]"
     );
     std::process::exit(2);
 }
@@ -80,6 +95,10 @@ fn parse_args() -> Args {
         pack: true,
         elim: true,
         spread_sims: 0,
+        devices: 2,
+        faults: None,
+        recovery: RecoveryPolicy::abort(),
+        max_retries: None,
         trace: None,
         json: false,
     };
@@ -106,6 +125,22 @@ fn parse_args() -> Args {
             "--no-pack" => a.pack = false,
             "--no-elim" => a.elim = false,
             "--spread-sims" => a.spread_sims = val().parse().unwrap_or_else(|_| usage()),
+            "--devices" => a.devices = val().parse().unwrap_or_else(|_| usage()),
+            "--inject-faults" => {
+                a.faults = Some(FaultSpec::parse(&val()).unwrap_or_else(|e| {
+                    eprintln!("bad --inject-faults spec: {e}");
+                    usage()
+                }))
+            }
+            "--recovery" => {
+                a.recovery = match val().to_ascii_lowercase().as_str() {
+                    "abort" => RecoveryPolicy::abort(),
+                    "retry" => RecoveryPolicy::retry(),
+                    "degrade" => RecoveryPolicy::degrade(),
+                    _ => usage(),
+                }
+            }
+            "--max-retries" => a.max_retries = Some(val().parse().unwrap_or_else(|_| usage())),
             "--trace" => a.trace = Some(val()),
             "--json" => a.json = true,
             "--help" | "-h" => usage(),
@@ -118,6 +153,12 @@ fn parse_args() -> Args {
         .count();
     if sources != 1 {
         usage();
+    }
+    if a.devices == 0 {
+        usage();
+    }
+    if let Some(r) = a.max_retries {
+        a.recovery = a.recovery.with_max_retries(r);
     }
     a
 }
@@ -166,12 +207,27 @@ fn report_engine_error(json: bool, e: EngineError) -> ! {
         let err = match e {
             EngineError::OutOfMemory {
                 requested,
+                in_use,
                 capacity,
             } => serde_json::json!({
                 "kind": "out_of_memory",
                 "message": e.to_string(),
                 "requested_bytes": requested,
+                "in_use_bytes": in_use,
                 "capacity_bytes": capacity,
+            }),
+            EngineError::Fault(f) => serde_json::json!({
+                "kind": "sim_fault",
+                "message": e.to_string(),
+                "fault_kind": f.kind(),
+                "ordinal": f.ordinal(),
+            }),
+            EngineError::RetriesExhausted { fault, attempts } => serde_json::json!({
+                "kind": "retries_exhausted",
+                "message": e.to_string(),
+                "fault_kind": fault.kind(),
+                "ordinal": fault.ordinal(),
+                "attempts": attempts,
             }),
         };
         let out = serde_json::json!({ "error": err });
@@ -180,6 +236,18 @@ fn report_engine_error(json: bool, e: EngineError) -> ! {
         eprintln!("error: {e}");
     }
     std::process::exit(1);
+}
+
+/// The recovery report as a JSON object for `--json` output.
+fn recovery_json(r: &RecoveryReport) -> serde_json::Value {
+    serde_json::json!({
+        "retries": r.retries,
+        "batch_splits": r.batch_splits,
+        "spill_events": r.spill_events,
+        "spilled_bytes": r.spilled_bytes,
+        "reloaded_bytes": r.reloaded_bytes,
+        "degraded_rounds": r.degraded_rounds,
+    })
 }
 
 fn main() {
@@ -208,45 +276,58 @@ fn main() {
     let wall = std::time::Instant::now();
 
     let run_err = |e: EngineError| -> ! { report_engine_error(a.json, e) };
+    // Single-device engines share one device; `--inject-faults` attaches
+    // the deterministic fault schedule to it.
+    let make_device = || {
+        let d = Device::with_run_trace(spec, trace.clone());
+        match &a.faults {
+            Some(f) if !f.is_noop() => d.with_fault_plan(Arc::new(FaultPlan::new(f.clone()))),
+            _ => d,
+        }
+    };
+    let policy = a.recovery;
     let (result, sim_us): (ImmResult, Option<f64>) = match a.engine.as_str() {
         "eim" => {
-            let mut e = EimEngine::new(
-                &graph,
-                config,
-                Device::with_run_trace(spec, trace.clone()),
-                ScanStrategy::ThreadPerSet,
-            )
-            .unwrap_or_else(|e| run_err(e));
-            let r = run_imm_traced(&mut e, &config, &trace).unwrap_or_else(|e| run_err(e));
+            let mut e = EimEngine::new(&graph, config, make_device(), ScanStrategy::ThreadPerSet)
+                .unwrap_or_else(|e| run_err(e));
+            let r =
+                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
+            let us = e.elapsed_us();
+            (r, Some(us))
+        }
+        "multigpu" => {
+            let mut e = MultiGpuEimEngine::new(&graph, config, spec, a.devices)
+                .unwrap_or_else(|e| run_err(e));
+            if let Some(f) = &a.faults {
+                if !f.is_noop() {
+                    e = e.with_faults(f);
+                }
+            }
+            let r =
+                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "gim" => {
-            let mut e = GimEngine::new(
-                &graph,
-                baseline,
-                Device::with_run_trace(spec, trace.clone()),
-            )
-            .unwrap_or_else(|e| run_err(e));
-            let r = run_imm_traced(&mut e, &baseline, &trace).unwrap_or_else(|e| run_err(e));
+            let mut e =
+                GimEngine::new(&graph, baseline, make_device()).unwrap_or_else(|e| run_err(e));
+            let r = run_imm_recovering(&mut e, &baseline, &policy, &trace)
+                .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "curipples" => {
-            let mut e = CuRipplesEngine::new(
-                &graph,
-                baseline,
-                Device::with_run_trace(spec, trace.clone()),
-                HostSpec::default(),
-            )
-            .unwrap_or_else(|e| run_err(e));
-            let r = run_imm_traced(&mut e, &baseline, &trace).unwrap_or_else(|e| run_err(e));
+            let mut e = CuRipplesEngine::new(&graph, baseline, make_device(), HostSpec::default())
+                .unwrap_or_else(|e| run_err(e));
+            let r = run_imm_recovering(&mut e, &baseline, &policy, &trace)
+                .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
             (r, Some(us))
         }
         "cpu" => {
             let mut e = CpuEngine::new(&graph, config, CpuParallelism::Rayon);
-            let r = run_imm_traced(&mut e, &config, &trace).unwrap_or_else(|e| run_err(e));
+            let r =
+                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
             (r, None)
         }
         _ => usage(),
@@ -299,6 +380,7 @@ fn main() {
             "wall_seconds": wall_s,
             "simulated_device_ms": sim_us.map(|us| us / 1000.0),
             "estimated_spread": spread,
+            "recovery": recovery_json(&result.recovery),
             "telemetry": trace.summary().to_json(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
@@ -326,6 +408,18 @@ fn main() {
             println!(
                 "estimated spread: {s:.1} vertices ({:.2}% of the graph)",
                 100.0 * s / stats.vertices.max(1) as f64
+            );
+        }
+        if !result.recovery.is_empty() {
+            let r = &result.recovery;
+            println!(
+                "recovery: {} retries, {} batch splits, {} spills ({} KB to host, {} KB reloaded), {} degraded rounds",
+                r.retries,
+                r.batch_splits,
+                r.spill_events,
+                r.spilled_bytes / 1024,
+                r.reloaded_bytes / 1024,
+                r.degraded_rounds
             );
         }
         if let Some(path) = &a.trace {

@@ -77,7 +77,7 @@ fn json_output_is_valid_json_with_expected_fields() {
 
 #[test]
 fn every_engine_flag_works() {
-    for engine in ["eim", "gim", "curipples", "cpu"] {
+    for engine in ["eim", "gim", "curipples", "cpu", "multigpu"] {
         let out = eim()
             .args([
                 "--dataset",
@@ -131,6 +131,36 @@ fn engines_agree_on_seeds_via_cli() {
     };
     assert_eq!(seeds_for("eim"), seeds_for("gim"));
     assert_eq!(seeds_for("eim"), seeds_for("curipples"));
+}
+
+#[test]
+fn multigpu_engine_matches_eim_seeds_via_cli() {
+    let run = |engine: &str, extra: &[&str]| -> serde_json::Value {
+        let mut args = vec![
+            "--dataset",
+            "SE",
+            "--scale",
+            "0.004",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--engine",
+            engine,
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let out = eim().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        serde_json::from_slice::<serde_json::Value>(&out.stdout).unwrap()["seeds"].clone()
+    };
+    let single = run("eim", &[]);
+    assert_eq!(single, run("multigpu", &["--devices", "2"]));
+    assert_eq!(single, run("multigpu", &["--devices", "4"]));
 }
 
 #[test]

@@ -88,7 +88,7 @@ fn gpu_sampler_matches_cpu_sampler_set_for_set() {
     ] {
         let device = Device::new(spec());
         let dg = PlainDeviceGraph::new(&g);
-        let batch = sample_batch(&device, &dg, model, 1234, 0, 200, false);
+        let batch = sample_batch(&device, &dg, model, 1234, 0, 200, false).unwrap();
         for (i, set) in batch.sets.iter().enumerate() {
             let mut rng = sample_rng(1234, i as u64);
             let source: u32 = rng.gen_range(0..n);

@@ -1,0 +1,212 @@
+//! Fault injection and graceful degradation, end to end.
+//!
+//! The contract under test: a run with deterministic injected faults either
+//! converges to *exactly* the clean run's seed set (recovery worked and the
+//! degradation was answer-preserving) or fails with a typed, non-panicking
+//! error — never a silently different answer.
+
+use std::process::Command;
+
+use eim::core::EimBuilder;
+use eim::gpusim::{DeviceSpec, FaultSpec};
+use eim::graph::{generators, Graph, WeightModel};
+use eim::imm::{EngineError, RecoveryPolicy};
+use proptest::prelude::*;
+
+fn graph() -> Graph {
+    generators::rmat(
+        300,
+        1_800,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        4,
+    )
+}
+
+fn clean_run(g: &Graph) -> (Vec<u32>, usize) {
+    let r = EimBuilder::new(g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .run()
+        .expect("clean run fits the default device");
+    (r.seeds, r.num_sets)
+}
+
+#[test]
+fn faulted_retry_run_matches_clean_run_exactly() {
+    let g = graph();
+    let (clean_seeds, clean_sets) = clean_run(&g);
+    let spec = FaultSpec::parse("seed=42,kernel=0.3,transfer=0.2").unwrap();
+    let r = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .faults(spec)
+        .recovery(RecoveryPolicy::retry().with_max_retries(12))
+        .run()
+        .expect("retry absorbs transient faults");
+    assert!(
+        r.recovery.retries > 0,
+        "faults were injected but not retried"
+    );
+    assert_eq!(r.seeds, clean_seeds);
+    assert_eq!(r.num_sets, clean_sets);
+}
+
+#[test]
+fn pressure_window_with_degrade_matches_clean_run() {
+    let g = graph();
+    let (clean_seeds, clean_sets) = clean_run(&g);
+    // A long pressure window squeezes usable memory to 5% on a small
+    // device: the store must spill to host, and the answer must not move.
+    let spec = FaultSpec::parse("seed=7,kernel=0.2,pressure=0.95@2:60").unwrap();
+    let r = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .device(DeviceSpec::rtx_a6000_with_mem(2 << 20))
+        .faults(spec)
+        .recovery(RecoveryPolicy::degrade())
+        .run()
+        .expect("degrade mode absorbs memory pressure");
+    assert_eq!(r.seeds, clean_seeds);
+    assert_eq!(r.num_sets, clean_sets);
+    assert!(!r.recovery.is_empty(), "pressure left no recovery trace");
+}
+
+#[test]
+fn abort_policy_surfaces_the_first_fault_as_an_error() {
+    let g = graph();
+    let spec = FaultSpec::parse("seed=42,kernel=0.95").unwrap();
+    let err = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .faults(spec)
+        .run()
+        .expect_err("near-certain faults with no recovery must fail");
+    assert!(matches!(err, EngineError::Fault(_)), "got {err:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any fault schedule either converges to the clean answer or fails
+    /// with a typed error — across injection seeds and probabilities.
+    #[test]
+    fn any_fault_seed_converges_or_fails_typed(
+        fault_seed in any::<u64>(),
+        kernel_pct in 0u32..80,
+        transfer_pct in 0u32..50,
+    ) {
+        let g = generators::rmat(
+            200,
+            1_200,
+            generators::RmatParams::MILD,
+            WeightModel::WeightedCascade,
+            6,
+        );
+        let clean = EimBuilder::new(&g)
+            .k(2)
+            .epsilon(0.45)
+            .seed(3)
+            .run()
+            .expect("clean run");
+        let spec = FaultSpec::parse(&format!(
+            "seed={fault_seed},kernel=0.{kernel_pct:02},transfer=0.{transfer_pct:02}"
+        )).unwrap();
+        let result = EimBuilder::new(&g)
+            .k(2)
+            .epsilon(0.45)
+            .seed(3)
+            .faults(spec)
+            .recovery(RecoveryPolicy::retry())
+            .run();
+        match result {
+            Ok(r) => {
+                prop_assert_eq!(r.seeds, clean.seeds);
+                prop_assert_eq!(r.num_sets, clean.num_sets);
+            }
+            Err(EngineError::RetriesExhausted { attempts, .. }) => {
+                prop_assert!(attempts > 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+}
+
+// ---- CLI-level checks (the same contract through the binary) ----
+
+fn eim_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eim"))
+}
+
+const CLI_BASE: [&str; 10] = [
+    "--dataset",
+    "WV",
+    "--scale",
+    "0.02",
+    "--k",
+    "3",
+    "--eps",
+    "0.3",
+    "--seed",
+    "9",
+];
+
+#[test]
+fn cli_faulted_run_reports_recovery_and_matches_clean_seeds() {
+    let clean = eim_cli().args(CLI_BASE).arg("--json").output().unwrap();
+    assert!(clean.status.success());
+    let clean_v: serde_json::Value = serde_json::from_slice(&clean.stdout).unwrap();
+
+    let faulted = eim_cli()
+        .args(CLI_BASE)
+        .args([
+            "--inject-faults",
+            "seed=42,kernel=0.5",
+            "--recovery",
+            "retry",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        faulted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&faulted.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&faulted.stdout).unwrap();
+    assert!(v["recovery"]["retries"].as_u64().unwrap() > 0);
+    assert_eq!(v["seeds"], clean_v["seeds"]);
+}
+
+#[test]
+fn cli_fault_abort_is_a_structured_nonzero_exit() {
+    let out = eim_cli()
+        .args(CLI_BASE)
+        .args(["--inject-faults", "seed=41,kernel=0.99", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["error"]["kind"], "sim_fault");
+    assert_eq!(v["error"]["fault_kind"], "kernel_launch");
+    assert!(v["error"]["message"]
+        .as_str()
+        .unwrap()
+        .contains("injected kernel-launch fault"));
+}
+
+#[test]
+fn cli_rejects_bad_fault_specs() {
+    for bad in ["kernel=1.0", "seed=x", "pressure=0.5@9", "nonsense"] {
+        let out = eim_cli()
+            .args(CLI_BASE)
+            .args(["--inject-faults", bad])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "spec {bad:?} should be rejected");
+    }
+}

@@ -139,10 +139,15 @@ fn oom_error_carries_capacity_context() {
     match err {
         EngineError::OutOfMemory {
             requested,
+            in_use,
             capacity,
         } => {
             assert_eq!(capacity, 64 << 10);
             assert!(requested > 0);
+            // Nothing was resident yet: the graph upload is the first alloc.
+            assert_eq!(in_use, 0);
+            assert!(requested > capacity - in_use);
         }
+        other => panic!("expected OutOfMemory, got {other:?}"),
     }
 }

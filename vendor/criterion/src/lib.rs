@@ -101,7 +101,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.criterion.sample_size, self.criterion.quick, &mut f);
+        run_one(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.quick,
+            &mut f,
+        );
         self
     }
 
@@ -182,7 +187,10 @@ fn run_one(label: &str, sample_size: usize, quick: bool, f: &mut dyn FnMut(&mut 
     if quick {
         println!("bench {label}: ok (smoke, {:.3} ms)", per_iter * 1e3);
     } else {
-        println!("bench {label}: {:.3} ms/iter over {iters} iters", per_iter * 1e3);
+        println!(
+            "bench {label}: {:.3} ms/iter over {iters} iters",
+            per_iter * 1e3
+        );
     }
 }
 

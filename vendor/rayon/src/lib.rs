@@ -16,8 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub mod prelude {
     //! The traits most code wants in scope.
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
@@ -556,7 +555,9 @@ mod tests {
 
     #[test]
     fn reduce_argmax_deterministic_across_thread_counts() {
-        let data: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let data: Vec<u32> = (0..5000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
         let run = || {
             data.par_iter()
                 .map(|&c| c)
@@ -591,11 +592,9 @@ mod tests {
     fn for_each_runs_every_index() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let hits = AtomicUsize::new(0);
-        (0usize..4096)
-            .into_par_iter()
-            .for_each(|_| {
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
+        (0usize..4096).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
         assert_eq!(hits.load(Ordering::Relaxed), 4096);
     }
 
