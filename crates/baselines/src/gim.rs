@@ -316,15 +316,21 @@ impl ImmEngine for GimEngine<'_> {
         if flags_ok {
             self.device.memory().free(flag_bytes);
         }
-        let ts = self.device.advance_clock(result.elapsed_us);
-        self.device.run_trace().record_kernel(
-            "gim_select",
-            ts,
-            result.elapsed_us,
-            result.launches as usize,
-            result.total_cycles,
-            0,
-        );
+        // One event per greedy iteration (see `EimEngine::select`): the
+        // per-iteration spans make the warp-per-set cost profile comparable
+        // against eIM's in the same Perfetto timeline.
+        let mut ts = self.device.advance_clock(result.elapsed_us);
+        for (i, iter) in result.iterations.iter().enumerate() {
+            self.device.run_trace().record_kernel(
+                &format!("gim_select:iter{i}"),
+                ts,
+                iter.elapsed_us,
+                iter.launches as usize,
+                iter.cycles,
+                0,
+            );
+            ts += iter.elapsed_us;
+        }
         result.selection
     }
 

@@ -1,0 +1,368 @@
+//! `eim-bench` — host wall-clock performance benchmarks with JSON output.
+//!
+//! ```text
+//! eim-bench perf [OPTIONS]
+//!
+//! Options:
+//!   --json <file>      write results as JSON (default: stdout summary only)
+//!   --baseline <file>  embed a previous run's numbers as `before` and emit
+//!                      before/after speedups
+//!   --smoke            small, CI-sized workloads (seconds, not minutes)
+//!   --seed <n>         base RNG seed (default 190)
+//! ```
+//!
+//! Measures the three host wall-clock hot paths on fixed seeds: RRR-set
+//! sampling (`sample_batch`), greedy seed selection (`select_seeds`), and an
+//! end-to-end `run_imm`. Simulated cycle counts are byte-stable and covered
+//! by the test suite; this harness tracks the *real* time the reproduction
+//! takes, so performance wins are provable and regressions visible. The
+//! checked-in `BENCH_pr3.json` at the repo root is this tool's output with
+//! `--baseline` pointing at a pre-optimization capture; CI's `perf-smoke`
+//! job reruns `--smoke` and fails on a >2x regression versus
+//! `BENCH_smoke_baseline.json`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use eim_core::sampler::sample_batch;
+use eim_core::{EimEngine, PlainDeviceGraph, ScanStrategy};
+use eim_diffusion::DiffusionModel;
+use eim_gpusim::{Device, DeviceSpec};
+use eim_graph::{generators, WeightModel};
+use eim_imm::{
+    run_imm, select_seeds, select_seeds_reference, ImmConfig, PlainRrrStore, RrrStoreBuilder,
+};
+use rand::{Rng, SeedableRng};
+use serde_json::{Map, Value};
+
+struct Args {
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    smoke: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: None,
+        baseline: None,
+        smoke: false,
+        seed: 190,
+    };
+    let mut it = std::env::args().skip(1);
+    let Some(cmd) = it.next() else {
+        usage_and_exit(1);
+    };
+    if cmd == "--help" || cmd == "-h" {
+        usage_and_exit(0);
+    }
+    if cmd != "perf" {
+        eprintln!("unknown subcommand {cmd:?}");
+        usage_and_exit(1);
+    }
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--smoke" => args.smoke = true,
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown option {other}");
+                usage_and_exit(1);
+            }
+        }
+    }
+    args
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!("eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N]");
+    std::process::exit(code);
+}
+
+/// Workload sizes for one mode. Full mode mirrors the set counts a default
+/// `reproduce` sweep reaches on the mid-size networks; smoke mode is sized
+/// for CI.
+struct Workload {
+    /// Selection: vertices in the store.
+    sel_n: usize,
+    /// Selection: RRR sets in the store.
+    sel_sets: usize,
+    /// Selection: seeds to pick.
+    sel_k: usize,
+    /// Sampler: graph vertices / edges.
+    smp_n: usize,
+    smp_m: usize,
+    /// Sampler: sets per batch.
+    smp_count: usize,
+    /// End-to-end: graph vertices / edges.
+    e2e_n: usize,
+    e2e_m: usize,
+    e2e_k: usize,
+    e2e_eps: f64,
+    /// Timing repetitions (best-of).
+    reps: usize,
+}
+
+impl Workload {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                sel_n: 5_000,
+                sel_sets: 40_000,
+                sel_k: 16,
+                smp_n: 5_000,
+                smp_m: 30_000,
+                smp_count: 8_000,
+                e2e_n: 600,
+                e2e_m: 3_600,
+                e2e_k: 4,
+                e2e_eps: 0.3,
+                reps: 2,
+            }
+        } else {
+            Self {
+                sel_n: 20_000,
+                sel_sets: 400_000,
+                sel_k: 50,
+                smp_n: 20_000,
+                smp_m: 120_000,
+                smp_count: 50_000,
+                e2e_n: 2_000,
+                e2e_m: 12_000,
+                e2e_k: 8,
+                e2e_eps: 0.2,
+                reps: 3,
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// A store shaped like a reproduce-scale sampling result: heavy-tailed set
+/// lengths, ties everywhere.
+fn random_store(n: usize, sets: usize, seed: u64) -> PlainRrrStore {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut store = PlainRrrStore::new(n);
+    for _ in 0..sets {
+        let len = rng.gen_range(1..16);
+        let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+        set.sort_unstable();
+        set.dedup();
+        store.append_set(&set);
+    }
+    store
+}
+
+fn bench_entry(wall_ms: f64, detail: &[(&str, Value)]) -> Value {
+    let mut m = Map::new();
+    m.insert("wall_ms".to_string(), Value::from(wall_ms));
+    for (k, v) in detail {
+        m.insert((*k).to_string(), v.clone());
+    }
+    Value::Object(m)
+}
+
+fn run_benches(w: &Workload, seed: u64) -> Map {
+    let mut benches = Map::new();
+
+    // Sampler: one big batch on a scale-free graph.
+    let g = generators::rmat(
+        w.smp_n,
+        w.smp_m,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        seed,
+    );
+    let dg = PlainDeviceGraph::new(&g);
+    let device = Device::new(DeviceSpec::rtx_a6000());
+    let mut sampled_sets = 0usize;
+    let smp_ms = time_ms(w.reps, || {
+        let batch = sample_batch(
+            &device,
+            &dg,
+            DiffusionModel::IndependentCascade,
+            seed,
+            0,
+            w.smp_count,
+            true,
+        )
+        .expect("no fault plan");
+        sampled_sets = batch.counters.sampled;
+        std::hint::black_box(&batch.stats);
+    });
+    benches.insert(
+        "sampler".to_string(),
+        bench_entry(
+            smp_ms,
+            &[
+                ("graph_n", Value::from(w.smp_n as u64)),
+                ("graph_m", Value::from(w.smp_m as u64)),
+                ("sets", Value::from(sampled_sets as u64)),
+            ],
+        ),
+    );
+    println!("sampler        {smp_ms:>10.2} ms   ({sampled_sets} sets)");
+
+    // Selection at reproduce-scale set counts.
+    let store = random_store(w.sel_n, w.sel_sets, seed ^ 0x5e1ec7);
+    let mut covered = 0usize;
+    let sel_ms = time_ms(w.reps, || {
+        let sel = select_seeds(&store, w.sel_k);
+        covered = sel.covered_sets;
+        std::hint::black_box(&sel);
+    });
+    benches.insert(
+        "selection".to_string(),
+        bench_entry(
+            sel_ms,
+            &[
+                ("n", Value::from(w.sel_n as u64)),
+                ("sets", Value::from(w.sel_sets as u64)),
+                ("k", Value::from(w.sel_k as u64)),
+                ("covered_sets", Value::from(covered as u64)),
+            ],
+        ),
+    );
+    println!(
+        "selection      {sel_ms:>10.2} ms   ({} sets, k={}, covered={covered})",
+        w.sel_sets, w.sel_k
+    );
+
+    // The pre-PR full-rescan greedy, kept as the differential-test oracle;
+    // benchmarked so the indexed path's speedup is measurable in one run.
+    let mut ref_covered = 0usize;
+    let ref_ms = time_ms(w.reps, || {
+        let sel = select_seeds_reference(&store, w.sel_k);
+        ref_covered = sel.covered_sets;
+        std::hint::black_box(&sel);
+    });
+    assert_eq!(ref_covered, covered, "reference and indexed paths agree");
+    benches.insert(
+        "selection_reference".to_string(),
+        bench_entry(
+            ref_ms,
+            &[
+                ("n", Value::from(w.sel_n as u64)),
+                ("sets", Value::from(w.sel_sets as u64)),
+                ("k", Value::from(w.sel_k as u64)),
+                ("covered_sets", Value::from(ref_covered as u64)),
+            ],
+        ),
+    );
+    println!(
+        "sel_reference  {ref_ms:>10.2} ms   ({} sets, k={}, covered={ref_covered})",
+        w.sel_sets, w.sel_k
+    );
+
+    // End-to-end run_imm on the simulated device.
+    let eg = generators::rmat(
+        w.e2e_n,
+        w.e2e_m,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        seed ^ 0xe2e,
+    );
+    let cfg = ImmConfig::paper_default()
+        .with_k(w.e2e_k)
+        .with_epsilon(w.e2e_eps)
+        .with_seed(seed);
+    let mut num_sets = 0usize;
+    let e2e_ms = time_ms(w.reps, || {
+        let device = Device::new(DeviceSpec::rtx_a6000_with_mem(512 << 20));
+        let mut engine =
+            EimEngine::new(&eg, cfg, device, ScanStrategy::ThreadPerSet).expect("engine fits");
+        let r = run_imm(&mut engine, &cfg).expect("no faults scheduled");
+        num_sets = r.num_sets;
+        std::hint::black_box(&r.seeds);
+    });
+    benches.insert(
+        "end_to_end".to_string(),
+        bench_entry(
+            e2e_ms,
+            &[
+                ("graph_n", Value::from(w.e2e_n as u64)),
+                ("k", Value::from(w.e2e_k as u64)),
+                ("eps", Value::from(w.e2e_eps)),
+                ("rrr_sets", Value::from(num_sets as u64)),
+            ],
+        ),
+    );
+    println!("end_to_end     {e2e_ms:>10.2} ms   ({num_sets} sets)");
+
+    benches
+}
+
+fn main() {
+    let args = parse_args();
+    let w = Workload::new(args.smoke);
+    println!(
+        "eim-bench perf — mode: {}, seed {}",
+        if args.smoke { "smoke" } else { "full" },
+        args.seed
+    );
+    let benches = run_benches(&w, args.seed);
+
+    let mut root = Map::new();
+    root.insert(
+        "schema".to_string(),
+        Value::from("eim-bench-perf-v1".to_string()),
+    );
+    root.insert(
+        "mode".to_string(),
+        Value::from(if args.smoke { "smoke" } else { "full" }),
+    );
+    root.insert("seed".to_string(), Value::from(args.seed));
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let base: Value = serde_json::from_str(&text).expect("baseline is JSON");
+        let base_benches = base["benches"]
+            .as_object()
+            .cloned()
+            .expect("baseline has benches");
+        let mut speedup = Map::new();
+        for (name, entry) in benches.iter() {
+            let (Some(after), Some(before)) = (
+                entry["wall_ms"].as_f64(),
+                base_benches
+                    .get(name.as_str())
+                    .and_then(|b| b["wall_ms"].as_f64()),
+            ) else {
+                continue;
+            };
+            let s = before / after;
+            speedup.insert(name.clone(), Value::from(s));
+            println!("speedup        {s:>10.2} x    ({name}: {before:.2} -> {after:.2} ms)");
+        }
+        root.insert("before".to_string(), Value::Object(base_benches));
+        root.insert("speedup".to_string(), Value::Object(speedup));
+    }
+    root.insert("benches".to_string(), Value::Object(benches));
+
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        std::fs::write(path, text).expect("write json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -257,8 +257,8 @@ impl ImmEngine for EimEngine<'_> {
         self.counters.sampled += batch.counters.sampled;
         self.counters.singletons += batch.counters.singletons;
         self.counters.discarded += batch.counters.discarded;
-        for set in batch.sets.into_iter().flatten() {
-            self.store.append_set(&set);
+        for set in batch.sets.iter().flatten() {
+            self.store.append_set(set);
         }
         self.ensure_store_capacity()?;
         Ok(())
@@ -292,16 +292,22 @@ impl ImmEngine for EimEngine<'_> {
             self.device.memory().free(flag_bytes);
         }
         // `select_on_device` models its launches analytically rather than
-        // through `Device::launch`, so record the aggregate kernel work here.
-        let ts = self.device.advance_clock(result.elapsed_us);
-        self.device.run_trace().record_kernel(
-            "eim_select",
-            ts,
-            result.elapsed_us,
-            result.launches as usize,
-            result.total_cycles,
-            0,
-        );
+        // through `Device::launch`, so record the kernel work here — one
+        // event per greedy iteration, so the Figure 3 warp-vs-thread
+        // crossover (first iteration dominant, later ones cheap) is visible
+        // in the Perfetto timeline rather than flattened into one span.
+        let mut ts = self.device.advance_clock(result.elapsed_us);
+        for (i, iter) in result.iterations.iter().enumerate() {
+            self.device.run_trace().record_kernel(
+                &format!("eim_select:iter{i}"),
+                ts,
+                iter.elapsed_us,
+                iter.launches as usize,
+                iter.cycles,
+                0,
+            );
+            ts += iter.elapsed_us;
+        }
         result.selection
     }
 

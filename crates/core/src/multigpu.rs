@@ -148,7 +148,7 @@ impl<'g> MultiGpuEimEngine<'g> {
         // the global index, so the merged multiset is identical to the
         // single-device engine's — same seeds, scalability for free.
         let mut device_times = Vec::with_capacity(d);
-        let mut all: Vec<(u64, Vec<u32>)> = Vec::new();
+        let mut batches = Vec::with_capacity(d);
         let mut base = self.next_index;
         for (j, dev) in self.devices.iter().enumerate() {
             let share = total / d + usize::from(j < total % d);
@@ -180,11 +180,8 @@ impl<'g> MultiGpuEimEngine<'g> {
             self.counters.sampled += batch.counters.sampled;
             self.counters.singletons += batch.counters.singletons;
             self.counters.discarded += batch.counters.discarded;
-            for (off, set) in batch.sets.into_iter().enumerate() {
-                if let Some(s) = set {
-                    self.partition_bytes[j] += s.len() * 4 + 8;
-                    all.push((base + off as u64, s));
-                }
+            for set in batch.sets.iter().flatten() {
+                self.partition_bytes[j] += set.len() * 4 + 8;
             }
             // Non-primary devices stage this round's partition to device 0
             // on their own DMA engine, double-buffered against the sampling
@@ -198,15 +195,19 @@ impl<'g> MultiGpuEimEngine<'g> {
                 batch.stats.elapsed_us.max(copy_us)
             };
             device_times.push(device_time);
+            batches.push(batch.sets);
             base += share as u64;
         }
         self.next_index = target as u64;
         // Devices ran concurrently: the phase costs the slowest device.
         self.clock_us += device_times.iter().cloned().fold(0.0, f64::max);
-        // Merge in global-index order for determinism.
-        all.sort_unstable_by_key(|(idx, _)| *idx);
-        for (_, set) in &all {
-            self.store.append_set(set);
+        // Devices own contiguous ascending index ranges and each batch is
+        // already in sample-index order, so appending batch-by-batch IS the
+        // global-index merge order — no sort, no per-set reallocation.
+        for sets in &batches {
+            for set in sets.iter().flatten() {
+                self.store.append_set(set);
+            }
         }
         Ok(())
     }

@@ -16,11 +16,17 @@
 //! Blocks do the traversal work for real and charge warp-level costs; the
 //! resulting sets are bit-identical across runs because every set index
 //! owns a deterministic RNG stream.
+//!
+//! Host-side, the batch mirrors the device layout: every block appends its
+//! finished sets into one flat offsets + data arena (no per-set `Vec`), the
+//! traversal scratch (`M` bitmap and queue pool) lives in a per-worker
+//! arena reused across blocks ([`eim_gpusim::Device::launch_with_scratch`]),
+//! and the merged [`FlatSampleSets`] is ordered by sample index, so its
+//! bytes are independent of grid layout and thread count.
 
 use eim_diffusion::{sample_rng, DiffusionModel};
 use eim_gpusim::{Device, LaunchStats, Op, SimFault, WARP_SIZE};
 use eim_graph::VertexId;
-use eim_imm::apply_source_elimination;
 use rand::Rng;
 
 use crate::device_graph::DeviceGraph;
@@ -37,20 +43,76 @@ pub struct SamplerCounters {
     pub sampled: usize,
 }
 
+/// One batch's RRR sets in flat CSR-style storage: a shared element arena
+/// plus per-sample offsets, with a kept/discarded flag per sample. Sample
+/// `i` of the batch occupies `data[offsets[i]..offsets[i + 1]]`; discarded
+/// samples (source elimination, §3.4) own an empty range. The layout is
+/// canonical — built in sample-index order — so equality is byte equality
+/// regardless of the grid that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatSampleSets {
+    /// `len + 1` element offsets into `data`.
+    offsets: Vec<usize>,
+    /// All kept sets' elements, concatenated in sample order.
+    data: Vec<VertexId>,
+    /// Whether sample `i` was kept (false = discarded by elimination).
+    kept: Vec<bool>,
+}
+
+impl FlatSampleSets {
+    /// Number of samples in the batch (kept and discarded).
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// Sample `i`'s sorted RRR set, or `None` if elimination discarded it.
+    pub fn get(&self, i: usize) -> Option<&[VertexId]> {
+        self.kept[i].then(|| &self.data[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Iterates samples in index order ([`FlatSampleSets::get`] per slot).
+    pub fn iter(&self) -> impl Iterator<Item = Option<&[VertexId]>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Total elements across all kept sets.
+    pub fn total_elements(&self) -> usize {
+        self.data.len()
+    }
+}
+
 /// Result of one batch launch.
 pub struct SampleBatch {
-    /// Per sample index (offset within the batch): the sorted RRR set, or
-    /// `None` if source elimination discarded it.
-    pub sets: Vec<Option<Vec<VertexId>>>,
+    /// The batch's RRR sets, indexed by offset within the batch.
+    pub sets: FlatSampleSets,
     /// Launch timing.
     pub stats: LaunchStats,
     /// Outcome counters.
     pub counters: SamplerCounters,
 }
 
+/// One simulated block's share of the batch, in local (round-robin) order:
+/// local position `p` holds global slot `block_id + p * num_blocks`.
 struct BlockOutput {
-    sets: Vec<(u64, Option<Vec<VertexId>>)>,
+    offsets: Vec<usize>,
+    data: Vec<VertexId>,
+    kept: Vec<bool>,
     counters: SamplerCounters,
+}
+
+/// Host-side traversal scratch, one per rayon worker chunk: the visited
+/// bitmap `M` (all-false between sets — Algorithm 2 line 27 restores it)
+/// and the global-memory queue pool. Reused across every block the worker
+/// executes; the simulated per-block memset of `M` is still charged per
+/// block.
+struct SamplerScratch {
+    visited: Vec<bool>,
+    queue: Vec<VertexId>,
 }
 
 /// Samples RRR sets for indices `start..start + count` of run `seed` on
@@ -72,70 +134,128 @@ pub fn sample_batch<G: DeviceGraph>(
 ) -> Result<SampleBatch, SimFault> {
     let n = graph.n();
     let blocks = (device.spec().num_sms * 4).min(count.max(1));
-    let result = device.checked_launch("eim_sample", blocks, |ctx| {
-        let b = ctx.block_id();
-        // Per-block scratch, reused across this block's sets: the visited
-        // bitmap M (zeroed once per launch; reset per set by walking Q —
-        // Algorithm 2 line 27) and the global-memory queue.
-        let mut visited = vec![false; n];
-        ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access); // memset M
-        let mut queue: Vec<VertexId> = Vec::new();
-        let mut out = BlockOutput {
-            sets: Vec::new(),
-            counters: SamplerCounters::default(),
-        };
-        let mut j = b;
-        while j < count {
-            let idx = start + j as u64;
-            let set = sample_one(ctx, graph, model, seed, idx, &mut visited, &mut queue);
-            out.counters.sampled += 1;
-            if set.len() == 1 {
-                out.counters.singletons += 1;
-            }
-            let kept = if source_elim {
-                let source = set_source(seed, idx, n);
-                let reduced = apply_source_elimination(&set, source);
-                if reduced.is_none() {
-                    out.counters.discarded += 1;
-                }
-                reduced
-            } else {
-                Some(set)
+    device.check_kernel_fault("eim_sample")?;
+    let result = device.launch_with_scratch(
+        "eim_sample",
+        blocks,
+        || SamplerScratch {
+            visited: vec![false; n],
+            queue: Vec::new(),
+        },
+        |ctx, scratch| {
+            let b = ctx.block_id();
+            // Each block zeroes its own M (Algorithm 2): the simulated cost
+            // is per block even though the host bitmap is a worker arena.
+            ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access); // memset M
+            let local = count.saturating_sub(b).div_ceil(blocks);
+            let mut out = BlockOutput {
+                offsets: Vec::with_capacity(local + 1),
+                data: Vec::new(),
+                kept: Vec::with_capacity(local),
+                counters: SamplerCounters::default(),
             };
-            if let Some(s) = &kept {
-                charge_copy_out(ctx, s.len());
+            out.offsets.push(0);
+            let mut j = b;
+            while j < count {
+                let idx = start + j as u64;
+                let source = sample_one(
+                    ctx,
+                    graph,
+                    model,
+                    seed,
+                    idx,
+                    &mut scratch.visited,
+                    &mut scratch.queue,
+                );
+                let set = &scratch.queue;
+                out.counters.sampled += 1;
+                if set.len() == 1 {
+                    out.counters.singletons += 1;
+                }
+                // Copy Q into the block's flat output, applying source
+                // elimination during the copy (§3.4): drop the source, and
+                // discard samples that reduce to empty.
+                let kept = if source_elim {
+                    if set.len() <= 1 {
+                        debug_assert!(set.is_empty() || set[0] == source);
+                        out.counters.discarded += 1;
+                        false
+                    } else {
+                        let before = out.data.len();
+                        for &v in set {
+                            if v != source {
+                                out.data.push(v);
+                            }
+                        }
+                        debug_assert_eq!(
+                            out.data.len() - before,
+                            set.len() - 1,
+                            "source must appear exactly once"
+                        );
+                        true
+                    }
+                } else {
+                    out.data.extend_from_slice(set);
+                    true
+                };
+                if kept {
+                    let len = out.data.len() - out.offsets.last().copied().unwrap_or(0);
+                    charge_copy_out(ctx, len);
+                }
+                out.offsets.push(out.data.len());
+                out.kept.push(kept);
+                j += blocks;
             }
-            out.sets.push((idx, kept));
-            j += blocks;
-        }
-        out
-    })?;
-    let mut sets: Vec<Option<Vec<VertexId>>> = (0..count).map(|_| None).collect();
+            out
+        },
+    );
+
+    // Merge in sample-index order. The round-robin deal is invertible —
+    // global slot j lives in block j % blocks at local position j / blocks —
+    // so one sizing pass plus one copy pass produces the canonical layout
+    // with no per-set allocation.
     let mut counters = SamplerCounters::default();
-    for block in result.outputs {
+    let mut lens = vec![0usize; count];
+    let mut kept = vec![false; count];
+    for (b, block) in result.outputs.iter().enumerate() {
         counters.singletons += block.counters.singletons;
         counters.discarded += block.counters.discarded;
         counters.sampled += block.counters.sampled;
-        for (idx, set) in block.sets {
-            sets[(idx - start) as usize] = set;
+        for p in 0..block.kept.len() {
+            let slot = b + p * blocks;
+            lens[slot] = block.offsets[p + 1] - block.offsets[p];
+            kept[slot] = block.kept[p];
+        }
+    }
+    let mut offsets = Vec::with_capacity(count + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &l in &lens {
+        acc += l;
+        offsets.push(acc);
+    }
+    let mut data = vec![0 as VertexId; acc];
+    for (b, block) in result.outputs.iter().enumerate() {
+        for p in 0..block.kept.len() {
+            let slot = b + p * blocks;
+            let src = &block.data[block.offsets[p]..block.offsets[p + 1]];
+            data[offsets[slot]..offsets[slot] + src.len()].copy_from_slice(src);
         }
     }
     Ok(SampleBatch {
-        sets,
+        sets: FlatSampleSets {
+            offsets,
+            data,
+            kept,
+        },
         stats: result.stats,
         counters,
     })
 }
 
-/// The source vertex for sample `idx` — the first draw of its RNG stream.
-/// Exposed so elimination can recover it without threading extra state.
-fn set_source(seed: u64, idx: u64, n: usize) -> VertexId {
-    let mut rng = sample_rng(seed, idx);
-    rng.gen_range(0..n as VertexId)
-}
-
-/// Traverses one RRR set, returning it sorted ascending. `visited` must be
-/// all-false on entry and is restored to all-false before returning.
+/// Traverses one RRR set into `queue`, leaving it sorted ascending, and
+/// returns the sample's source vertex. `visited` must be all-false on entry
+/// and is restored to all-false before returning.
 fn sample_one<G: DeviceGraph>(
     ctx: &mut eim_gpusim::BlockCtx,
     graph: &G,
@@ -144,7 +264,7 @@ fn sample_one<G: DeviceGraph>(
     idx: u64,
     visited: &mut [bool],
     queue: &mut Vec<VertexId>,
-) -> Vec<VertexId> {
+) -> VertexId {
     let mut rng = sample_rng(seed, idx);
     let n = graph.n();
     let source: VertexId = rng.gen_range(0..n as VertexId);
@@ -173,7 +293,7 @@ fn sample_one<G: DeviceGraph>(
         visited[v as usize] = false;
     }
     ctx.charge(Op::GlobalAccess, q as u64);
-    std::mem::take(queue)
+    source
 }
 
 /// Warp-wide probabilistic BFS (IC): every dequeued vertex's in-neighbor
@@ -307,7 +427,7 @@ mod tests {
         assert_eq!(batch.counters.sampled, 100);
         assert_eq!(batch.counters.discarded, 0);
         for set in batch.sets.iter() {
-            let s = set.as_ref().expect("no discards without elimination");
+            let s = set.expect("no discards without elimination");
             assert!(!s.is_empty());
             assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted unique");
             assert!(s.iter().all(|&v| (v as usize) < 200));
@@ -392,8 +512,8 @@ mod tests {
             sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, false).unwrap();
         let without =
             sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 9, 0, 50, true).unwrap();
-        for (a, b) in with.sets.iter().zip(&without.sets) {
-            let a = a.as_ref().unwrap();
+        for (a, b) in with.sets.iter().zip(without.sets.iter()) {
+            let a = a.unwrap();
             match b {
                 Some(b) => {
                     assert_eq!(b.len(), a.len() - 1);
@@ -411,7 +531,7 @@ mod tests {
         let d = device();
         let batch =
             sample_batch(&d, &dg, DiffusionModel::IndependentCascade, 2, 0, 40, false).unwrap();
-        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+        for set in batch.sets.iter().map(|s| s.unwrap()) {
             // A set rooted at source s on the path must be exactly {0..=s}.
             let src = *set.last().unwrap();
             assert_eq!(set.len() as u32, src + 1);
@@ -432,7 +552,7 @@ mod tests {
         let d = device();
         let batch =
             sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 6, 0, 80, false).unwrap();
-        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+        for set in batch.sets.iter().map(|s| s.unwrap()) {
             assert!(!set.is_empty());
             assert!(set.windows(2).all(|w| w[0] < w[1]));
         }
@@ -446,7 +566,7 @@ mod tests {
         let d = device();
         let batch =
             sample_batch(&d, &dg, DiffusionModel::LinearThreshold, 7, 0, 10, false).unwrap();
-        for set in batch.sets.iter().map(|s| s.as_ref().unwrap()) {
+        for set in batch.sets.iter().map(|s| s.unwrap()) {
             assert_eq!(set.len(), 8, "full lap then stop");
         }
     }

@@ -34,6 +34,24 @@ pub enum ScanStrategy {
 /// `log2(32) = 5x`, but pays intra-warp coordination — net ~4x per set.
 const WARP_SEARCH_SPEEDUP: u64 = 4;
 
+/// One greedy iteration's simulated cost: its argmax reduction plus its
+/// membership scan. `cycles` and `launches` sum exactly to the parent
+/// [`DeviceSelection`] totals; `elapsed_us` is the span duration for a
+/// per-iteration trace event (Figure 3's warp-vs-thread crossover is only
+/// visible iteration by iteration — later iterations scan mostly-covered
+/// sets and cost far less than the first).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectIteration {
+    /// Simulated cycles of this iteration's launches.
+    pub cycles: u64,
+    /// Simulated kernel launches this iteration (2, or 1 for a final
+    /// argmax that found every vertex already selected).
+    pub launches: u64,
+    /// This iteration's simulated duration, microseconds (cycle time plus
+    /// launch overheads).
+    pub elapsed_us: f64,
+}
+
 /// Result of a device selection: the selection itself plus its simulated
 /// time.
 #[derive(Clone, Debug)]
@@ -46,6 +64,8 @@ pub struct DeviceSelection {
     pub total_cycles: u64,
     /// Number of simulated kernel launches (two per greedy iteration).
     pub launches: u64,
+    /// Per-greedy-iteration cost breakdown, in selection order.
+    pub iterations: Vec<SelectIteration>,
 }
 
 /// Runs greedy max-coverage over `store` on `device`, charging simulated
@@ -68,10 +88,23 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
     let mut seeds: Vec<VertexId> = Vec::with_capacity(k);
     let mut total_cycles: u64 = 0;
     let mut launches = 0u64;
+    let mut iterations: Vec<SelectIteration> = Vec::with_capacity(k);
 
     let slots = match strategy {
         ScanStrategy::ThreadPerSet => spec.thread_slots(),
         ScanStrategy::WarpPerSet => spec.warp_slots(),
+    };
+
+    let push_iteration = |total_cycles: u64, launches: u64, iters: &mut Vec<SelectIteration>| {
+        let done: u64 = iters.iter().map(|it| it.cycles).sum();
+        let done_launches: u64 = iters.iter().map(|it| it.launches).sum();
+        let cycles = total_cycles - done;
+        let l = launches - done_launches;
+        iters.push(SelectIteration {
+            cycles,
+            launches: l,
+            elapsed_us: spec.cycles_to_us(cycles) + l as f64 * costs.kernel_launch_us,
+        });
     };
 
     for _ in 0..k {
@@ -94,6 +127,9 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
                 },
             );
         if best.1 == usize::MAX {
+            // The dangling argmax still launched: give it its own entry so
+            // the breakdown sums to the totals.
+            push_iteration(total_cycles, launches, &mut iterations);
             break;
         }
         let v = best.1 as VertexId;
@@ -153,6 +189,7 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
                 }
             }
         }
+        push_iteration(total_cycles, launches, &mut iterations);
     }
 
     DeviceSelection {
@@ -164,6 +201,7 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
         elapsed_us: spec.cycles_to_us(total_cycles) + launches as f64 * costs.kernel_launch_us,
         total_cycles,
         launches,
+        iterations,
     }
 }
 
@@ -261,6 +299,49 @@ mod tests {
         let r = select_on_device(&device, &store, 3, ScanStrategy::ThreadPerSet);
         assert_eq!(r.selection.seeds, vec![0, 1, 2]);
         assert_eq!(r.selection.covered_sets, 0);
+    }
+
+    #[test]
+    fn iteration_breakdown_sums_to_totals() {
+        let store = random_store(150, 2_000, 21);
+        let device = Device::new(DeviceSpec::test_small());
+        for strategy in [ScanStrategy::ThreadPerSet, ScanStrategy::WarpPerSet] {
+            let r = select_on_device(&device, &store, 7, strategy);
+            assert_eq!(r.iterations.len(), 7);
+            assert_eq!(
+                r.iterations.iter().map(|i| i.cycles).sum::<u64>(),
+                r.total_cycles
+            );
+            assert_eq!(
+                r.iterations.iter().map(|i| i.launches).sum::<u64>(),
+                r.launches
+            );
+            for it in &r.iterations {
+                assert_eq!(it.launches, 2);
+                assert!(it.cycles > 0);
+                assert!(it.elapsed_us > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_vertices_yield_a_dangling_argmax_iteration() {
+        // k > n: after n picks every vertex is selected and the final
+        // argmax launches but selects nothing.
+        let store = PlainRrrStore::new(3);
+        let device = Device::new(DeviceSpec::test_small());
+        let r = select_on_device(&device, &store, 5, ScanStrategy::ThreadPerSet);
+        assert_eq!(r.selection.seeds, vec![0, 1, 2]);
+        assert_eq!(r.iterations.len(), 4);
+        assert_eq!(r.iterations.last().unwrap().launches, 1);
+        assert_eq!(
+            r.iterations.iter().map(|i| i.cycles).sum::<u64>(),
+            r.total_cycles
+        );
+        assert_eq!(
+            r.iterations.iter().map(|i| i.launches).sum::<u64>(),
+            r.launches
+        );
     }
 
     #[test]

@@ -160,26 +160,95 @@ impl Device {
         T: Send,
         F: Fn(&mut BlockCtx) -> T + Sync,
     {
+        self.launch_with_scratch(name, num_blocks, || (), |ctx, ()| kernel(ctx))
+    }
+
+    /// [`Device::launch`] with per-worker scratch: simulated blocks are
+    /// chunked so each rayon task runs a contiguous range of them, calling
+    /// `init` once per chunk and threading the resulting scratch value
+    /// through every block it executes. Kernels reuse host-side arenas
+    /// (visited bitmaps, queues) across blocks instead of reallocating them
+    /// per block — the *simulated* per-block costs are whatever the kernel
+    /// charges, unchanged.
+    ///
+    /// Chunk accounting is exact: each chunk accumulates per-SM cycle sums
+    /// (round-robin `block % num_sms`, as [`Device::makespan`] defines),
+    /// block-cycle totals and maxima, and operation counts; chunk partials
+    /// combine associatively, so stats are byte-identical to the one-task-
+    /// per-block execution for any chunk or thread count — and the no-trace
+    /// path never materializes a per-block cycles vector at all.
+    pub fn launch_with_scratch<T, S, I, F>(
+        &self,
+        name: &str,
+        num_blocks: usize,
+        init: I,
+        kernel: F,
+    ) -> LaunchResult<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut BlockCtx, &mut S) -> T + Sync,
+    {
+        struct ChunkResult<T> {
+            outputs: Vec<T>,
+            per_sm: Vec<u64>,
+            total_cycles: u64,
+            max_block_cycles: u64,
+            ops: OpCounts,
+        }
+
         let spec = self.spec;
-        let results: Vec<(T, u64, OpCounts)> = (0..num_blocks)
+        let sms = spec.num_sms;
+        let chunks = num_blocks.min(rayon::current_num_threads() * 4);
+        let per = num_blocks.checked_div(chunks).unwrap_or(0);
+        let rem = num_blocks.checked_rem(chunks).unwrap_or(0);
+        let results: Vec<ChunkResult<T>> = (0..chunks)
             .into_par_iter()
-            .map(|b| {
-                let mut ctx = BlockCtx::new(b, spec);
-                let out = kernel(&mut ctx);
-                let counts = *ctx.op_counts();
-                (out, ctx.cycles(), counts)
+            .map(|c| {
+                let start = c * per + c.min(rem);
+                let len = per + usize::from(c < rem);
+                let mut scratch = init();
+                let mut out = ChunkResult {
+                    outputs: Vec::with_capacity(len),
+                    per_sm: vec![0u64; sms],
+                    total_cycles: 0,
+                    max_block_cycles: 0,
+                    ops: OpCounts::default(),
+                };
+                for b in start..start + len {
+                    let mut ctx = BlockCtx::new(b, spec);
+                    out.outputs.push(kernel(&mut ctx, &mut scratch));
+                    let cycles = ctx.cycles();
+                    out.per_sm[b % sms] += cycles;
+                    out.total_cycles += cycles;
+                    out.max_block_cycles = out.max_block_cycles.max(cycles);
+                    out.ops.add(ctx.op_counts());
+                }
+                out
             })
             .collect();
         let mut outputs = Vec::with_capacity(num_blocks);
-        let mut cycles = Vec::with_capacity(num_blocks);
+        let mut per_sm = vec![0u64; sms];
+        let mut total_cycles = 0u64;
+        let mut max_block_cycles = 0u64;
         let mut ops = OpCounts::default();
-        for (out, c, counts) in results {
-            outputs.push(out);
-            cycles.push(c);
-            ops.add(&counts);
+        for chunk in results {
+            outputs.extend(chunk.outputs);
+            for (acc, c) in per_sm.iter_mut().zip(&chunk.per_sm) {
+                *acc += c;
+            }
+            total_cycles += chunk.total_cycles;
+            max_block_cycles = max_block_cycles.max(chunk.max_block_cycles);
+            ops.add(&chunk.ops);
         }
-        let mut stats = self.makespan(&cycles);
-        stats.ops = ops;
+        let busiest = per_sm.into_iter().max().unwrap_or(0);
+        let stats = LaunchStats {
+            elapsed_us: spec.costs.kernel_launch_us + spec.cycles_to_us(busiest),
+            total_cycles,
+            max_block_cycles,
+            num_blocks,
+            ops,
+        };
         if let Some(trace) = &self.trace {
             trace.lock().push(TraceEntry {
                 name: name.to_string(),
@@ -480,6 +549,42 @@ mod tests {
         // Event 2 leaves the window: full capacity is back.
         d.checked_launch("e2", 1, |_| ()).unwrap();
         d.memory().alloc(512 * 1024).unwrap();
+    }
+
+    #[test]
+    fn scratch_launch_matches_plain_launch_stats() {
+        let d = Device::new(DeviceSpec::test_small());
+        let plain = d.launch("plain", 37, |ctx| {
+            ctx.charge(Op::GlobalAccess, (ctx.block_id() % 5) as u64 + 1);
+            ctx.block_id()
+        });
+        let scratched =
+            d.launch_with_scratch("scratched", 37, Vec::<usize>::new, |ctx, scratch| {
+                ctx.charge(Op::GlobalAccess, (ctx.block_id() % 5) as u64 + 1);
+                scratch.push(ctx.block_id());
+                ctx.block_id()
+            });
+        assert_eq!(plain.outputs, scratched.outputs);
+        assert_eq!(plain.stats, scratched.stats);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_blocks_within_a_chunk() {
+        // One thread -> one chunk -> one scratch shared by all blocks.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let d = Device::new(DeviceSpec::test_small());
+        let r = pool.install(|| {
+            d.launch_with_scratch("reuse", 16, Vec::<usize>::new, |ctx, scratch| {
+                scratch.push(ctx.block_id());
+                scratch.len()
+            })
+        });
+        // One thread still gets threads * 4 = 4 chunks; within each, the
+        // four blocks run serially through the same growing scratch vector.
+        assert_eq!(r.outputs, [1, 2, 3, 4].repeat(4));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub use martingale::{
 };
 pub use recovery::{MartingaleCheckpoint, RecoveryMode, RecoveryPolicy, RecoveryReport};
 pub use rrrstore::{AnyRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};
-pub use selection::{select_seeds, select_seeds_celf, select_seeds_with_gains, Selection};
+pub use selection::{
+    select_seeds, select_seeds_celf, select_seeds_reference, select_seeds_reference_with_gains,
+    select_seeds_with_gains, Selection, SelectionWorkspace,
+};
 pub use source_elim::apply_source_elimination;
 pub use spill::PackedRrrBatch;

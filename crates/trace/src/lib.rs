@@ -186,9 +186,18 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
-#[derive(Debug, Default)]
+/// Number of [`EventCat`] variants (per-category cap bookkeeping).
+const NUM_CATS: usize = 5;
+
+#[derive(Debug)]
 struct Inner {
     events: Mutex<Vec<TraceEvent>>,
+    /// Max retained events *per category*; `u64::MAX` when uncapped.
+    event_cap: u64,
+    /// Retained-event count per category (indexed by [`EventCat::lane`]).
+    cat_counts: [AtomicU64; NUM_CATS],
+    /// Events discarded per category once its cap filled.
+    cat_dropped: [AtomicU64; NUM_CATS],
     kernel_launches: AtomicU64,
     kernel_cycles: AtomicU64,
     alloc_events: AtomicU64,
@@ -198,6 +207,32 @@ struct Inner {
     transfer_bytes: AtomicU64,
     fault_events: AtomicU64,
     recovery_events: AtomicU64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Self::with_cap(u64::MAX)
+    }
+}
+
+impl Inner {
+    fn with_cap(event_cap: u64) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            event_cap,
+            cat_counts: Default::default(),
+            cat_dropped: Default::default(),
+            kernel_launches: AtomicU64::new(0),
+            kernel_cycles: AtomicU64::new(0),
+            alloc_events: AtomicU64::new(0),
+            free_events: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+            transfer_events: AtomicU64::new(0),
+            transfer_bytes: AtomicU64::new(0),
+            fault_events: AtomicU64::new(0),
+            recovery_events: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Shared run-telemetry recorder.
@@ -217,10 +252,23 @@ impl RunTrace {
         Self { inner: None }
     }
 
-    /// A live recorder.
+    /// A live recorder with an unbounded event buffer.
     pub fn enabled() -> Self {
         Self {
             inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A live recorder that retains at most `cap` events *per category*
+    /// (phase / kernel / memory / transfer / fault). Beyond the cap, events
+    /// in that category are discarded — the summary counters stay exact
+    /// (every launch, byte, and fault is still counted) and the discards
+    /// are reported as [`TraceSummary::dropped_events`]. Bounds trace
+    /// memory and file size on long runs, where the kernel lane alone can
+    /// reach millions of events.
+    pub fn enabled_with_event_cap(cap: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::with_cap(cap as u64))),
         }
     }
 
@@ -231,6 +279,17 @@ impl RunTrace {
 
     fn push(&self, ev: TraceEvent) {
         if let Some(inner) = &self.inner {
+            let lane = ev.cat.lane() as usize;
+            if inner.event_cap != u64::MAX {
+                // Claim a slot under the category's cap; on overflow, undo
+                // and count the drop instead of buffering.
+                let claimed = inner.cat_counts[lane].fetch_add(1, Ordering::Relaxed);
+                if claimed >= inner.event_cap {
+                    inner.cat_counts[lane].fetch_sub(1, Ordering::Relaxed);
+                    inner.cat_dropped[lane].fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             inner.events.lock().expect("trace buffer poisoned").push(ev);
         }
     }
@@ -408,6 +467,11 @@ impl RunTrace {
             transfer_bytes: inner.transfer_bytes.load(Ordering::Relaxed),
             fault_events: inner.fault_events.load(Ordering::Relaxed),
             recovery_events: inner.recovery_events.load(Ordering::Relaxed),
+            dropped_events: inner
+                .cat_dropped
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum(),
             phase_us,
         }
     }
@@ -513,6 +577,10 @@ pub struct TraceSummary {
     pub fault_events: u64,
     /// Number of recovery actions (retries, batch splits, spills) recorded.
     pub recovery_events: u64,
+    /// Events discarded by a per-category cap
+    /// ([`RunTrace::enabled_with_event_cap`]); 0 for unbounded recorders.
+    /// The other counters here stay exact regardless of drops.
+    pub dropped_events: u64,
     /// Per-phase simulated durations `(name, µs)`, in completion order.
     pub phase_us: Vec<(String, f64)>,
 }
@@ -535,6 +603,7 @@ impl TraceSummary {
             "transfer_bytes": self.transfer_bytes,
             "fault_events": self.fault_events,
             "recovery_events": self.recovery_events,
+            "dropped_events": self.dropped_events,
             "phase_us": Value::Object(phases),
         })
     }
@@ -675,6 +744,66 @@ mod tests {
         assert_eq!(rec["args"]["attempt"].as_u64(), Some(1));
         assert_eq!(v["summary"]["fault_events"].as_u64(), Some(1));
         assert_eq!(v["summary"]["recovery_events"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn event_cap_bounds_each_category_and_counts_drops() {
+        let t = RunTrace::enabled_with_event_cap(3);
+        for i in 0..10 {
+            t.record_kernel("k", i as f64, 1.0, 1, 100, 50);
+        }
+        // A different category has its own budget.
+        t.record_transfer("h2d", 0.0, 1.0, 64);
+        let kernels = t
+            .events()
+            .iter()
+            .filter(|e| e.cat == EventCat::Kernel)
+            .count();
+        assert_eq!(kernels, 3, "kernel lane capped");
+        assert_eq!(
+            t.events()
+                .iter()
+                .filter(|e| e.cat == EventCat::Transfer)
+                .count(),
+            1
+        );
+        let s = t.summary();
+        assert_eq!(s.dropped_events, 7);
+        // Aggregate counters stay exact despite the drops.
+        assert_eq!(s.kernel_launches, 10);
+        assert_eq!(s.kernel_cycles, 1000);
+        assert_eq!(s.transfer_events, 1);
+        let v = t.chrome_json(&[]);
+        assert_eq!(v["summary"]["dropped_events"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn uncapped_recorder_reports_zero_drops() {
+        let t = RunTrace::enabled();
+        for i in 0..100 {
+            t.record_kernel("k", i as f64, 1.0, 1, 1, 1);
+        }
+        assert_eq!(t.summary().dropped_events, 0);
+        assert_eq!(t.events().len(), 100);
+    }
+
+    #[test]
+    fn capped_recorder_is_race_free() {
+        let t = RunTrace::enabled_with_event_cap(50);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.record_kernel("k", i as f64, 1.0, 1, 1, 1);
+                    }
+                });
+            }
+        });
+        let s = t.summary();
+        assert_eq!(s.kernel_launches, 800);
+        assert_eq!(t.events().len(), 50);
+        assert_eq!(s.dropped_events, 750);
     }
 
     #[test]

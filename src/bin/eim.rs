@@ -26,6 +26,8 @@
 //!   --recovery <mode>    abort | retry | degrade       [abort]
 //!   --max-retries <n>    retry budget per batch (with --recovery)
 //!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
+//!   --trace-event-cap <n> retain at most n trace events per category;
+//!                        drops are counted in the summary's dropped_events
 //!   --json               machine-readable output
 //! ```
 
@@ -64,6 +66,7 @@ struct Args {
     recovery: RecoveryPolicy,
     max_retries: Option<u32>,
     trace: Option<String>,
+    trace_event_cap: Option<usize>,
     json: bool,
 }
 
@@ -75,7 +78,7 @@ fn usage() -> ! {
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
          [--spread-sims n] [--inject-faults spec] \
          [--recovery abort|retry|degrade] [--max-retries n] \
-         [--trace <file>] [--json]"
+         [--trace <file>] [--trace-event-cap n] [--json]"
     );
     std::process::exit(2);
 }
@@ -100,6 +103,7 @@ fn parse_args() -> Args {
         recovery: RecoveryPolicy::abort(),
         max_retries: None,
         trace: None,
+        trace_event_cap: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -142,6 +146,9 @@ fn parse_args() -> Args {
             }
             "--max-retries" => a.max_retries = Some(val().parse().unwrap_or_else(|_| usage())),
             "--trace" => a.trace = Some(val()),
+            "--trace-event-cap" => {
+                a.trace_event_cap = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             "--json" => a.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -267,11 +274,12 @@ fn main() {
         None => DeviceSpec::rtx_a6000(),
     };
     // Recording is cheap at CLI scale: collect telemetry whenever the run
-    // will report it (a trace file or the --json summary).
-    let trace = if a.trace.is_some() || a.json {
-        RunTrace::enabled()
-    } else {
-        RunTrace::disabled()
+    // will report it (a trace file or the --json summary). A cap bounds the
+    // buffer on long runs; summary counters stay exact either way.
+    let trace = match (a.trace.is_some() || a.json, a.trace_event_cap) {
+        (false, _) => RunTrace::disabled(),
+        (true, Some(cap)) => RunTrace::enabled_with_event_cap(cap),
+        (true, None) => RunTrace::enabled(),
     };
     let wall = std::time::Instant::now();
 

@@ -261,6 +261,55 @@ fn json_output_carries_telemetry_summary() {
     assert!(t["kernel_launches"].as_u64().unwrap() > 0);
     assert!(t["peak_device_bytes"].as_u64().unwrap() > 0);
     assert!(t["phase_us"]["estimation"].as_f64().unwrap() >= 0.0);
+    assert_eq!(
+        t["dropped_events"].as_u64(),
+        Some(0),
+        "uncapped run drops nothing"
+    );
+}
+
+#[test]
+fn trace_event_cap_bounds_the_event_stream_but_keeps_counters_exact() {
+    let dir = std::env::temp_dir().join("eim_cli_cap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("capped.trace.json");
+    let out = eim()
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "3",
+            "--eps",
+            "0.5",
+            "--json",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--trace-event-cap",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let t = &v["telemetry"];
+    // Counters are exact even though the event stream is truncated.
+    assert!(t["kernel_launches"].as_u64().unwrap() > 2);
+    assert!(t["dropped_events"].as_u64().unwrap() > 0);
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = trace["traceEvents"].as_array().unwrap();
+    for cat in ["phase", "kernel", "memory", "transfer", "fault"] {
+        let n = events.iter().filter(|e| e["cat"] == *cat).count();
+        assert!(n <= 2, "{cat} lane exceeded cap: {n}");
+    }
+    assert!(trace["summary"]["dropped_events"].as_u64().unwrap() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -94,7 +94,7 @@ fn gpu_sampler_matches_cpu_sampler_set_for_set() {
             let source: u32 = rng.gen_range(0..n);
             let reference = sample_rrr(&g, model, source, &mut rng);
             assert_eq!(
-                set.as_deref(),
+                set,
                 Some(reference.as_slice()),
                 "{model}: sample {i} diverged"
             );
