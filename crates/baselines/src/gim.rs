@@ -16,7 +16,7 @@
 //! * selection scans assign one **warp** per RRR set.
 
 use eim_diffusion::{sample_rng, DiffusionModel};
-use eim_gpusim::{Device, Op, TransferDirection, WARP_SIZE};
+use eim_gpusim::{CopyEvent, CopyStream, Device, Op, TransferDirection, WARP_SIZE};
 use eim_graph::{Graph, VertexId};
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -39,6 +39,11 @@ type GimBatch = (Vec<Vec<VertexId>>, f64, u64, usize);
 /// gIM as an [`ImmEngine`] backend.
 pub struct GimEngine<'g> {
     device: Device,
+    /// DMA engine carrying the initial network upload.
+    stream: CopyStream,
+    /// Pending graph upload; the first sampling round waits on it, so
+    /// upload and compute overlap.
+    upload: Option<CopyEvent>,
     graph: &'g Graph,
     config: ImmConfig,
     store: AnyRrrStore,
@@ -61,11 +66,15 @@ impl<'g> GimEngine<'g> {
             .memory()
             .alloc(graph.csc_bytes() + scratch)
             .map_err(EngineError::from)?;
-        // Upload the uncompressed network over PCIe.
-        let upload_us = device.transfer(graph.csc_bytes(), TransferDirection::HostToDevice);
-        device.advance_clock(upload_us);
+        // Upload the uncompressed network over PCIe on the copy stream; the
+        // clock only moves once the first sampling round waits on it.
+        let mut stream = device.copy_stream();
+        let upload =
+            Some(stream.enqueue(&device, graph.csc_bytes(), TransferDirection::HostToDevice));
         Ok(Self {
             device,
+            stream,
+            upload,
             graph,
             // gIM always stores plain, never eliminates sources.
             store: AnyRrrStore::new(n, false),
@@ -299,6 +308,10 @@ impl ImmEngine for GimEngine<'_> {
             let (sets, us, spills, leaked) = self.sample_batch(self.next_index, batch_size)?;
             self.next_index += batch_size as u64;
             self.device.advance_clock(us);
+            // The first round computed under the in-flight graph upload.
+            if let Some(upload) = self.upload.take() {
+                self.stream.wait_event(&self.device, &upload);
+            }
             self.spill_events += spills;
             self.leaked_bytes += leaked;
             for set in &sets {
@@ -310,6 +323,10 @@ impl ImmEngine for GimEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
+        // A run that never sampled still owes the graph upload.
+        if let Some(upload) = self.upload.take() {
+            self.stream.wait_event(&self.device, &upload);
+        }
         let flag_bytes = self.store.num_sets().div_ceil(8);
         let flags_ok = self.device.memory().alloc(flag_bytes).is_ok();
         let result = select_on_device(&self.device, &self.store, k, ScanStrategy::WarpPerSet);

@@ -9,6 +9,8 @@
 //!                      before/after speedups
 //!   --smoke            small, CI-sized workloads (seconds, not minutes)
 //!   --seed <n>         base RNG seed (default 190)
+//!   --no-overlap       force-serialize the devices' copy streams; outputs
+//!                      are identical, only simulated time differs
 //! ```
 //!
 //! Measures the three host wall-clock hot paths on fixed seeds: RRR-set
@@ -40,6 +42,7 @@ struct Args {
     baseline: Option<PathBuf>,
     smoke: bool,
     seed: u64,
+    no_overlap: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +51,7 @@ fn parse_args() -> Args {
         baseline: None,
         smoke: false,
         seed: 190,
+        no_overlap: false,
     };
     let mut it = std::env::args().skip(1);
     let Some(cmd) = it.next() else {
@@ -70,6 +74,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
             "--smoke" => args.smoke = true,
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--no-overlap" => args.no_overlap = true,
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option {other}");
@@ -81,7 +86,7 @@ fn parse_args() -> Args {
 }
 
 fn usage_and_exit(code: i32) -> ! {
-    println!("eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N]");
+    println!("eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap]");
     std::process::exit(code);
 }
 
@@ -178,7 +183,7 @@ fn bench_entry(wall_ms: f64, detail: &[(&str, Value)]) -> Value {
     Value::Object(m)
 }
 
-fn run_benches(w: &Workload, seed: u64) -> Map {
+fn run_benches(w: &Workload, seed: u64, overlap: bool) -> Map {
     let mut benches = Map::new();
 
     // Sampler: one big batch on a scale-free graph.
@@ -190,7 +195,7 @@ fn run_benches(w: &Workload, seed: u64) -> Map {
         seed,
     );
     let dg = PlainDeviceGraph::new(&g);
-    let device = Device::new(DeviceSpec::rtx_a6000());
+    let device = Device::new(DeviceSpec::rtx_a6000()).with_copy_overlap(overlap);
     let mut sampled_sets = 0usize;
     let smp_ms = time_ms(w.reps, || {
         let batch = sample_batch(
@@ -284,7 +289,8 @@ fn run_benches(w: &Workload, seed: u64) -> Map {
         .with_seed(seed);
     let mut num_sets = 0usize;
     let e2e_ms = time_ms(w.reps, || {
-        let device = Device::new(DeviceSpec::rtx_a6000_with_mem(512 << 20));
+        let device =
+            Device::new(DeviceSpec::rtx_a6000_with_mem(512 << 20)).with_copy_overlap(overlap);
         let mut engine =
             EimEngine::new(&eg, cfg, device, ScanStrategy::ThreadPerSet).expect("engine fits");
         let r = run_imm(&mut engine, &cfg).expect("no faults scheduled");
@@ -316,7 +322,7 @@ fn main() {
         if args.smoke { "smoke" } else { "full" },
         args.seed
     );
-    let benches = run_benches(&w, args.seed);
+    let benches = run_benches(&w, args.seed, !args.no_overlap);
 
     let mut root = Map::new();
     root.insert(
@@ -328,6 +334,7 @@ fn main() {
         Value::from(if args.smoke { "smoke" } else { "full" }),
     );
     root.insert("seed".to_string(), Value::from(args.seed));
+    root.insert("copy_overlap".to_string(), Value::from(!args.no_overlap));
     if let Some(path) = &args.baseline {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));

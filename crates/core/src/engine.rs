@@ -3,7 +3,7 @@
 
 use eim_bitpack::PackedCsc;
 use eim_gpusim::ArgValue;
-use eim_gpusim::{Device, MemoryError, TransferDirection};
+use eim_gpusim::{CopyEvent, CopyStream, Device, MemoryError, TransferDirection};
 use eim_graph::Graph;
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, PackedRrrBatch, RecoveryPolicy, RecoveryReport,
@@ -43,6 +43,12 @@ const SPILL_BATCH_SETS: usize = 1024;
 /// [`crate::EimBuilder`] does for you).
 pub struct EimEngine<'g> {
     device: Device,
+    /// The device's DMA engine: the graph upload and spill/reload traffic
+    /// queue here instead of stalling compute.
+    stream: CopyStream,
+    /// Pending initial graph upload; the first sampling round (or selection,
+    /// for a degenerate run) waits on it, so upload and compute overlap.
+    upload: Option<CopyEvent>,
     graph: GraphRepr<'g>,
     config: ImmConfig,
     scan: ScanStrategy,
@@ -84,11 +90,19 @@ impl<'g> EimEngine<'g> {
             .memory()
             .alloc(repr.device_bytes() + scratch.total())
             .map_err(to_engine_error)?;
-        // Upload the network over PCIe; the run's timeline starts here.
-        let upload_us = device.transfer(repr.device_bytes(), TransferDirection::HostToDevice);
-        device.advance_clock(upload_us);
+        // Upload the network over PCIe on the copy stream; the run's
+        // timeline starts here, but the clock only moves once someone
+        // waits on the event (the first sampling round hides behind it).
+        let mut stream = device.copy_stream();
+        let upload = Some(stream.enqueue(
+            &device,
+            repr.device_bytes(),
+            TransferDirection::HostToDevice,
+        ));
         Ok(Self {
             device,
+            stream,
+            upload,
             graph: repr,
             store: AnyRrrStore::new(n, config.packed),
             config,
@@ -167,8 +181,14 @@ impl<'g> EimEngine<'g> {
         let end = (self.spill_cursor + SPILL_BATCH_SETS).min(total);
         let batch = PackedRrrBatch::pack_range(&self.store, self.spill_cursor, end);
         let bytes = batch.device_bytes();
-        let d2h = self.device.transfer(bytes, TransferDirection::DeviceToHost);
-        let ts = self.device.advance_clock(d2h);
+        // The eviction rides the copy stream (queueing behind an in-flight
+        // graph upload) but is waited on immediately: the relieved memory
+        // must be visible before the allocator retries.
+        let ts = self.device.clock_us();
+        let ev = self
+            .stream
+            .enqueue(&self.device, bytes, TransferDirection::DeviceToHost);
+        self.stream.wait_event(&self.device, &ev);
         self.device.run_trace().record_recovery(
             "recover:spill",
             ts,
@@ -254,6 +274,11 @@ impl ImmEngine for EimEngine<'_> {
         let batch = self.run_batch(batch_size)?;
         self.next_index = target as u64;
         self.device.advance_clock(batch.stats.elapsed_us);
+        // The first round computed while the graph upload was in flight;
+        // the round is over only when both have finished.
+        if let Some(upload) = self.upload.take() {
+            self.stream.wait_event(&self.device, &upload);
+        }
         self.counters.sampled += batch.counters.sampled;
         self.counters.singletons += batch.counters.singletons;
         self.counters.discarded += batch.counters.discarded;
@@ -269,13 +294,20 @@ impl ImmEngine for EimEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
+        // A run that never sampled still owes the graph upload.
+        if let Some(upload) = self.upload.take() {
+            self.stream.wait_event(&self.device, &upload);
+        }
         // Selection scans every stored set; spilled batches must be
         // re-streamed from the host first (the degraded-mode cost).
         if self.spilled_bytes > 0 {
-            let h2d = self
-                .device
-                .transfer(self.spilled_bytes, TransferDirection::HostToDevice);
-            let ts = self.device.advance_clock(h2d);
+            let ts = self.device.clock_us();
+            let ev = self.stream.enqueue(
+                &self.device,
+                self.spilled_bytes,
+                TransferDirection::HostToDevice,
+            );
+            self.stream.wait_event(&self.device, &ev);
             self.device.run_trace().record_recovery(
                 "recover:reload",
                 ts,

@@ -25,7 +25,9 @@
 use std::sync::Arc;
 
 use eim_bitpack::PackedCsc;
-use eim_gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, TransferDirection};
+use eim_gpusim::{
+    CopyEvent, CopyStream, Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace, TransferDirection,
+};
 use eim_graph::Graph;
 use eim_imm::{
     AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
@@ -43,8 +45,18 @@ enum GraphRepr<'g> {
 }
 
 /// eIM across `D` simulated devices.
+///
+/// There is no private time accumulator: every device advances its own
+/// [`eim_gpusim::SimClock`], staging copies ride per-device [`CopyStream`]s,
+/// and the engine's elapsed time is the max over the device clocks.
 pub struct MultiGpuEimEngine<'g> {
     devices: Vec<Device>,
+    /// One DMA engine per device: the replicated graph upload and the
+    /// partition staging copies queue here.
+    streams: Vec<CopyStream>,
+    /// Pending per-device graph uploads; each device's first sampling round
+    /// waits on its own.
+    uploads: Vec<Option<CopyEvent>>,
     graph: GraphRepr<'g>,
     config: ImmConfig,
     store: AnyRrrStore,
@@ -53,18 +65,40 @@ pub struct MultiGpuEimEngine<'g> {
     /// Which partitions have already been gathered to device 0.
     gathered_bytes: usize,
     next_index: u64,
-    clock_us: f64,
     counters: SamplerCounters,
     store_alloc_bytes: usize,
 }
 
 impl<'g> MultiGpuEimEngine<'g> {
-    /// Builds the engine over `num_devices` identical devices of `spec`.
+    /// Builds the engine over `num_devices` identical devices of `spec`
+    /// (telemetry disabled, copy overlap on).
     pub fn new(
         graph: &'g Graph,
         config: ImmConfig,
         spec: DeviceSpec,
         num_devices: usize,
+    ) -> Result<Self, EngineError> {
+        Self::with_telemetry(
+            graph,
+            config,
+            spec,
+            num_devices,
+            &RunTrace::disabled(),
+            true,
+        )
+    }
+
+    /// Builds the engine with full control: device `j` reports into
+    /// `trace.for_device(j)` — one Perfetto process group per GPU — and
+    /// `copy_overlap` selects overlapping (the default) or forced-serial
+    /// copy streams on every device.
+    pub fn with_telemetry(
+        graph: &'g Graph,
+        config: ImmConfig,
+        spec: DeviceSpec,
+        num_devices: usize,
+        trace: &RunTrace,
+        copy_overlap: bool,
     ) -> Result<Self, EngineError> {
         assert!(num_devices >= 1, "need at least one device");
         let n = graph.num_vertices();
@@ -78,22 +112,37 @@ impl<'g> MultiGpuEimEngine<'g> {
             GraphRepr::Plain(g) => g.device_bytes(),
             GraphRepr::Packed(g) => DeviceGraph::device_bytes(g),
         };
-        let devices: Vec<Device> = (0..num_devices).map(|_| Device::new(spec)).collect();
+        let devices: Vec<Device> = (0..num_devices)
+            .map(|j| {
+                Device::with_run_trace(spec, trace.for_device(j as u64))
+                    .with_copy_overlap(copy_overlap)
+            })
+            .collect();
         let scratch = ScratchPlan::new(n, spec.num_sms * 4);
         for d in &devices {
             d.memory()
                 .alloc(graph_bytes + scratch.total())
                 .map_err(EngineError::from)?;
         }
+        // Replicate the graph: every device uploads its own copy on its own
+        // copy stream, all in flight concurrently; each device's first
+        // sampling round hides behind its upload.
+        let mut streams: Vec<CopyStream> = devices.iter().map(|d| d.copy_stream()).collect();
+        let uploads: Vec<Option<CopyEvent>> = devices
+            .iter()
+            .zip(streams.iter_mut())
+            .map(|(d, s)| Some(s.enqueue(d, graph_bytes, TransferDirection::HostToDevice)))
+            .collect();
         Ok(Self {
             devices,
+            streams,
+            uploads,
             graph: repr,
             store: AnyRrrStore::new(n, config.packed),
             config,
             partition_bytes: vec![0; num_devices],
             gathered_bytes: 0,
             next_index: 0,
-            clock_us: 0.0,
             counters: SamplerCounters::default(),
             store_alloc_bytes: 0,
         })
@@ -115,6 +164,13 @@ impl<'g> MultiGpuEimEngine<'g> {
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Current simulated time on each device's own clock, in µs. After a
+    /// sampling round these agree (bulk-synchronous barrier); selection
+    /// advances only device 0.
+    pub fn device_clocks_us(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.clock().now_us()).collect()
     }
 
     /// Sampling counters.
@@ -147,13 +203,11 @@ impl<'g> MultiGpuEimEngine<'g> {
         // [next + sum of earlier shares, +share_j). Content depends only on
         // the global index, so the merged multiset is identical to the
         // single-device engine's — same seeds, scalability for free.
-        let mut device_times = Vec::with_capacity(d);
         let mut batches = Vec::with_capacity(d);
         let mut base = self.next_index;
         for (j, dev) in self.devices.iter().enumerate() {
             let share = total / d + usize::from(j < total % d);
             if share == 0 {
-                device_times.push(0.0);
                 continue;
             }
             let partition_before = self.partition_bytes[j];
@@ -186,21 +240,39 @@ impl<'g> MultiGpuEimEngine<'g> {
             // Non-primary devices stage this round's partition to device 0
             // on their own DMA engine, double-buffered against the sampling
             // kernel: the device is done when both finish.
-            let device_time = if j == 0 {
-                batch.stats.elapsed_us
+            let staging = if j == 0 {
+                None
             } else {
                 let staged = self.partition_bytes[j] - partition_before;
-                let copy_us = dev.checked_transfer(staged, TransferDirection::DeviceToHost)?;
+                let ev = self.streams[j].checked_enqueue(
+                    dev,
+                    staged,
+                    TransferDirection::DeviceToHost,
+                )?;
                 self.gathered_bytes += staged;
-                batch.stats.elapsed_us.max(copy_us)
+                Some(ev)
             };
-            device_times.push(device_time);
+            dev.advance_clock(batch.stats.elapsed_us);
+            if let Some(upload) = self.uploads[j].take() {
+                self.streams[j].wait_event(dev, &upload);
+            }
+            if let Some(ev) = staging {
+                self.streams[j].wait_event(dev, &ev);
+            }
             batches.push(batch.sets);
             base += share as u64;
         }
         self.next_index = target as u64;
-        // Devices ran concurrently: the phase costs the slowest device.
-        self.clock_us += device_times.iter().cloned().fold(0.0, f64::max);
+        // Devices ran concurrently; the round is bulk-synchronous, so align
+        // every clock to the slowest device before the next round deals.
+        let round_end = self
+            .devices
+            .iter()
+            .map(|dev| dev.clock().now_us())
+            .fold(0.0, f64::max);
+        for dev in &self.devices {
+            dev.clock().advance_to(round_end);
+        }
         // Devices own contiguous ascending index ranges and each batch is
         // already in sample-index order, so appending batch-by-batch IS the
         // global-index merge order — no sort, no per-set reallocation.
@@ -244,16 +316,40 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
+        // A run that never sampled still owes every device its graph upload.
+        for (j, dev) in self.devices.iter().enumerate() {
+            if let Some(upload) = self.uploads[j].take() {
+                self.streams[j].wait_event(dev, &upload);
+            }
+        }
         // The eager per-round staging normally leaves nothing to gather;
         // this drains any remainder onto device 0 before the scan.
         let to_gather: usize =
             self.partition_bytes[1..].iter().sum::<usize>() - self.gathered_bytes;
         if to_gather > 0 {
-            self.clock_us += self.devices[0].transfer(to_gather, TransferDirection::HostToDevice);
+            let ev = self.streams[0].enqueue(
+                &self.devices[0],
+                to_gather,
+                TransferDirection::HostToDevice,
+            );
+            self.streams[0].wait_event(&self.devices[0], &ev);
             self.gathered_bytes += to_gather;
         }
         let result = select_on_device(&self.devices[0], &self.store, k, ScanStrategy::ThreadPerSet);
-        self.clock_us += result.elapsed_us;
+        // `select_on_device` models its launches analytically; record the
+        // kernel work on device 0's lane, one event per greedy iteration.
+        let mut ts = self.devices[0].advance_clock(result.elapsed_us);
+        for (i, iter) in result.iterations.iter().enumerate() {
+            self.devices[0].run_trace().record_kernel(
+                &format!("eim_select:iter{i}"),
+                ts,
+                iter.elapsed_us,
+                iter.launches as usize,
+                iter.cycles,
+                0,
+            );
+            ts += iter.elapsed_us;
+        }
         result.selection
     }
 
@@ -266,11 +362,18 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
     }
 
     fn elapsed_us(&self) -> f64 {
-        self.clock_us
+        self.devices
+            .iter()
+            .map(|dev| dev.clock().now_us())
+            .fold(0.0, f64::max)
     }
 
     fn advance_time(&mut self, us: f64) {
-        self.clock_us += us;
+        // Host-side time passes for every device equally, keeping the
+        // bulk-synchronous clocks aligned.
+        for dev in &self.devices {
+            dev.advance_clock(us);
+        }
     }
 }
 

@@ -55,6 +55,7 @@ pub struct Device {
     run_trace: RunTrace,
     clock: Arc<SimClock>,
     fault_plan: Option<Arc<FaultPlan>>,
+    copy_overlap: bool,
 }
 
 impl Device {
@@ -78,6 +79,33 @@ impl Device {
             run_trace,
             clock,
             fault_plan: None,
+            copy_overlap: true,
+        }
+    }
+
+    /// Sets whether copy streams handed out by [`Device::copy_stream`]
+    /// overlap with compute (the default) or serialize every copy into the
+    /// device timeline as it is enqueued. The forced-serial mode is the
+    /// differential-testing baseline: it reproduces the pre-stream engine
+    /// timings exactly.
+    pub fn with_copy_overlap(mut self, enabled: bool) -> Self {
+        self.copy_overlap = enabled;
+        self
+    }
+
+    /// Whether copy streams from this device overlap with compute.
+    pub fn copy_overlap(&self) -> bool {
+        self.copy_overlap
+    }
+
+    /// Creates a copy stream bound to this device's timeline: overlapping
+    /// by default, forced-serial when the device was built
+    /// [`Device::with_copy_overlap`]`(false)`.
+    pub fn copy_stream(&self) -> crate::stream::CopyStream {
+        if self.copy_overlap {
+            crate::stream::CopyStream::new()
+        } else {
+            crate::stream::CopyStream::serialized()
         }
     }
 
@@ -125,6 +153,13 @@ impl Device {
     /// Current simulated time on this device's clock, in microseconds.
     pub fn clock_us(&self) -> f64 {
         self.clock.now_us()
+    }
+
+    /// The device's simulated clock. Engines that coordinate several
+    /// devices (or copy streams) read and advance each device's own clock
+    /// through this handle instead of keeping a private accumulator.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
     }
 
     /// Advances the simulated clock by `us`, returning the time *before*
@@ -357,14 +392,13 @@ impl Device {
         Ok(self.launch(name, num_blocks, kernel))
     }
 
-    /// [`Device::transfer`] behind a fault-plan check. A scheduled transient
-    /// fault charges the PCIe latency (the aborted transaction) and returns
-    /// the fault instead of a duration.
-    pub fn checked_transfer(
-        &self,
-        bytes: usize,
-        direction: TransferDirection,
-    ) -> Result<f64, SimFault> {
+    /// Draws the next transfer event from the fault plan (no-op without
+    /// one). On a fault, the aborted transaction pays the PCIe latency on
+    /// the simulated clock and lands on the trace's fault lane. Shared by
+    /// [`Device::checked_transfer`] and `CopyStream::checked_enqueue`, so
+    /// async copies consume transfer ordinals in exactly the order the
+    /// synchronous path would — fault schedules replay identically.
+    pub(crate) fn check_transfer_fault(&self) -> Result<(), SimFault> {
         if let Some(plan) = &self.fault_plan {
             let decision = plan.next_transfer_event();
             self.apply_pressure(&decision);
@@ -380,6 +414,18 @@ impl Device {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// [`Device::transfer`] behind a fault-plan check. A scheduled transient
+    /// fault charges the PCIe latency (the aborted transaction) and returns
+    /// the fault instead of a duration.
+    pub fn checked_transfer(
+        &self,
+        bytes: usize,
+        direction: TransferDirection,
+    ) -> Result<f64, SimFault> {
+        self.check_transfer_fault()?;
         Ok(self.transfer(bytes, direction))
     }
 

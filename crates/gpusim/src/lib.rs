@@ -38,6 +38,7 @@ mod launch;
 mod memory;
 mod schedule;
 mod spec;
+mod stream;
 mod transfer;
 
 pub use block::{BlockCtx, Op, OpCounts};
@@ -46,6 +47,7 @@ pub use launch::{Device, LaunchResult, LaunchStats, TraceEntry};
 pub use memory::{DeviceMemory, MemoryError, MemoryStats};
 pub use schedule::slot_makespan_cycles;
 pub use spec::{CostModel, DeviceSpec};
+pub use stream::{CopyEvent, CopyStream};
 pub use transfer::TransferDirection;
 
 // Telemetry types appear in `Device`'s API; re-export so downstream crates

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use eim_diffusion::{sample_rng, sample_rrr};
 use eim_graph::{Graph, VertexId};
+use eim_trace::RunTrace;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -57,6 +58,9 @@ pub struct CpuEngine<'g> {
     /// too, keeping the stream aligned).
     next_index: u64,
     started: Instant,
+    /// Telemetry sink; the rayon sampling sweep and the greedy selection
+    /// report into the kernel lane with wall-clock timestamps.
+    trace: RunTrace,
 }
 
 impl<'g> CpuEngine<'g> {
@@ -75,7 +79,23 @@ impl<'g> CpuEngine<'g> {
             store,
             next_index: 0,
             started: Instant::now(),
+            trace: RunTrace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder. Unlike the GPU engines there is no
+    /// simulated clock here: events carry wall-clock timestamps relative to
+    /// engine construction, and the work shows up on the kernel lane as
+    /// `cpu_sample` / `cpu_select` spans (one per sampling round or
+    /// selection).
+    pub fn with_trace(mut self, trace: RunTrace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Wall-clock µs since engine construction — the CPU engine's time base.
+    fn wall_us(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e6
     }
 
     /// Samples indices `[from, to)`, returning kept sets in index order.
@@ -110,7 +130,14 @@ impl ImmEngine for CpuEngine<'_> {
         // [`ImmEngine::logical_sets`]); with source elimination, samples
         // whose set reduces to empty are simply not stored.
         if (self.next_index as usize) < target {
+            let drawn = target - self.next_index as usize;
+            let t0 = self.wall_us();
             let sets = self.sample_range(self.next_index, target as u64);
+            // One kernel span per sampling round: "blocks" is the number of
+            // sample indices the rayon sweep covered; the cycle counters
+            // don't apply off-device.
+            self.trace
+                .record_kernel("cpu_sample", t0, self.wall_us() - t0, drawn, 0, 0);
             self.next_index = target as u64;
             for set in sets.into_iter().flatten() {
                 self.store.append(&set);
@@ -124,7 +151,11 @@ impl ImmEngine for CpuEngine<'_> {
     }
 
     fn select(&mut self, k: usize) -> Selection {
-        select_seeds(self.store.as_sets(), k)
+        let t0 = self.wall_us();
+        let selection = select_seeds(self.store.as_sets(), k);
+        self.trace
+            .record_kernel("cpu_select", t0, self.wall_us() - t0, k, 0, 0);
+        selection
     }
 
     fn store(&self) -> &dyn RrrSets {
@@ -259,6 +290,34 @@ mod tests {
         let r = run_imm(&mut e, &c).unwrap();
         assert_eq!(r.seeds.len(), 2);
         assert_eq!(r.num_sets, 0);
+    }
+
+    #[test]
+    fn rayon_work_lands_on_the_kernel_trace_lane() {
+        let g = generators::rmat(
+            250,
+            1_500,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            2,
+        );
+        let c = cfg();
+        let trace = RunTrace::enabled();
+        let mut e = CpuEngine::new(&g, c, CpuParallelism::Rayon).with_trace(trace.clone());
+        run_imm(&mut e, &c).unwrap();
+        let events = trace.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(
+            names.contains(&"cpu_sample"),
+            "sampling rounds must land on the kernel lane: {names:?}"
+        );
+        assert!(
+            names.contains(&"cpu_select"),
+            "selection must land on the kernel lane: {names:?}"
+        );
+        // The summary counts them as launches, so `--json` telemetry is
+        // populated for the CPU engine too.
+        assert!(trace.summary().kernel_launches >= 2);
     }
 
     #[test]

@@ -70,6 +70,30 @@ impl SimClock {
         }
     }
 
+    /// Advances the clock to at least `target_us` — a no-op when the clock
+    /// is already past it — and returns the time *before* the advance. This
+    /// is the wait primitive of the copy-stream model: a device blocking on
+    /// an async copy jumps forward to the copy's completion time, but never
+    /// travels backwards.
+    pub fn advance_to(&self, target_us: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let now = f64::from_bits(cur);
+            if target_us <= now {
+                return now;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                target_us.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return now,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Resets the clock to 0 µs (between independent runs on one device).
     pub fn reset(&self) {
         self.bits.store(0f64.to_bits(), Ordering::Relaxed);
@@ -96,6 +120,11 @@ pub enum EventCat {
     Transfer,
     /// Injected fault or recovery action (retry, batch split, host spill).
     Fault,
+    /// Async copy enqueued on a device copy stream (the simulated DMA
+    /// engine). Shares the `"transfer"` Chrome category with
+    /// [`EventCat::Transfer`] — both are PCIe traffic — but renders on its
+    /// own lane so overlap with kernel spans is visible.
+    CopyStream,
 }
 
 impl EventCat {
@@ -107,6 +136,7 @@ impl EventCat {
             EventCat::Memory => "memory",
             EventCat::Transfer => "transfer",
             EventCat::Fault => "fault",
+            EventCat::CopyStream => "transfer",
         }
     }
 
@@ -118,6 +148,7 @@ impl EventCat {
             EventCat::Memory => 2,
             EventCat::Transfer => 3,
             EventCat::Fault => 4,
+            EventCat::CopyStream => 5,
         }
     }
 
@@ -129,8 +160,19 @@ impl EventCat {
             EventCat::Memory => "device memory",
             EventCat::Transfer => "pcie transfers",
             EventCat::Fault => "faults & recovery",
+            EventCat::CopyStream => "copy stream",
         }
     }
+
+    /// Every category, in lane order (used when naming trace lanes).
+    const ALL: [EventCat; NUM_CATS] = [
+        EventCat::Phase,
+        EventCat::Kernel,
+        EventCat::Memory,
+        EventCat::Transfer,
+        EventCat::Fault,
+        EventCat::CopyStream,
+    ];
 }
 
 /// How an event occupies the timeline.
@@ -182,12 +224,15 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Span / instant / counter.
     pub kind: EventKind,
+    /// Perfetto process group: 0 for single-device runs, the device ordinal
+    /// for multi-GPU runs (see [`RunTrace::for_device`]).
+    pub pid: u64,
     /// Extra key–value detail.
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
 /// Number of [`EventCat`] variants (per-category cap bookkeeping).
-const NUM_CATS: usize = 5;
+const NUM_CATS: usize = 6;
 
 #[derive(Debug)]
 struct Inner {
@@ -240,22 +285,32 @@ impl Inner {
 /// Clones share one buffer. A recorder is either *enabled* (holds an event
 /// buffer plus counters) or *disabled* (a `None`; every record call returns
 /// immediately without touching memory).
+///
+/// Each handle carries a `pid` tag — the Perfetto process group its events
+/// land in. [`RunTrace::for_device`] derives a handle for another simulated
+/// device: same shared buffer, caps, and counters, different process group,
+/// so a multi-GPU run exports as one trace file with one timeline per GPU.
 #[derive(Clone, Debug, Default)]
 pub struct RunTrace {
     inner: Option<Arc<Inner>>,
+    pid: u64,
 }
 
 impl RunTrace {
     /// A recorder that drops everything. Zero overhead beyond one branch
     /// per record call.
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            pid: 0,
+        }
     }
 
     /// A live recorder with an unbounded event buffer.
     pub fn enabled() -> Self {
         Self {
             inner: Some(Arc::new(Inner::default())),
+            pid: 0,
         }
     }
 
@@ -269,7 +324,24 @@ impl RunTrace {
     pub fn enabled_with_event_cap(cap: usize) -> Self {
         Self {
             inner: Some(Arc::new(Inner::with_cap(cap as u64))),
+            pid: 0,
         }
+    }
+
+    /// A handle recording into the *same* shared buffer (and the same
+    /// per-category caps and summary counters) but tagging every event with
+    /// Perfetto process group `pid`. Hand one to each simulated device of a
+    /// multi-GPU engine so the export shows one process group per GPU.
+    pub fn for_device(&self, pid: u64) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            pid,
+        }
+    }
+
+    /// The Perfetto process group this handle tags events with.
+    pub fn pid(&self) -> u64 {
+        self.pid
     }
 
     /// Whether events are being collected.
@@ -303,6 +375,7 @@ impl RunTrace {
             name: name.to_string(),
             cat: EventCat::Phase,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Span { dur_us },
             args: Vec::new(),
         });
@@ -329,6 +402,7 @@ impl RunTrace {
             name: name.to_string(),
             cat: EventCat::Kernel,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Span { dur_us },
             args: vec![
                 ("blocks", ArgValue::U64(num_blocks as u64)),
@@ -348,6 +422,7 @@ impl RunTrace {
             name: "device_mem_in_use".to_string(),
             cat: EventCat::Memory,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Counter {
                 value: in_use as f64,
             },
@@ -363,6 +438,7 @@ impl RunTrace {
             name: "device_mem_in_use".to_string(),
             cat: EventCat::Memory,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Counter {
                 value: in_use as f64,
             },
@@ -379,6 +455,7 @@ impl RunTrace {
             name: "alloc_failed".to_string(),
             cat: EventCat::Memory,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Instant,
             args: vec![
                 ("requested", ArgValue::U64(requested as u64)),
@@ -398,6 +475,29 @@ impl RunTrace {
             name: name.to_string(),
             cat: EventCat::Transfer,
             ts_us,
+            pid: self.pid,
+            kind: EventKind::Span { dur_us },
+            args: vec![("bytes", ArgValue::U64(bytes as u64))],
+        });
+    }
+
+    /// Records an async copy enqueued on a device copy stream (`name` like
+    /// `"stream:h2d"`) as a span on the copy-stream lane. `ts_us` is the
+    /// stream-scheduled start (which can lie *ahead* of the device clock —
+    /// that is the overlap). Counts into the same transfer totals as
+    /// [`RunTrace::record_transfer`]: the summary reports all PCIe traffic
+    /// together, the lanes keep sync and async copies apart.
+    pub fn record_copy(&self, name: &str, ts_us: f64, dur_us: f64, bytes: usize) {
+        let Some(inner) = &self.inner else { return };
+        inner.transfer_events.fetch_add(1, Ordering::Relaxed);
+        inner
+            .transfer_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat: EventCat::CopyStream,
+            ts_us,
+            pid: self.pid,
             kind: EventKind::Span { dur_us },
             args: vec![("bytes", ArgValue::U64(bytes as u64))],
         });
@@ -413,6 +513,7 @@ impl RunTrace {
             name: name.to_string(),
             cat: EventCat::Fault,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Instant,
             args: vec![("ordinal", ArgValue::U64(ordinal))],
         });
@@ -428,6 +529,7 @@ impl RunTrace {
             name: name.to_string(),
             cat: EventCat::Fault,
             ts_us,
+            pid: self.pid,
             kind: EventKind::Instant,
             args,
         });
@@ -481,24 +583,32 @@ impl RunTrace {
     /// `chrome://tracing`. `metadata` lands under `otherData`; the
     /// [`TraceSummary`] is embedded under `summary`.
     pub fn chrome_json(&self, metadata: &[(&str, String)]) -> Value {
+        let recorded = self.events();
+        // One Perfetto process group per device pid seen in the stream (a
+        // run with no events still gets the default group 0).
+        let mut pids: std::collections::BTreeSet<u64> = recorded.iter().map(|e| e.pid).collect();
+        pids.insert(0);
         let mut events: Vec<Value> = Vec::new();
-        // Name the synthetic lanes so Perfetto shows subsystems, not tids.
-        for cat in [
-            EventCat::Phase,
-            EventCat::Kernel,
-            EventCat::Memory,
-            EventCat::Transfer,
-            EventCat::Fault,
-        ] {
+        for &pid in &pids {
             events.push(json!({
-                "name": "thread_name",
+                "name": "process_name",
                 "ph": "M",
-                "pid": 0,
-                "tid": cat.lane(),
-                "args": serde_json::json!({ "name": cat.lane_name() }),
+                "pid": pid,
+                "tid": 0,
+                "args": serde_json::json!({ "name": format!("device {pid}") }),
             }));
+            // Name the synthetic lanes so Perfetto shows subsystems, not tids.
+            for cat in EventCat::ALL {
+                events.push(json!({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": cat.lane(),
+                    "args": serde_json::json!({ "name": cat.lane_name() }),
+                }));
+            }
         }
-        for ev in self.events() {
+        for ev in recorded {
             let mut args = serde_json::Map::new();
             for (k, v) in &ev.args {
                 args.insert((*k).to_string(), Value::from(v));
@@ -506,7 +616,7 @@ impl RunTrace {
             let mut obj = serde_json::Map::new();
             obj.insert("name".to_string(), Value::from(ev.name.as_str()));
             obj.insert("cat".to_string(), Value::from(ev.cat.as_str()));
-            obj.insert("pid".to_string(), Value::from(0u64));
+            obj.insert("pid".to_string(), Value::from(ev.pid));
             obj.insert("tid".to_string(), Value::from(ev.cat.lane()));
             obj.insert("ts".to_string(), Value::from(ev.ts_us));
             match ev.kind {
@@ -686,8 +796,8 @@ mod tests {
         t.record_transfer("h2d:graph", 0.0, 0.4, 4096);
         let v = t.chrome_json(&[("engine", "eim".to_string())]);
         let events = v["traceEvents"].as_array().expect("array");
-        // 5 lane-name metadata events + 4 recorded events.
-        assert_eq!(events.len(), 9);
+        // 1 process-name + 6 lane-name metadata events + 4 recorded events.
+        assert_eq!(events.len(), 11);
         let phase = events
             .iter()
             .find(|e| e["name"] == "estimation")
@@ -711,6 +821,58 @@ mod tests {
         let text = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back["summary"]["transfer_bytes"].as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn clock_advance_to_never_moves_backwards() {
+        let c = SimClock::new();
+        c.advance(10.0);
+        assert_eq!(c.advance_to(7.0), 10.0);
+        assert_eq!(c.now_us(), 10.0, "waiting on a past event is free");
+        assert_eq!(c.advance_to(12.5), 10.0);
+        assert_eq!(c.now_us(), 12.5);
+    }
+
+    #[test]
+    fn per_device_handles_share_counters_but_tag_pids() {
+        let t = RunTrace::enabled();
+        let d1 = t.for_device(1);
+        assert_eq!(t.pid(), 0);
+        assert_eq!(d1.pid(), 1);
+        t.record_kernel("k0", 0.0, 1.0, 2, 10, 7);
+        d1.record_kernel("k1", 0.0, 1.0, 2, 20, 9);
+        d1.record_copy("stream:d2h", 1.0, 0.5, 4096);
+        let events = t.events();
+        assert_eq!(events.len(), 3, "one shared buffer");
+        let pid_of = |name: &str| events.iter().find(|e| e.name == name).unwrap().pid;
+        assert_eq!(pid_of("k0"), 0);
+        assert_eq!(pid_of("k1"), 1);
+        assert_eq!(pid_of("stream:d2h"), 1);
+        let s = t.summary();
+        assert_eq!(s.kernel_launches, 2);
+        assert_eq!(s.transfer_events, 1, "stream copies count as transfers");
+        assert_eq!(s.transfer_bytes, 4096);
+    }
+
+    #[test]
+    fn chrome_json_emits_one_process_group_per_device() {
+        let t = RunTrace::enabled();
+        t.record_kernel("k0", 0.0, 1.0, 1, 1, 1);
+        t.for_device(2).record_copy("stream:d2h", 0.0, 1.0, 64);
+        let v = t.chrome_json(&[]);
+        let events = v["traceEvents"].as_array().unwrap();
+        let names: Vec<u64> = events
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .map(|e| e["pid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(names, vec![0, 2]);
+        let copy = events.iter().find(|e| e["name"] == "stream:d2h").unwrap();
+        assert_eq!(copy["pid"].as_u64(), Some(2));
+        assert_eq!(copy["cat"], "transfer");
+        assert_eq!(copy["ph"], "X");
+        // Copy-stream spans render on their own lane, apart from sync PCIe.
+        assert_eq!(copy["tid"].as_u64(), Some(5));
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!                        "seed=42,kernel=0.05,transfer=0.02,pressure=0.6@8:24"
 //!   --recovery <mode>    abort | retry | degrade       [abort]
 //!   --max-retries <n>    retry budget per batch (with --recovery)
+//!   --no-overlap         force-serialize copy streams (no compute/copy
+//!                        overlap); results are identical, only slower
 //!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
 //!   --trace-event-cap <n> retain at most n trace events per category;
 //!                        drops are counted in the summary's dropped_events
@@ -65,6 +67,7 @@ struct Args {
     faults: Option<FaultSpec>,
     recovery: RecoveryPolicy,
     max_retries: Option<u32>,
+    no_overlap: bool,
     trace: Option<String>,
     trace_event_cap: Option<usize>,
     json: bool,
@@ -77,7 +80,7 @@ fn usage() -> ! {
          [--engine eim|gim|curipples|cpu|multigpu] [--devices n] \
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
          [--spread-sims n] [--inject-faults spec] \
-         [--recovery abort|retry|degrade] [--max-retries n] \
+         [--recovery abort|retry|degrade] [--max-retries n] [--no-overlap] \
          [--trace <file>] [--trace-event-cap n] [--json]"
     );
     std::process::exit(2);
@@ -102,6 +105,7 @@ fn parse_args() -> Args {
         faults: None,
         recovery: RecoveryPolicy::abort(),
         max_retries: None,
+        no_overlap: false,
         trace: None,
         trace_event_cap: None,
         json: false,
@@ -145,6 +149,7 @@ fn parse_args() -> Args {
                 }
             }
             "--max-retries" => a.max_retries = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--no-overlap" => a.no_overlap = true,
             "--trace" => a.trace = Some(val()),
             "--trace-event-cap" => {
                 a.trace_event_cap = Some(val().parse().unwrap_or_else(|_| usage()))
@@ -287,7 +292,7 @@ fn main() {
     // Single-device engines share one device; `--inject-faults` attaches
     // the deterministic fault schedule to it.
     let make_device = || {
-        let d = Device::with_run_trace(spec, trace.clone());
+        let d = Device::with_run_trace(spec, trace.clone()).with_copy_overlap(!a.no_overlap);
         match &a.faults {
             Some(f) if !f.is_noop() => d.with_fault_plan(Arc::new(FaultPlan::new(f.clone()))),
             _ => d,
@@ -304,8 +309,15 @@ fn main() {
             (r, Some(us))
         }
         "multigpu" => {
-            let mut e = MultiGpuEimEngine::new(&graph, config, spec, a.devices)
-                .unwrap_or_else(|e| run_err(e));
+            let mut e = MultiGpuEimEngine::with_telemetry(
+                &graph,
+                config,
+                spec,
+                a.devices,
+                &trace,
+                !a.no_overlap,
+            )
+            .unwrap_or_else(|e| run_err(e));
             if let Some(f) = &a.faults {
                 if !f.is_noop() {
                     e = e.with_faults(f);
@@ -333,7 +345,8 @@ fn main() {
             (r, Some(us))
         }
         "cpu" => {
-            let mut e = CpuEngine::new(&graph, config, CpuParallelism::Rayon);
+            let mut e =
+                CpuEngine::new(&graph, config, CpuParallelism::Rayon).with_trace(trace.clone());
             let r =
                 run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
             (r, None)

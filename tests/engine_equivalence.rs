@@ -5,10 +5,10 @@
 //! comparisons of Figures 7-8 and Tables 2-5 apples-to-apples.
 
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
-use eim::core::{EimEngine, ScanStrategy};
-use eim::gpusim::{Device, DeviceSpec};
+use eim::core::{EimEngine, MultiGpuEimEngine, ScanStrategy};
+use eim::gpusim::{Device, DeviceSpec, RunTrace};
 use eim::graph::generators;
-use eim::imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig, RrrSets};
+use eim::imm::{run_imm, CpuEngine, CpuParallelism, ImmConfig, ImmEngine as _, RrrSets};
 use eim::prelude::*;
 
 fn test_graph(seed: u64) -> Graph {
@@ -110,7 +110,6 @@ fn gpu_sampler_matches_cpu_store_statistics() {
     let c = plain_config(DiffusionModel::IndependentCascade);
     let mut gpu = EimEngine::new(&g, c, Device::new(spec()), ScanStrategy::ThreadPerSet).unwrap();
     let mut cpu = CpuEngine::new(&g, c, CpuParallelism::Rayon);
-    use eim::imm::ImmEngine as _;
     gpu.extend_to(4_000).unwrap();
     cpu.extend_to(4_000).unwrap();
     let mean = |s: &dyn RrrSets| s.total_elements() as f64 / s.num_sets() as f64;
@@ -131,6 +130,110 @@ fn scan_strategy_never_changes_results() {
         run(ScanStrategy::ThreadPerSet),
         run(ScanStrategy::WarpPerSet)
     );
+}
+
+/// FNV-1a over the store's exact byte layout: set boundaries and every
+/// element in order. Byte-identical stores — not merely statistically alike —
+/// hash equal.
+fn store_digest(s: &dyn RrrSets) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(s.num_sets() as u64);
+    for i in 0..s.num_sets() {
+        let (lo, hi) = s.set_bounds(i);
+        mix(lo as u64);
+        mix(hi as u64);
+        for idx in lo..hi {
+            mix(s.element(idx) as u64);
+        }
+    }
+    h
+}
+
+/// Differential harness: run every engine with copy-stream overlap on and
+/// forced-serial (the `CopyStream::serialized` escape hatch), under varying
+/// rayon thread counts. The overlap transform touches *timing only*: seed
+/// sets and sample bytes must be identical, and overlapped simulated time can
+/// never exceed the serialized schedule.
+#[test]
+fn overlap_on_and_off_differ_only_in_time() {
+    let g = test_graph(31);
+    let c = plain_config(DiffusionModel::IndependentCascade);
+
+    type Outcome = (Vec<u32>, u64, f64);
+    type EngineRun<'a> = Box<dyn Fn(bool) -> Outcome + Sync + 'a>;
+    let engines: Vec<(&str, EngineRun)> = vec![
+        (
+            "eim",
+            Box::new(|overlap| {
+                let d = Device::new(spec()).with_copy_overlap(overlap);
+                let mut e = EimEngine::new(&g, c, d, ScanStrategy::ThreadPerSet).unwrap();
+                let r = run_imm(&mut e, &c).unwrap();
+                (r.seeds, store_digest(e.store()), e.elapsed_us())
+            }),
+        ),
+        (
+            "gim",
+            Box::new(|overlap| {
+                let d = Device::new(spec()).with_copy_overlap(overlap);
+                let mut e = GimEngine::new(&g, c, d).unwrap();
+                let r = run_imm(&mut e, &c).unwrap();
+                (r.seeds, store_digest(e.store()), e.elapsed_us())
+            }),
+        ),
+        (
+            "curipples",
+            Box::new(|overlap| {
+                let d = Device::new(spec()).with_copy_overlap(overlap);
+                let mut e = CuRipplesEngine::new(&g, c, d, HostSpec::default()).unwrap();
+                let r = run_imm(&mut e, &c).unwrap();
+                (r.seeds, store_digest(e.store()), e.elapsed_us())
+            }),
+        ),
+        (
+            "multigpu",
+            Box::new(|overlap| {
+                let mut e = MultiGpuEimEngine::with_telemetry(
+                    &g,
+                    c,
+                    spec(),
+                    3,
+                    &RunTrace::disabled(),
+                    overlap,
+                )
+                .unwrap();
+                let r = run_imm(&mut e, &c).unwrap();
+                (r.seeds, store_digest(e.store()), e.elapsed_us())
+            }),
+        ),
+    ];
+
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        for (name, run) in &engines {
+            let ((seeds_on, digest_on, us_on), (seeds_off, digest_off, us_off)) =
+                pool.install(|| (run(true), run(false)));
+            assert_eq!(
+                seeds_on, seeds_off,
+                "{name} ({threads} threads): overlap changed the seed set"
+            );
+            assert_eq!(
+                digest_on, digest_off,
+                "{name} ({threads} threads): overlap changed the sample bytes"
+            );
+            assert!(
+                us_on <= us_off,
+                "{name} ({threads} threads): overlapped schedule slower \
+                 ({us_on:.3} us vs serialized {us_off:.3} us)"
+            );
+        }
+    }
 }
 
 #[test]

@@ -6,11 +6,13 @@
 //! error — never a silently different answer.
 
 use std::process::Command;
+use std::sync::Arc;
 
+use eim::baselines::{CuRipplesEngine, HostSpec};
 use eim::core::EimBuilder;
-use eim::gpusim::{DeviceSpec, FaultSpec};
+use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace, TransferDirection};
 use eim::graph::{generators, Graph, WeightModel};
-use eim::imm::{EngineError, RecoveryPolicy};
+use eim::imm::{run_imm_recovering, EngineError, ImmConfig, ImmEngine as _, RecoveryPolicy};
 use proptest::prelude::*;
 
 fn graph() -> Graph {
@@ -134,6 +136,140 @@ proptest! {
             Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
         }
     }
+}
+
+// ---- Copy-stream overlap properties ----
+
+/// Drives a raw device through `ops` = (compute weight, transfer bytes)
+/// pairs in the engines' canonical enqueue → compute → wait shape, retrying
+/// faulted enqueues. Returns the final simulated time and the fault count.
+fn replay_ops(ops: &[(u8, u32)], serial: bool, fault_spec: Option<&str>) -> (f64, u64) {
+    let device = {
+        let d = Device::new(DeviceSpec::rtx_a6000()).with_copy_overlap(!serial);
+        match fault_spec {
+            Some(s) => d.with_fault_plan(Arc::new(FaultPlan::new(FaultSpec::parse(s).unwrap()))),
+            None => d,
+        }
+    };
+    let mut stream = device.copy_stream();
+    let mut faults = 0u64;
+    for &(compute, bytes) in ops {
+        let event = loop {
+            match stream.checked_enqueue(
+                &device,
+                bytes as usize + 1,
+                TransferDirection::DeviceToHost,
+            ) {
+                Ok(ev) => break ev,
+                Err(_) => {
+                    faults += 1;
+                    assert!(faults < 100_000, "fault schedule never clears");
+                }
+            }
+        };
+        device.advance_clock(compute as f64 * 3.0);
+        stream.wait_event(&device, &event);
+    }
+    stream.synchronize(&device);
+    (device.clock().now_us(), faults)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For arbitrary transfer/compute cost mixes and fault seeds: the
+    /// overlapped schedule never takes longer than the forced-serial one,
+    /// both modes draw the identical fault sequence, and faulted replays are
+    /// bit-for-bit deterministic.
+    #[test]
+    fn overlapped_time_never_exceeds_serialized(
+        ops in prop::collection::vec((0u8..50, 0u32..(1 << 20)), 1..20),
+        fault_seed in any::<u64>(),
+        transfer_pct in 0u32..60,
+    ) {
+        let spec = format!("seed={fault_seed},transfer=0.{transfer_pct:02}");
+        for fault_spec in [None, Some(spec.as_str())] {
+            let (t_overlap, f_overlap) = replay_ops(&ops, false, fault_spec);
+            let (t_serial, f_serial) = replay_ops(&ops, true, fault_spec);
+            prop_assert!(
+                t_overlap <= t_serial + 1e-9,
+                "overlap {t_overlap} us > serial {t_serial} us ({fault_spec:?})"
+            );
+            prop_assert_eq!(
+                f_overlap, f_serial,
+                "overlap changed the fault sequence"
+            );
+            // Same ops, same schedule: replays are bit-exact.
+            let (t2, f2) = replay_ops(&ops, false, fault_spec);
+            prop_assert_eq!(t_overlap.to_bits(), t2.to_bits());
+            prop_assert_eq!(f_overlap, f2);
+        }
+    }
+
+    /// A stream that waits on every event before doing anything else
+    /// degenerates *exactly* (bit-for-bit) to the forced-serial schedule.
+    #[test]
+    fn waiting_on_every_event_degenerates_to_serial(
+        ops in prop::collection::vec((0u8..50, 0u32..(1 << 20)), 1..20),
+    ) {
+        let run = |serial: bool| -> f64 {
+            let device = Device::new(DeviceSpec::rtx_a6000()).with_copy_overlap(!serial);
+            let mut stream = device.copy_stream();
+            for &(compute, bytes) in &ops {
+                let ev = stream.enqueue(
+                    &device,
+                    bytes as usize + 1,
+                    TransferDirection::HostToDevice,
+                );
+                stream.wait_event(&device, &ev);
+                device.advance_clock(compute as f64 * 3.0);
+            }
+            device.clock().now_us()
+        };
+        prop_assert_eq!(run(false).to_bits(), run(true).to_bits());
+    }
+}
+
+#[test]
+fn curipples_faulted_async_offloads_replay_deterministically() {
+    // cuRipples is the engine whose per-batch d2h offload rides the copy
+    // stream *without* an immediate wait; a faulted offload must roll the
+    // batch back and the retry must replay to the identical schedule.
+    let g = graph();
+    let c = ImmConfig::paper_default()
+        .with_k(3)
+        .with_epsilon(0.35)
+        .with_seed(11)
+        .with_packed(false)
+        .with_source_elimination(false);
+    let spec = FaultSpec::parse("seed=42,transfer=0.35").unwrap();
+    let run = |faulted: bool| {
+        let mut d = Device::new(DeviceSpec::rtx_a6000());
+        if faulted {
+            d = d.with_fault_plan(Arc::new(FaultPlan::new(spec.clone())));
+        }
+        let mut e = CuRipplesEngine::new(&g, c, d, HostSpec::default()).unwrap();
+        let r = run_imm_recovering(
+            &mut e,
+            &c,
+            &RecoveryPolicy::retry().with_max_retries(30),
+            &RunTrace::disabled(),
+        )
+        .expect("retry absorbs transient transfer faults");
+        (
+            r.seeds,
+            r.num_sets,
+            e.elapsed_us().to_bits(),
+            r.recovery.retries,
+        )
+    };
+    let a = run(true);
+    let b = run(true);
+    assert!(a.3 > 0, "fault schedule drew no transfer fault — dead test");
+    assert_eq!(a, b, "faulted replay diverged");
+    let clean = run(false);
+    assert_eq!(a.0, clean.0, "recovery changed the answer");
+    assert_eq!(a.1, clean.1);
 }
 
 // ---- CLI-level checks (the same contract through the binary) ----

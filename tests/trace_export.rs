@@ -5,10 +5,12 @@
 
 use std::process::Command;
 
-fn run_traced(engine: &str) -> serde_json::Value {
+/// Runs `eim --trace --json` and returns the parsed trace file plus the
+/// parsed stdout telemetry.
+fn run_traced_with(engine: &str, extra: &[&str]) -> (serde_json::Value, serde_json::Value) {
     let dir = std::env::temp_dir().join("eim_trace_export_tests");
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(format!("{engine}.trace.json"));
+    let path = dir.join(format!("{engine}{}.trace.json", extra.join("_")));
     let out = Command::new(env!("CARGO_BIN_EXE_eim"))
         .args([
             "--dataset",
@@ -27,6 +29,7 @@ fn run_traced(engine: &str) -> serde_json::Value {
             path.to_str().unwrap(),
             "--json",
         ])
+        .args(extra)
         .output()
         .expect("binary runs");
     assert!(
@@ -35,7 +38,13 @@ fn run_traced(engine: &str) -> serde_json::Value {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).expect("trace file written");
-    serde_json::from_str(&text).expect("trace parses as JSON")
+    let trace = serde_json::from_str(&text).expect("trace parses as JSON");
+    let stdout = serde_json::from_slice(&out.stdout).expect("stdout parses as JSON");
+    (trace, stdout)
+}
+
+fn run_traced(engine: &str) -> serde_json::Value {
+    run_traced_with(engine, &[]).0
 }
 
 fn events_of<'v>(v: &'v serde_json::Value, cat: &str) -> Vec<&'v serde_json::Value> {
@@ -115,6 +124,83 @@ fn every_gpu_engine_emits_a_complete_trace() {
         // Trace metadata names the engine.
         assert_eq!(v["otherData"]["engine"].as_str().unwrap(), engine);
     }
+}
+
+#[test]
+fn multigpu_trace_has_one_process_group_per_device() {
+    let (v, stdout) = run_traced_with("multigpu", &["--devices", "4"]);
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+
+    // One Perfetto process group per device, named by the exporter.
+    let mut proc_pids: Vec<u64> = events
+        .iter()
+        .filter(|e| e["ph"] == "M" && e["name"] == "process_name")
+        .map(|e| e["pid"].as_u64().unwrap())
+        .collect();
+    proc_pids.sort_unstable();
+    assert_eq!(proc_pids, [0, 1, 2, 3], "one pid per device");
+    for e in events
+        .iter()
+        .filter(|e| e["ph"] == "M" && e["name"] == "process_name")
+    {
+        let pid = e["pid"].as_u64().unwrap();
+        assert_eq!(e["args"]["name"], format!("device {pid}"));
+    }
+
+    // Every device runs sampling kernels inside its own process group.
+    for pid in 0..4u64 {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["cat"] == "kernel" && e["pid"].as_u64() == Some(pid)),
+            "device {pid} recorded no kernel events"
+        );
+    }
+
+    // Staging copies: every non-primary device streams its partition to
+    // device 0, visible as transfer events on its own copy-stream lane.
+    for pid in 1..4u64 {
+        assert!(
+            events.iter().any(|e| e["cat"] == "transfer"
+                && e["name"] == "stream:d2h"
+                && e["pid"].as_u64() == Some(pid)),
+            "device {pid} recorded no staging copies"
+        );
+    }
+
+    // The reported elapsed time is the max over the per-device clocks —
+    // which is exactly where the last span on the timeline ends.
+    let sim_us = stdout["simulated_device_ms"].as_f64().unwrap() * 1000.0;
+    let max_end = events
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .map(|e| e["ts"].as_f64().unwrap() + e["dur"].as_f64().unwrap())
+        .fold(0.0, f64::max);
+    assert!(
+        (sim_us - max_end).abs() < 1e-6,
+        "reported {sim_us} us vs last span end {max_end} us"
+    );
+}
+
+#[test]
+fn cpu_engine_trace_contains_kernel_events() {
+    // The rayon sampling sweep and the greedy selection must land on the
+    // kernel lane — not just the three driver phase spans.
+    let v = run_traced("cpu");
+    let kernels = events_of(&v, "kernel");
+    assert!(
+        !kernels.is_empty(),
+        "cpu: rayon work missing from the kernel lane"
+    );
+    let names: Vec<&str> = kernels
+        .iter()
+        .map(|e| e["name"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"cpu_sample"), "kernels: {names:?}");
+    assert!(names.contains(&"cpu_select"), "kernels: {names:?}");
+    let phases = events_of(&v, "phase");
+    let phase_names: Vec<&str> = phases.iter().map(|e| e["name"].as_str().unwrap()).collect();
+    assert_eq!(phase_names, ["estimation", "sampling", "selection"]);
 }
 
 #[test]
