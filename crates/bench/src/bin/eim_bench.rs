@@ -11,6 +11,8 @@
 //!   --seed <n>         base RNG seed (default 190)
 //!   --no-overlap       force-serialize the devices' copy streams; outputs
 //!                      are identical, only simulated time differs
+//!   --metrics <file>   write the simulated hardware counters of the
+//!                      benchmarked device work in Prometheus text format
 //! ```
 //!
 //! Measures the three host wall-clock hot paths on fixed seeds: RRR-set
@@ -29,7 +31,7 @@ use std::time::Instant;
 use eim_core::sampler::sample_batch;
 use eim_core::{EimEngine, PlainDeviceGraph, ScanStrategy};
 use eim_diffusion::DiffusionModel;
-use eim_gpusim::{Device, DeviceSpec};
+use eim_gpusim::{Device, DeviceSpec, MetricsRegistry, MetricsSink, RunTrace};
 use eim_graph::{generators, WeightModel};
 use eim_imm::{
     run_imm, select_seeds, select_seeds_reference, ImmConfig, PlainRrrStore, RrrStoreBuilder,
@@ -43,6 +45,7 @@ struct Args {
     smoke: bool,
     seed: u64,
     no_overlap: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +55,7 @@ fn parse_args() -> Args {
         smoke: false,
         seed: 190,
         no_overlap: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(cmd) = it.next() else {
@@ -75,6 +79,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
             "--no-overlap" => args.no_overlap = true,
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option {other}");
@@ -86,7 +91,10 @@ fn parse_args() -> Args {
 }
 
 fn usage_and_exit(code: i32) -> ! {
-    println!("eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap]");
+    println!(
+        "eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
+         [--metrics FILE]"
+    );
     std::process::exit(code);
 }
 
@@ -183,8 +191,15 @@ fn bench_entry(wall_ms: f64, detail: &[(&str, Value)]) -> Value {
     Value::Object(m)
 }
 
-fn run_benches(w: &Workload, seed: u64, overlap: bool) -> Map {
+fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) -> Map {
     let mut benches = Map::new();
+    // Metrics-only telemetry: the trace recorder stays disabled (no event
+    // buffering on the hot paths), but an attached sink still collects the
+    // simulated hardware counters of every launch and transfer.
+    let make_device = |spec: DeviceSpec| {
+        Device::with_run_trace(spec, RunTrace::disabled().with_metrics(metrics.clone()))
+            .with_copy_overlap(overlap)
+    };
 
     // Sampler: one big batch on a scale-free graph.
     let g = generators::rmat(
@@ -195,7 +210,7 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool) -> Map {
         seed,
     );
     let dg = PlainDeviceGraph::new(&g);
-    let device = Device::new(DeviceSpec::rtx_a6000()).with_copy_overlap(overlap);
+    let device = make_device(DeviceSpec::rtx_a6000());
     let mut sampled_sets = 0usize;
     let smp_ms = time_ms(w.reps, || {
         let batch = sample_batch(
@@ -289,8 +304,7 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool) -> Map {
         .with_seed(seed);
     let mut num_sets = 0usize;
     let e2e_ms = time_ms(w.reps, || {
-        let device =
-            Device::new(DeviceSpec::rtx_a6000_with_mem(512 << 20)).with_copy_overlap(overlap);
+        let device = make_device(DeviceSpec::rtx_a6000_with_mem(512 << 20));
         let mut engine =
             EimEngine::new(&eg, cfg, device, ScanStrategy::ThreadPerSet).expect("engine fits");
         let r = run_imm(&mut engine, &cfg).expect("no faults scheduled");
@@ -322,7 +336,13 @@ fn main() {
         if args.smoke { "smoke" } else { "full" },
         args.seed
     );
-    let benches = run_benches(&w, args.seed, !args.no_overlap);
+    let registry = MetricsRegistry::new();
+    let sink = if args.metrics.is_some() {
+        registry.sink().with_engine("bench")
+    } else {
+        MetricsSink::disabled()
+    };
+    let benches = run_benches(&w, args.seed, !args.no_overlap, &sink);
 
     let mut root = Map::new();
     root.insert(
@@ -361,6 +381,16 @@ fn main() {
         root.insert("speedup".to_string(), Value::Object(speedup));
     }
     root.insert("benches".to_string(), Value::Object(benches));
+
+    if let Some(path) = &args.metrics {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        std::fs::write(path, registry.render_prometheus()).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
 
     if let Some(path) = &args.json {
         let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");

@@ -330,13 +330,14 @@ impl ImmEngine for EimEngine<'_> {
         // in the Perfetto timeline rather than flattened into one span.
         let mut ts = self.device.advance_clock(result.elapsed_us);
         for (i, iter) in result.iterations.iter().enumerate() {
-            self.device.run_trace().record_kernel(
+            self.device.run_trace().record_kernel_hw(
                 &format!("eim_select:iter{i}"),
                 ts,
                 iter.elapsed_us,
                 iter.launches as usize,
                 iter.cycles,
                 0,
+                &iter.hw,
             );
             ts += iter.elapsed_us;
         }

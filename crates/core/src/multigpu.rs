@@ -340,13 +340,14 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
         // kernel work on device 0's lane, one event per greedy iteration.
         let mut ts = self.devices[0].advance_clock(result.elapsed_us);
         for (i, iter) in result.iterations.iter().enumerate() {
-            self.devices[0].run_trace().record_kernel(
+            self.devices[0].run_trace().record_kernel_hw(
                 &format!("eim_select:iter{i}"),
                 ts,
                 iter.elapsed_us,
                 iter.launches as usize,
                 iter.cycles,
                 0,
+                &iter.hw,
             );
             ts += iter.elapsed_us;
         }

@@ -15,7 +15,7 @@
 //! costs` under round-robin assignment — exactly the
 //! `ceil(N / slots) * C` analysis of §3.5.
 
-use eim_gpusim::{slot_makespan_cycles, Device, WARP_SIZE};
+use eim_gpusim::{Device, KernelHw, GLOBAL_TRANSACTION_BYTES, WARP_SIZE};
 use eim_graph::VertexId;
 use eim_imm::{RrrSets, Selection};
 use rayon::prelude::*;
@@ -50,6 +50,11 @@ pub struct SelectIteration {
     /// This iteration's simulated duration, microseconds (cycle time plus
     /// launch overheads).
     pub elapsed_us: f64,
+    /// Simulated hardware counters for this iteration's launches: occupancy
+    /// from slot imbalance, divergence from intra-warp makespans
+    /// (ThreadPerSet) or partial tail waves (WarpPerSet), and memory
+    /// traffic from the probe and count-update transactions.
+    pub hw: KernelHw,
 }
 
 /// Result of a device selection: the selection itself plus its simulated
@@ -95,23 +100,38 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
         ScanStrategy::WarpPerSet => spec.warp_slots(),
     };
 
-    let push_iteration = |total_cycles: u64, launches: u64, iters: &mut Vec<SelectIteration>| {
-        let done: u64 = iters.iter().map(|it| it.cycles).sum();
-        let done_launches: u64 = iters.iter().map(|it| it.launches).sum();
-        let cycles = total_cycles - done;
-        let l = launches - done_launches;
-        iters.push(SelectIteration {
-            cycles,
-            launches: l,
-            elapsed_us: spec.cycles_to_us(cycles) + l as f64 * costs.kernel_launch_us,
-        });
-    };
+    let push_iteration =
+        |total_cycles: u64, launches: u64, hw: KernelHw, iters: &mut Vec<SelectIteration>| {
+            let done: u64 = iters.iter().map(|it| it.cycles).sum();
+            let done_launches: u64 = iters.iter().map(|it| it.launches).sum();
+            let cycles = total_cycles - done;
+            let l = launches - done_launches;
+            iters.push(SelectIteration {
+                cycles,
+                launches: l,
+                elapsed_us: spec.cycles_to_us(cycles) + l as f64 * costs.kernel_launch_us,
+                hw,
+            });
+        };
 
+    let warp_slots = spec.warp_slots() as u64;
     for _ in 0..k {
         // argmax_u C[u]: a grid-stride reduction over n counts.
-        total_cycles += (n as u64).div_ceil(spec.thread_slots() as u64) * costs.global_access
+        let argmax_cycles = (n as u64).div_ceil(spec.thread_slots() as u64) * costs.global_access
             + 10 * costs.shuffle;
+        total_cycles += argmax_cycles;
         launches += 1;
+        // The argmax is uniform grid-stride work: every warp slot busy for
+        // the whole launch, no divergence; one coalesced 32-wide load per
+        // warp over the n counts.
+        let mut hw = KernelHw {
+            occ_busy_cycles: argmax_cycles * warp_slots,
+            occ_capacity_cycles: argmax_cycles * warp_slots,
+            active_lane_cycles: WARP_SIZE as u64 * argmax_cycles,
+            global_transactions: (n as u64).div_ceil(WARP_SIZE as u64),
+            ..KernelHw::default()
+        };
+        hw.global_bytes = hw.global_transactions * GLOBAL_TRANSACTION_BYTES;
         let best = (0..n)
             .into_par_iter()
             .filter(|&v| !selected[v])
@@ -129,7 +149,7 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
         if best.1 == usize::MAX {
             // The dangling argmax still launched: give it its own entry so
             // the breakdown sums to the totals.
-            push_iteration(total_cycles, launches, &mut iterations);
+            push_iteration(total_cycles, launches, hw, &mut iterations);
             break;
         }
         let v = best.1 as VertexId;
@@ -138,48 +158,90 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
 
         // Membership scan (Algorithm 3): per-set cost depends on covered
         // state, probe count, and — when found — the count-update work.
-        let per_set: Vec<(u64, bool)> = (0..num_sets)
+        // Each entry: (cycles, found, global transactions, atomics,
+        // tail-wave idle lane-cycles for WarpPerSet).
+        let per_set: Vec<(u64, bool, u64, u64, u64)> = (0..num_sets)
             .into_par_iter()
             .map(|i| {
                 if covered_flags[i] {
                     // F[i] load only (coalesced).
-                    return (costs.alu, false);
+                    return (costs.alu, false, 0, 0, 0);
                 }
                 let (found, probes) = store.contains_with_probes(i, v);
                 let len = store.set_len(i) as u64;
-                let cycles = match strategy {
+                let (cycles, txns, atomics, tail_idle) = match strategy {
                     ScanStrategy::ThreadPerSet => {
                         // Each probe is a dependent, uncoalesced load into R.
                         let search = probes as u64 * costs.global_latency;
                         if found {
                             // Serial decrement of every member's count.
-                            search + costs.atomic_global * len + costs.global_access
+                            let c = search + costs.atomic_global * len + costs.global_access;
+                            (c, probes as u64 + len + 1, len, 0)
                         } else {
-                            search
+                            (search, probes as u64, 0, 0)
                         }
                     }
                     ScanStrategy::WarpPerSet => {
-                        let search =
-                            (probes as u64).div_ceil(WARP_SEARCH_SPEEDUP) * costs.global_latency;
+                        let rounds = (probes as u64).div_ceil(WARP_SEARCH_SPEEDUP);
+                        let search = rounds * costs.global_latency;
                         if found {
-                            // 32 lanes decrement cooperatively.
-                            search
-                                + costs.atomic_global * len.div_ceil(WARP_SIZE as u64)
-                                + costs.global_access
+                            // 32 lanes decrement cooperatively; the final
+                            // partial wave predicates off its unused lanes.
+                            let waves = len.div_ceil(WARP_SIZE as u64);
+                            let c = search + costs.atomic_global * waves + costs.global_access;
+                            let idle = (waves * WARP_SIZE as u64 - len) * costs.atomic_global;
+                            (c, rounds + waves + 1, len, idle)
                         } else {
-                            search
+                            (search, rounds, 0, 0)
                         }
                     }
                 };
-                (costs.alu + cycles, found)
+                (costs.alu + cycles, found, txns, atomics, tail_idle)
             })
             .collect();
-        total_cycles += slot_makespan_cycles(per_set.iter().map(|&(c, _)| c), slots);
+        // Round-robin slot assignment (the §3.5 schedule): the scan drains
+        // when the busiest slot does; the per-slot sums also feed the
+        // occupancy and divergence counters below.
+        let mut slot_sums = vec![0u64; slots];
+        for (i, &(c, ..)) in per_set.iter().enumerate() {
+            slot_sums[i % slots] += c;
+        }
+        let scan_makespan = slot_sums.iter().copied().max().unwrap_or(0);
+        total_cycles += scan_makespan;
         launches += 1;
+
+        match strategy {
+            ScanStrategy::ThreadPerSet => {
+                // 32 consecutive thread slots form a warp; the warp is
+                // resident until its slowest lane drains, and every cycle a
+                // lane waits under that makespan is divergence.
+                for warp in slot_sums.chunks(WARP_SIZE) {
+                    let wmax = warp.iter().copied().max().unwrap_or(0);
+                    let wsum: u64 = warp.iter().sum();
+                    hw.occ_busy_cycles += wmax;
+                    hw.active_lane_cycles += wsum;
+                    hw.idle_lane_cycles += WARP_SIZE as u64 * wmax - wsum;
+                }
+            }
+            ScanStrategy::WarpPerSet => {
+                // Each warp slot is busy for its summed per-set cycles; the
+                // only predicated-off lanes are the atomic tail waves.
+                let scanned: u64 = slot_sums.iter().sum();
+                let tail_idle: u64 = per_set.iter().map(|&(.., idle)| idle).sum();
+                hw.occ_busy_cycles += scanned;
+                hw.active_lane_cycles += (WARP_SIZE as u64 * scanned).saturating_sub(tail_idle);
+                hw.idle_lane_cycles += tail_idle;
+            }
+        }
+        hw.occ_capacity_cycles += warp_slots * scan_makespan;
+        let scan_txns: u64 = per_set.iter().map(|&(_, _, t, ..)| t).sum();
+        hw.global_transactions += scan_txns;
+        hw.global_bytes += scan_txns * GLOBAL_TRANSACTION_BYTES;
+        hw.atomics += per_set.iter().map(|&(_, _, _, a, _)| a).sum::<u64>();
 
         // Apply the updates the scan performed (host mirror of the device
         // writes): mark covered sets, decrement member counts.
-        for (i, &(_, found)) in per_set.iter().enumerate() {
+        for (i, &(_, found, ..)) in per_set.iter().enumerate() {
             if found {
                 covered_flags[i] = true;
                 covered += 1;
@@ -189,7 +251,7 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
                 }
             }
         }
-        push_iteration(total_cycles, launches, &mut iterations);
+        push_iteration(total_cycles, launches, hw, &mut iterations);
     }
 
     DeviceSelection {

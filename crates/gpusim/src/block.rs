@@ -62,6 +62,13 @@ pub struct BlockCtx {
     block_id: usize,
     cycles: u64,
     counts: OpCounts,
+    /// Lane-cycles predicated off: partial warp waves and serialized atomic
+    /// conflicts. Pure accounting — never feeds back into `cycles`.
+    idle_lane_cycles: u64,
+    /// Serialization rounds lost to atomic conflicts.
+    atomic_retries: u64,
+    /// Bytes requested past the shared-memory budget (gIM's spill signal).
+    shared_spill_bytes: u64,
     shared_used: usize,
     shared_capacity: usize,
     spec: DeviceSpec,
@@ -73,6 +80,9 @@ impl BlockCtx {
             block_id,
             cycles: 0,
             counts: OpCounts::default(),
+            idle_lane_cycles: 0,
+            atomic_retries: 0,
+            shared_spill_bytes: 0,
             shared_used: 0,
             shared_capacity: spec.shared_mem_per_block,
             spec,
@@ -95,6 +105,26 @@ impl BlockCtx {
     #[inline]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Lane-cycles predicated off so far (partial warp waves, atomic
+    /// serialization). The divergence numerator; the denominator is
+    /// `WARP_SIZE × cycles()`.
+    #[inline]
+    pub fn idle_lane_cycles(&self) -> u64 {
+        self.idle_lane_cycles
+    }
+
+    /// Serialization rounds lost to atomic conflicts so far.
+    #[inline]
+    pub fn atomic_retries(&self) -> u64 {
+        self.atomic_retries
+    }
+
+    /// Bytes requested past the shared-memory budget so far.
+    #[inline]
+    pub fn shared_spill_bytes(&self) -> u64 {
+        self.shared_spill_bytes
     }
 
     /// The device this block runs on.
@@ -152,16 +182,23 @@ impl BlockCtx {
     #[inline]
     pub fn charge_contended_atomic(&mut self, contenders: usize) {
         let c = &self.spec.costs;
-        self.cycles += c.atomic_global + c.atomic_contention * contenders.saturating_sub(1) as u64;
+        let retries = contenders.saturating_sub(1) as u64;
+        self.cycles += c.atomic_global + c.atomic_contention * retries;
+        // While one lane retries, the warp's other 31 lanes sit idle.
+        self.idle_lane_cycles += (WARP_SIZE as u64 - 1) * c.atomic_contention * retries;
+        self.atomic_retries += retries;
     }
 
     /// Charges a warp-parallel sweep over `items` work items where each
     /// 32-lane wave costs `cycles_per_wave` (e.g. scanning a vertex's
-    /// in-neighbor list: `ceil(d / 32)` coalesced waves).
+    /// in-neighbor list: `ceil(d / 32)` coalesced waves). A partial final
+    /// wave predicates off its unused lanes — the divergence the Fig 3
+    /// warp-vs-thread comparison measures.
     #[inline]
     pub fn charge_warp_sweep(&mut self, items: usize, cycles_per_wave: u64) {
         let waves = items.div_ceil(WARP_SIZE) as u64;
         self.cycles += waves * cycles_per_wave;
+        self.idle_lane_cycles += (waves * WARP_SIZE as u64 - items as u64) * cycles_per_wave;
     }
 
     /// Charges a warp-wide inclusive prefix scan via shuffles:
@@ -180,6 +217,7 @@ impl BlockCtx {
             self.shared_used += bytes;
             true
         } else {
+            self.shared_spill_bytes += bytes as u64;
             false
         }
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use eim_trace::{RunTrace, SimClock};
+use eim_trace::{KernelHw, RunTrace, SimClock};
 use rayon::prelude::*;
 
 use crate::block::{BlockCtx, OpCounts};
@@ -10,6 +10,11 @@ use crate::fault::{FaultDecision, FaultPlan, SimFault};
 use crate::memory::{DeviceMemory, MemoryError, MemoryStats};
 use crate::spec::DeviceSpec;
 use crate::transfer::TransferDirection;
+use crate::WARP_SIZE;
+
+/// Bytes moved per coalesced warp-wide global-memory transaction (one
+/// 128-byte cache line — the coalescing unit the samplers are tuned for).
+pub const GLOBAL_TRANSACTION_BYTES: u64 = 128;
 
 /// Timing summary of one kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,6 +30,8 @@ pub struct LaunchStats {
     pub num_blocks: usize,
     /// Aggregated per-operation event counts across all blocks.
     pub ops: OpCounts,
+    /// Simulated hardware counters (occupancy, divergence, memory traffic).
+    pub hw: KernelHw,
 }
 
 /// Outputs plus timing of one launch.
@@ -227,8 +234,12 @@ impl Device {
         struct ChunkResult<T> {
             outputs: Vec<T>,
             per_sm: Vec<u64>,
+            per_sm_blocks: Vec<u64>,
             total_cycles: u64,
             max_block_cycles: u64,
+            idle_lane_cycles: u64,
+            atomic_retries: u64,
+            shared_spill_bytes: u64,
             ops: OpCounts,
         }
 
@@ -246,8 +257,12 @@ impl Device {
                 let mut out = ChunkResult {
                     outputs: Vec::with_capacity(len),
                     per_sm: vec![0u64; sms],
+                    per_sm_blocks: vec![0u64; sms],
                     total_cycles: 0,
                     max_block_cycles: 0,
+                    idle_lane_cycles: 0,
+                    atomic_retries: 0,
+                    shared_spill_bytes: 0,
                     ops: OpCounts::default(),
                 };
                 for b in start..start + len {
@@ -255,8 +270,12 @@ impl Device {
                     out.outputs.push(kernel(&mut ctx, &mut scratch));
                     let cycles = ctx.cycles();
                     out.per_sm[b % sms] += cycles;
+                    out.per_sm_blocks[b % sms] += 1;
                     out.total_cycles += cycles;
                     out.max_block_cycles = out.max_block_cycles.max(cycles);
+                    out.idle_lane_cycles += ctx.idle_lane_cycles();
+                    out.atomic_retries += ctx.atomic_retries();
+                    out.shared_spill_bytes += ctx.shared_spill_bytes();
                     out.ops.add(ctx.op_counts());
                 }
                 out
@@ -264,25 +283,61 @@ impl Device {
             .collect();
         let mut outputs = Vec::with_capacity(num_blocks);
         let mut per_sm = vec![0u64; sms];
+        let mut per_sm_blocks = vec![0u64; sms];
         let mut total_cycles = 0u64;
         let mut max_block_cycles = 0u64;
+        let mut idle_lane_cycles = 0u64;
+        let mut atomic_retries = 0u64;
+        let mut shared_spill_bytes = 0u64;
         let mut ops = OpCounts::default();
         for chunk in results {
             outputs.extend(chunk.outputs);
             for (acc, c) in per_sm.iter_mut().zip(&chunk.per_sm) {
                 *acc += c;
             }
+            for (acc, c) in per_sm_blocks.iter_mut().zip(&chunk.per_sm_blocks) {
+                *acc += c;
+            }
             total_cycles += chunk.total_cycles;
             max_block_cycles = max_block_cycles.max(chunk.max_block_cycles);
+            idle_lane_cycles += chunk.idle_lane_cycles;
+            atomic_retries += chunk.atomic_retries;
+            shared_spill_bytes += chunk.shared_spill_bytes;
             ops.add(&chunk.ops);
         }
-        let busiest = per_sm.into_iter().max().unwrap_or(0);
+        let busiest = per_sm.iter().copied().max().unwrap_or(0);
+        // Achieved occupancy: each SM runs its blocks' warps (one warp slot
+        // per resident block here, capped at the spec's warps-per-SM ceiling)
+        // for its busy cycles, against a capacity of every warp slot on every
+        // SM over the makespan (the busiest SM's cycles).
+        let warps_per_sm = spec.warps_per_sm as u64;
+        let occ_busy_cycles: u64 = per_sm
+            .iter()
+            .zip(&per_sm_blocks)
+            .map(|(&cyc, &blk)| blk.min(warps_per_sm) * cyc)
+            .sum();
+        let occ_capacity_cycles = warps_per_sm * sms as u64 * busiest;
+        let lane_cycles = WARP_SIZE as u64 * total_cycles;
+        let hw = KernelHw {
+            occ_busy_cycles,
+            occ_capacity_cycles,
+            active_lane_cycles: lane_cycles.saturating_sub(idle_lane_cycles),
+            idle_lane_cycles,
+            global_transactions: ops.global_accesses,
+            global_bytes: ops.global_accesses * GLOBAL_TRANSACTION_BYTES,
+            shared_transactions: ops.shared_accesses,
+            atomics: ops.atomics,
+            atomic_retries,
+            shared_spill_bytes,
+            mallocs: ops.mallocs,
+        };
         let stats = LaunchStats {
             elapsed_us: spec.costs.kernel_launch_us + spec.cycles_to_us(busiest),
             total_cycles,
             max_block_cycles,
             num_blocks,
             ops,
+            hw,
         };
         if let Some(trace) = &self.trace {
             trace.lock().push(TraceEntry {
@@ -292,13 +347,14 @@ impl Device {
         }
         // Timestamped at the current clock; the driving engine advances the
         // clock by `elapsed_us` when it accounts for this launch.
-        self.run_trace.record_kernel(
+        self.run_trace.record_kernel_hw(
             name,
             self.clock.now_us(),
             stats.elapsed_us,
             stats.num_blocks,
             stats.total_cycles,
             stats.max_block_cycles,
+            &stats.hw,
         );
         LaunchResult { outputs, stats }
     }
@@ -343,6 +399,7 @@ impl Device {
             max_block_cycles: block_cycles.iter().copied().max().unwrap_or(0),
             num_blocks: block_cycles.len(),
             ops: OpCounts::default(),
+            hw: KernelHw::default(),
         }
     }
 
@@ -432,12 +489,20 @@ impl Device {
     /// Simulated microseconds to move `bytes` across PCIe.
     pub fn transfer(&self, bytes: usize, direction: TransferDirection) -> f64 {
         let us = self.spec.transfer_us(bytes);
-        let name = match direction {
-            TransferDirection::HostToDevice => "pcie:h2d",
-            TransferDirection::DeviceToHost => "pcie:d2h",
+        let (name, dir) = match direction {
+            TransferDirection::HostToDevice => ("pcie:h2d", "h2d"),
+            TransferDirection::DeviceToHost => ("pcie:d2h", "d2h"),
         };
         self.run_trace
             .record_transfer(name, self.clock.now_us(), us, bytes);
+        // Bandwidth utilization: wire time over total time (latency included).
+        let ideal_us = bytes as f64 / (self.spec.pcie_gbps * 1000.0);
+        self.run_trace.metrics().observe_transfer(
+            dir,
+            "sync",
+            bytes as u64,
+            ideal_us / us.max(f64::MIN_POSITIVE),
+        );
         us
     }
 }

@@ -43,7 +43,7 @@ mod transfer;
 
 pub use block::{BlockCtx, Op, OpCounts};
 pub use fault::{FaultDecision, FaultPlan, FaultSpec, PressureWindow, SimFault};
-pub use launch::{Device, LaunchResult, LaunchStats, TraceEntry};
+pub use launch::{Device, LaunchResult, LaunchStats, TraceEntry, GLOBAL_TRANSACTION_BYTES};
 pub use memory::{DeviceMemory, MemoryError, MemoryStats};
 pub use schedule::slot_makespan_cycles;
 pub use spec::{CostModel, DeviceSpec};
@@ -52,7 +52,10 @@ pub use transfer::TransferDirection;
 
 // Telemetry types appear in `Device`'s API; re-export so downstream crates
 // can attach a recorder without a direct `eim-trace` dependency.
-pub use eim_trace::{ArgValue, RunTrace, SimClock, TraceSummary};
+pub use eim_trace::{
+    ArgValue, KernelHw, KernelProfile, MetricsRegistry, MetricsSink, ProfileKey, RunTrace,
+    SimClock, TraceSummary,
+};
 
 /// Lanes per warp — fixed at 32 across every NVIDIA generation and baked
 /// into the paper's algorithms ("each block launches a single warp").

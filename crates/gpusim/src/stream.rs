@@ -101,13 +101,20 @@ impl CopyStream {
     ) -> CopyEvent {
         let dur_us = device.spec().transfer_us(bytes);
         let start_us = device.clock().now_us().max(self.tail_us);
-        let name = match direction {
-            TransferDirection::HostToDevice => "stream:h2d",
-            TransferDirection::DeviceToHost => "stream:d2h",
+        let (name, dir) = match direction {
+            TransferDirection::HostToDevice => ("stream:h2d", "h2d"),
+            TransferDirection::DeviceToHost => ("stream:d2h", "d2h"),
         };
         device
             .run_trace()
             .record_copy(name, start_us, dur_us, bytes);
+        let ideal_us = bytes as f64 / (device.spec().pcie_gbps * 1000.0);
+        device.run_trace().metrics().observe_transfer(
+            dir,
+            "stream",
+            bytes as u64,
+            ideal_us / dur_us.max(f64::MIN_POSITIVE),
+        );
         self.tail_us = start_us + dur_us;
         let event = CopyEvent {
             completes_at_us: self.tail_us,

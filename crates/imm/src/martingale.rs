@@ -328,6 +328,16 @@ pub fn run_imm_recovering<E: ImmEngine>(
     trace.record_phase("selection", t2, t3 - t2);
 
     report.merge(&engine.recovery_report());
+    // Re-export the merged recovery tallies through the metrics registry so
+    // Prometheus scrapes see them next to the fault/recovery event counters.
+    trace.metrics().record_recovery_report(
+        report.retries as u64,
+        report.batch_splits as u64,
+        report.spill_events as u64,
+        report.spilled_bytes as u64,
+        report.reloaded_bytes as u64,
+        report.degraded_rounds as u64,
+    );
     let store = engine.store();
     Ok(ImmResult {
         seeds: sel.seeds.clone(),

@@ -29,6 +29,10 @@ use std::sync::{Arc, Mutex};
 
 use serde_json::{json, Value};
 
+pub use eim_metrics::{
+    KernelHw, KernelProfile, MetricsRegistry, MetricsSink, ProfileKey, UTILIZATION_BUCKETS,
+};
+
 /// Simulated-time clock, in microseconds.
 ///
 /// The simulated device owns one of these and shares it with its memory
@@ -294,6 +298,11 @@ impl Inner {
 pub struct RunTrace {
     inner: Option<Arc<Inner>>,
     pid: u64,
+    /// Metrics instrument sink; records run *before* the enabled/disabled
+    /// check on `inner`, so `RunTrace::disabled().with_metrics(..)` supports
+    /// metrics-only runs with no event buffering (and capped recorders keep
+    /// exact metrics past their caps).
+    metrics: MetricsSink,
 }
 
 impl RunTrace {
@@ -303,6 +312,7 @@ impl RunTrace {
         Self {
             inner: None,
             pid: 0,
+            metrics: MetricsSink::disabled(),
         }
     }
 
@@ -311,6 +321,7 @@ impl RunTrace {
         Self {
             inner: Some(Arc::new(Inner::default())),
             pid: 0,
+            metrics: MetricsSink::disabled(),
         }
     }
 
@@ -325,18 +336,35 @@ impl RunTrace {
         Self {
             inner: Some(Arc::new(Inner::with_cap(cap as u64))),
             pid: 0,
+            metrics: MetricsSink::disabled(),
         }
     }
 
     /// A handle recording into the *same* shared buffer (and the same
     /// per-category caps and summary counters) but tagging every event with
     /// Perfetto process group `pid`. Hand one to each simulated device of a
-    /// multi-GPU engine so the export shows one process group per GPU.
+    /// multi-GPU engine so the export shows one process group per GPU; the
+    /// attached metrics sink is re-labelled with the same device ordinal.
     pub fn for_device(&self, pid: u64) -> Self {
         Self {
             inner: self.inner.clone(),
             pid,
+            metrics: self.metrics.for_device(pid as u32),
         }
+    }
+
+    /// Attaches a metrics sink: every kernel launch, memory event, fault,
+    /// and recovery action recorded through this trace also updates the
+    /// sink's registry. Works on disabled recorders too (metrics without
+    /// event buffering).
+    pub fn with_metrics(mut self, metrics: MetricsSink) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics sink (disabled by default).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// The Perfetto process group this handle tags events with.
@@ -393,6 +421,40 @@ impl RunTrace {
         total_cycles: u64,
         max_block_cycles: u64,
     ) {
+        self.record_kernel_hw(
+            name,
+            ts_us,
+            dur_us,
+            num_blocks,
+            total_cycles,
+            max_block_cycles,
+            &KernelHw::default(),
+        );
+    }
+
+    /// [`RunTrace::record_kernel`] with full hardware counters for the
+    /// launch (occupancy, divergence, memory transactions, atomics, …).
+    /// The counters flow into the attached metrics sink; the trace event is
+    /// unchanged, so span sums and metric totals reconcile exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_kernel_hw(
+        &self,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        num_blocks: usize,
+        total_cycles: u64,
+        max_block_cycles: u64,
+        hw: &KernelHw,
+    ) {
+        self.metrics.record_launch(
+            name,
+            num_blocks as u64,
+            dur_us,
+            total_cycles,
+            max_block_cycles,
+            hw,
+        );
         let Some(inner) = &self.inner else { return };
         inner.kernel_launches.fetch_add(1, Ordering::Relaxed);
         inner
@@ -415,6 +477,7 @@ impl RunTrace {
     /// Records a device allocation: `bytes` reserved, `in_use` the total
     /// after the allocation. Emits a counter sample for the memory track.
     pub fn record_alloc(&self, ts_us: f64, bytes: usize, in_use: usize) {
+        self.metrics.record_alloc(bytes as u64, in_use as u64);
         let Some(inner) = &self.inner else { return };
         inner.alloc_events.fetch_add(1, Ordering::Relaxed);
         inner.peak_bytes.fetch_max(in_use as u64, Ordering::Relaxed);
@@ -432,6 +495,7 @@ impl RunTrace {
 
     /// Records a device free: `bytes` released, `in_use` the total after.
     pub fn record_free(&self, ts_us: f64, bytes: usize, in_use: usize) {
+        self.metrics.record_free(bytes as u64);
         let Some(inner) = &self.inner else { return };
         inner.free_events.fetch_add(1, Ordering::Relaxed);
         self.push(TraceEvent {
@@ -448,6 +512,7 @@ impl RunTrace {
 
     /// Records a failed device allocation (the request that did not fit).
     pub fn record_alloc_failure(&self, ts_us: f64, requested: usize, in_use: usize) {
+        self.metrics.record_alloc_failure();
         if self.inner.is_none() {
             return;
         }
@@ -507,6 +572,7 @@ impl RunTrace {
     /// as an instant on the fault lane, keyed by its deterministic event
     /// ordinal in the fault plan.
     pub fn record_fault(&self, name: &str, ts_us: f64, ordinal: u64) {
+        self.metrics.record_fault(name);
         let Some(inner) = &self.inner else { return };
         inner.fault_events.fetch_add(1, Ordering::Relaxed);
         self.push(TraceEvent {
@@ -523,6 +589,7 @@ impl RunTrace {
     /// `"recover:batch_split"`, `"recover:spill"`) as an instant on the
     /// fault lane, with free-form detail arguments.
     pub fn record_recovery(&self, name: &str, ts_us: f64, args: Vec<(&'static str, ArgValue)>) {
+        self.metrics.record_recovery(name);
         let Some(inner) = &self.inner else { return };
         inner.recovery_events.fetch_add(1, Ordering::Relaxed);
         self.push(TraceEvent {
@@ -584,72 +651,143 @@ impl RunTrace {
     /// [`TraceSummary`] is embedded under `summary`.
     pub fn chrome_json(&self, metadata: &[(&str, String)]) -> Value {
         let recorded = self.events();
-        // One Perfetto process group per device pid seen in the stream (a
-        // run with no events still gets the default group 0).
-        let mut pids: std::collections::BTreeSet<u64> = recorded.iter().map(|e| e.pid).collect();
-        pids.insert(0);
         let mut events: Vec<Value> = Vec::new();
-        for &pid in &pids {
-            events.push(json!({
-                "name": "process_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "args": serde_json::json!({ "name": format!("device {pid}") }),
-            }));
-            // Name the synthetic lanes so Perfetto shows subsystems, not tids.
-            for cat in EventCat::ALL {
-                events.push(json!({
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": pid,
-                    "tid": cat.lane(),
-                    "args": serde_json::json!({ "name": cat.lane_name() }),
-                }));
-            }
+        for &pid in &Self::stream_pids(&recorded) {
+            events.extend(Self::process_meta_events(pid));
         }
-        for ev in recorded {
-            let mut args = serde_json::Map::new();
-            for (k, v) in &ev.args {
-                args.insert((*k).to_string(), Value::from(v));
-            }
-            let mut obj = serde_json::Map::new();
-            obj.insert("name".to_string(), Value::from(ev.name.as_str()));
-            obj.insert("cat".to_string(), Value::from(ev.cat.as_str()));
-            obj.insert("pid".to_string(), Value::from(ev.pid));
-            obj.insert("tid".to_string(), Value::from(ev.cat.lane()));
-            obj.insert("ts".to_string(), Value::from(ev.ts_us));
-            match ev.kind {
-                EventKind::Span { dur_us } => {
-                    obj.insert("ph".to_string(), Value::from("X"));
-                    obj.insert("dur".to_string(), Value::from(dur_us));
-                }
-                EventKind::Instant => {
-                    obj.insert("ph".to_string(), Value::from("i"));
-                    obj.insert("s".to_string(), Value::from("t"));
-                }
-                EventKind::Counter { value } => {
-                    obj.insert("ph".to_string(), Value::from("C"));
-                    args.insert("in_use".to_string(), Value::from(value));
-                }
-            }
-            obj.insert("args".to_string(), Value::Object(args));
-            events.push(Value::Object(obj));
-        }
-        let mut other = serde_json::Map::new();
-        for (k, v) in metadata {
-            other.insert((*k).to_string(), Value::from(v.as_str()));
+        for ev in &recorded {
+            events.push(Self::event_to_value(ev));
         }
         json!({
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": Value::Object(other),
+            "otherData": Value::Object(Self::metadata_object(metadata)),
             "summary": self.summary().to_json(),
         })
     }
 
+    /// One Perfetto process group per device pid seen in the stream (a run
+    /// with no events still gets the default group 0).
+    fn stream_pids(recorded: &[TraceEvent]) -> std::collections::BTreeSet<u64> {
+        let mut pids: std::collections::BTreeSet<u64> = recorded.iter().map(|e| e.pid).collect();
+        pids.insert(0);
+        pids
+    }
+
+    /// Process-name plus lane-name metadata events for one process group,
+    /// so Perfetto shows devices and subsystems instead of raw pids/tids.
+    fn process_meta_events(pid: u64) -> Vec<Value> {
+        let mut events = vec![json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": serde_json::json!({ "name": format!("device {pid}") }),
+        })];
+        for cat in EventCat::ALL {
+            events.push(json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": cat.lane(),
+                "args": serde_json::json!({ "name": cat.lane_name() }),
+            }));
+        }
+        events
+    }
+
+    fn event_to_value(ev: &TraceEvent) -> Value {
+        let mut args = serde_json::Map::new();
+        for (k, v) in &ev.args {
+            args.insert((*k).to_string(), Value::from(v));
+        }
+        let mut obj = serde_json::Map::new();
+        obj.insert("name".to_string(), Value::from(ev.name.as_str()));
+        obj.insert("cat".to_string(), Value::from(ev.cat.as_str()));
+        obj.insert("pid".to_string(), Value::from(ev.pid));
+        obj.insert("tid".to_string(), Value::from(ev.cat.lane()));
+        obj.insert("ts".to_string(), Value::from(ev.ts_us));
+        match ev.kind {
+            EventKind::Span { dur_us } => {
+                obj.insert("ph".to_string(), Value::from("X"));
+                obj.insert("dur".to_string(), Value::from(dur_us));
+            }
+            EventKind::Instant => {
+                obj.insert("ph".to_string(), Value::from("i"));
+                obj.insert("s".to_string(), Value::from("t"));
+            }
+            EventKind::Counter { value } => {
+                obj.insert("ph".to_string(), Value::from("C"));
+                args.insert("in_use".to_string(), Value::from(value));
+            }
+        }
+        obj.insert("args".to_string(), Value::Object(args));
+        Value::Object(obj)
+    }
+
+    fn metadata_object(metadata: &[(&str, String)]) -> serde_json::Map {
+        let mut other = serde_json::Map::new();
+        for (k, v) in metadata {
+            other.insert((*k).to_string(), Value::from(v.as_str()));
+        }
+        other
+    }
+
+    /// Streams [`RunTrace::chrome_json`] into `w` one event at a time,
+    /// byte-identical to pretty-printing the whole document but without
+    /// materialising it: peak memory is one rendered event instead of the
+    /// entire JSON string, which matters for full-scale `reproduce` sweeps
+    /// where the kernel lane alone holds millions of events.
+    pub fn write_chrome_stream<W: std::io::Write>(
+        &self,
+        mut w: W,
+        metadata: &[(&str, String)],
+    ) -> std::io::Result<()> {
+        let recorded = self.events();
+        // `traceEvents` is never empty — pid 0 always contributes metadata
+        // events — so the array brackets never need the empty-`[]` form.
+        w.write_all(b"{\n  \"traceEvents\": [")?;
+        let mut first = true;
+        for &pid in &Self::stream_pids(&recorded) {
+            for v in Self::process_meta_events(pid) {
+                Self::write_stream_event(&mut w, &v, &mut first)?;
+            }
+        }
+        for ev in &recorded {
+            Self::write_stream_event(&mut w, &Self::event_to_value(ev), &mut first)?;
+        }
+        let mut tail = String::from("\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": ");
+        write_pretty(
+            &mut tail,
+            &Value::Object(Self::metadata_object(metadata)),
+            1,
+        );
+        tail.push_str(",\n  \"summary\": ");
+        write_pretty(&mut tail, &self.summary().to_json(), 1);
+        tail.push_str("\n}");
+        w.write_all(tail.as_bytes())
+    }
+
+    /// Renders one `traceEvents` entry at array depth, with its separator.
+    fn write_stream_event<W: std::io::Write>(
+        w: &mut W,
+        v: &Value,
+        first: &mut bool,
+    ) -> std::io::Result<()> {
+        let mut s = String::with_capacity(256);
+        if !*first {
+            s.push(',');
+        }
+        *first = false;
+        s.push_str("\n    ");
+        write_pretty(&mut s, v, 2);
+        w.write_all(s.as_bytes())
+    }
+
     /// Writes [`RunTrace::chrome_json`] to `path`, creating parent
-    /// directories as needed.
+    /// directories as needed. Streams into `<path>.tmp` and renames over
+    /// the target, so a failure mid-write (full disk, crash) cannot leave a
+    /// truncated, unloadable trace behind.
     pub fn write_chrome_file(
         &self,
         path: &Path,
@@ -660,10 +798,122 @@ impl RunTrace {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let json = serde_json::to_string_pretty(&self.chrome_json(metadata))
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        std::fs::write(path, json)
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let result = (|| {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            self.write_chrome_stream(&mut out, metadata)?;
+            use std::io::Write as _;
+            out.flush()?;
+            out.into_inner()
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+                .sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
+}
+
+/// Mirror of the vendored `serde_json::to_string_pretty` value renderer at
+/// an arbitrary starting depth, used by [`RunTrace::write_chrome_stream`] to
+/// emit one event at a time while staying byte-identical to whole-document
+/// pretty printing (the `stream_matches_to_string_pretty` test locks the two
+/// together).
+fn write_pretty(out: &mut String, v: &Value, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_pretty_number(out, n),
+        Value::String(s) => write_pretty_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pretty_newline(out, depth + 1);
+                write_pretty(out, elem, depth + 1);
+            }
+            pretty_newline(out, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, elem)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pretty_newline(out, depth + 1);
+                write_pretty_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, elem, depth + 1);
+            }
+            pretty_newline(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn pretty_newline(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty_number(out: &mut String, n: &serde_json::Number) {
+    match *n {
+        serde_json::Number::PosInt(v) => out.push_str(&v.to_string()),
+        serde_json::Number::NegInt(v) => out.push_str(&v.to_string()),
+        serde_json::Number::Float(f) => {
+            if !f.is_finite() {
+                out.push_str("null");
+            } else if f == f.trunc() && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+    }
+}
+
+fn write_pretty_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = {
+                    use std::fmt::Write as _;
+                    write!(out, "\\u{:04x}", c as u32)
+                };
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Machine-readable condensation of one run's telemetry.
@@ -966,6 +1216,137 @@ mod tests {
         assert_eq!(s.kernel_launches, 800);
         assert_eq!(t.events().len(), 50);
         assert_eq!(s.dropped_events, 750);
+    }
+
+    fn busy_trace() -> RunTrace {
+        let t = RunTrace::enabled();
+        t.record_phase("estimation", 0.0, 3.25);
+        t.record_kernel("eim_sample", 0.5, 2.0, 8, 1000, 200);
+        t.record_kernel_hw(
+            "eim_select:iter0",
+            2.5,
+            1.5,
+            4,
+            400,
+            120,
+            &KernelHw {
+                occ_busy_cycles: 100,
+                occ_capacity_cycles: 4000,
+                active_lane_cycles: 9000,
+                idle_lane_cycles: 3800,
+                global_transactions: 12,
+                global_bytes: 1536,
+                atomics: 3,
+                ..KernelHw::default()
+            },
+        );
+        t.record_alloc(0.1, 64, 64);
+        t.record_alloc_failure(0.2, 1 << 30, 64);
+        t.record_transfer("h2d:graph", 0.0, 0.4, 4096);
+        t.for_device(2).record_copy("stream:d2h", 1.0, 0.5, 8192);
+        t.record_fault("fault:kernel_launch", 1.0, 7);
+        t.record_recovery(
+            "recover:retry",
+            2.0,
+            vec![
+                ("attempt", ArgValue::U64(1)),
+                ("quote", ArgValue::Str("a\"b\\c".into())),
+            ],
+        );
+        t
+    }
+
+    #[test]
+    fn stream_matches_to_string_pretty() {
+        let t = busy_trace();
+        let meta = [("engine", "eim".to_string()), ("dataset", "WV".to_string())];
+        let whole = serde_json::to_string_pretty(&t.chrome_json(&meta)).unwrap();
+        let mut streamed = Vec::new();
+        t.write_chrome_stream(&mut streamed, &meta).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), whole);
+        // Empty metadata exercises the `{}` object form.
+        let whole = serde_json::to_string_pretty(&t.chrome_json(&[])).unwrap();
+        let mut streamed = Vec::new();
+        t.write_chrome_stream(&mut streamed, &[]).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), whole);
+    }
+
+    #[test]
+    fn stream_of_empty_trace_matches_too() {
+        let t = RunTrace::enabled();
+        let whole = serde_json::to_string_pretty(&t.chrome_json(&[])).unwrap();
+        let mut streamed = Vec::new();
+        t.write_chrome_stream(&mut streamed, &[]).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), whole);
+    }
+
+    #[test]
+    fn write_chrome_file_is_atomic_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("eim_trace_test_atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.trace.json");
+        let t = busy_trace();
+        t.write_chrome_file(&path, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            serde_json::to_string_pretty(&t.chrome_json(&[])).unwrap()
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        // Overwriting an existing trace goes through the same rename.
+        t.write_chrome_file(&path, &[("run", "2".to_string())])
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"run\": \"2\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_ride_the_trace_recorders() {
+        let reg = MetricsRegistry::new();
+        let t = RunTrace::enabled().with_metrics(reg.sink().with_engine("eim"));
+        t.record_kernel("k", 0.0, 2.0, 4, 100, 60);
+        t.for_device(1).record_kernel("k", 2.0, 1.0, 2, 40, 30);
+        t.record_alloc(0.0, 100, 100);
+        t.record_free(1.0, 100, 0);
+        t.record_fault("fault:transfer", 1.0, 3);
+        t.record_recovery("recover:retry", 2.0, vec![]);
+        let profiles = reg.kernel_profiles();
+        assert_eq!(profiles.len(), 2, "per-device profile keys");
+        assert_eq!(profiles[0].0.device, 0);
+        assert_eq!(profiles[0].1.cycles, 100);
+        assert_eq!(profiles[1].0.device, 1);
+        assert_eq!(profiles[1].1.cycles, 40);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(
+                "eim_faults_injected_total{device=\"0\",engine=\"eim\",kind=\"fault:transfer\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("eim_recovery_actions_total{action=\"recover:retry\",device=\"0\",engine=\"eim\"} 1"), "{text}");
+        assert!(
+            text.contains("eim_device_mem_peak_bytes{device=\"0\",engine=\"eim\"} 100"),
+            "{text}"
+        );
+        // The trace events themselves are unchanged by the metrics sink.
+        assert_eq!(t.summary().kernel_launches, 2);
+    }
+
+    #[test]
+    fn disabled_trace_with_metrics_still_collects_metrics() {
+        let reg = MetricsRegistry::new();
+        let t = RunTrace::disabled().with_metrics(reg.sink().with_engine("bench"));
+        t.record_kernel("k", 0.0, 1.0, 1, 10, 10);
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty(), "no event buffering");
+        assert_eq!(reg.kernel_profiles().len(), 1, "metrics still flow");
+        assert!(t.metrics().is_enabled());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! eim --input graph.txt [OPTIONS]
 //! eim --dataset EE --scale 0.01 [OPTIONS]    # synthetic stand-in
+//! eim profile --dataset EE [OPTIONS]         # nvprof-style kernel table
 //!
 //! Input (exactly one):
 //!   --input <file>       SNAP edge list (src dst per line, # comments)
@@ -30,7 +31,9 @@
 //!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
 //!   --trace-event-cap <n> retain at most n trace events per category;
 //!                        drops are counted in the summary's dropped_events
-//!   --json               machine-readable output
+//!   --metrics <file>     write simulated hardware counters in Prometheus
+//!                        text exposition format
+//!   --json               machine-readable output (includes a "metrics" block)
 //! ```
 
 use std::fs::File;
@@ -41,7 +44,7 @@ use std::sync::Arc;
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
 use eim::core::{EimEngine, MultiGpuEimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
-use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace};
+use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, MetricsRegistry, RunTrace};
 use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
 use eim::imm::{
     run_imm_recovering, CpuEngine, CpuParallelism, EngineError, ImmConfig, ImmEngine, ImmResult,
@@ -50,6 +53,7 @@ use eim::imm::{
 use eim::prelude::*;
 
 struct Args {
+    profile: bool,
     input: Option<String>,
     weighted: Option<String>,
     dataset: Option<String>,
@@ -70,24 +74,26 @@ struct Args {
     no_overlap: bool,
     trace: Option<String>,
     trace_event_cap: Option<usize>,
+    metrics: Option<String>,
     json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eim (--input <file> | --weighted <file> | --dataset <abbrev>) \
+        "usage: eim [profile] (--input <file> | --weighted <file> | --dataset <abbrev>) \
          [--k n] [--eps f] [--model ic|lt] \
          [--engine eim|gim|curipples|cpu|multigpu] [--devices n] \
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
          [--spread-sims n] [--inject-faults spec] \
          [--recovery abort|retry|degrade] [--max-retries n] [--no-overlap] \
-         [--trace <file>] [--trace-event-cap n] [--json]"
+         [--trace <file>] [--trace-event-cap n] [--metrics <file>] [--json]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut a = Args {
+        profile: false,
         input: None,
         weighted: None,
         dataset: None,
@@ -108,9 +114,14 @@ fn parse_args() -> Args {
         no_overlap: false,
         trace: None,
         trace_event_cap: None,
+        metrics: None,
         json: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("profile") {
+        a.profile = true;
+        it.next();
+    }
     while let Some(arg) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match arg.as_str() {
@@ -154,6 +165,7 @@ fn parse_args() -> Args {
             "--trace-event-cap" => {
                 a.trace_event_cap = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--metrics" => a.metrics = Some(val()),
             "--json" => a.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -286,6 +298,14 @@ fn main() {
         (true, Some(cap)) => RunTrace::enabled_with_event_cap(cap),
         (true, None) => RunTrace::enabled(),
     };
+    // Hardware counters ride the same recorders; a disabled trace with an
+    // attached sink still collects exact metrics (profile/metrics-only runs).
+    let registry = MetricsRegistry::new();
+    let trace = if a.profile || a.metrics.is_some() || a.json {
+        trace.with_metrics(registry.sink().with_engine(&a.engine))
+    } else {
+        trace
+    };
     let wall = std::time::Instant::now();
 
     let run_err = |e: EngineError| -> ! { report_engine_error(a.json, e) };
@@ -385,6 +405,13 @@ fn main() {
         }
     }
 
+    if let Some(path) = &a.metrics {
+        if let Err(e) = std::fs::write(path, registry.render_prometheus()) {
+            eprintln!("cannot write metrics {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if a.json {
         let out = serde_json::json!({
             "engine": a.engine,
@@ -403,8 +430,21 @@ fn main() {
             "estimated_spread": spread,
             "recovery": recovery_json(&result.recovery),
             "telemetry": trace.summary().to_json(),
+            "metrics": registry.to_json(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else if a.profile {
+        println!(
+            "graph: {} vertices, {} edges | engine: {} | model: {} | k = {}, eps = {}",
+            stats.vertices, stats.edges, a.engine, a.model, a.k, a.eps
+        );
+        print!("{}", registry.render_profile_table());
+        if let Some(path) = &a.metrics {
+            println!("metrics: {path}");
+        }
+        if let Some(path) = &a.trace {
+            println!("trace: {path}");
+        }
     } else {
         println!(
             "graph: {} vertices, {} edges | engine: {} | model: {} | k = {}, eps = {}",

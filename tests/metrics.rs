@@ -1,0 +1,256 @@
+//! Differential and determinism tests for the simulated hardware
+//! performance counters.
+//!
+//! The metrics registry aggregates per-launch counters independently of the
+//! trace recorder, so two invariants are checkable end to end:
+//!
+//! * **Reconciliation** — for every simulated GPU engine, the per-kernel
+//!   cycle totals in the metrics block must equal the sums of the trace's
+//!   kernel-span `total_cycles`, kernel by kernel (they come from the same
+//!   single `record_kernel_hw` call sites).
+//! * **Determinism** — metric dumps are byte-identical across runs, across
+//!   rayon thread counts, and with the trace recorder on or off.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use eim::core::{EimEngine, ScanStrategy};
+use eim::gpusim::{Device, DeviceSpec, MetricsRegistry, RunTrace};
+use eim::imm::{run_imm_recovering, RecoveryPolicy};
+use eim::prelude::*;
+use proptest::prelude::*;
+
+/// Runs the CLI with `--json --trace` (and extras), returning the parsed
+/// trace file and the parsed stdout.
+fn run_cli(engine: &str, extra: &[&str]) -> (serde_json::Value, serde_json::Value) {
+    let dir = std::env::temp_dir().join("eim_metrics_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{engine}{}.trace.json", extra.join("_")));
+    let out = Command::new(env!("CARGO_BIN_EXE_eim"))
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "3",
+            "--eps",
+            "0.4",
+            "--seed",
+            "11",
+            "--engine",
+            engine,
+            "--trace",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{engine}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let stdout = serde_json::from_slice(&out.stdout).expect("stdout parses as JSON");
+    (trace, stdout)
+}
+
+#[test]
+fn metrics_cycle_totals_reconcile_with_trace_spans() {
+    for (engine, extra) in [
+        ("eim", &[][..]),
+        ("gim", &[]),
+        ("curipples", &[]),
+        ("multigpu", &["--devices", "2"]),
+    ] {
+        let (trace, stdout) = run_cli(engine, extra);
+
+        // Trace side: sum kernel-span cycles per (device pid, kernel name).
+        let mut span_cycles: BTreeMap<(u64, String), u64> = BTreeMap::new();
+        for e in trace["traceEvents"].as_array().unwrap() {
+            if e["cat"] == "kernel" {
+                *span_cycles
+                    .entry((
+                        e["pid"].as_u64().unwrap(),
+                        e["name"].as_str().unwrap().to_string(),
+                    ))
+                    .or_default() += e["args"]["total_cycles"].as_u64().unwrap();
+            }
+        }
+        assert!(!span_cycles.is_empty(), "{engine}: no kernel spans");
+
+        // Metrics side: the per-kernel profiles of the --json block.
+        let mut metric_cycles: BTreeMap<(u64, String), u64> = BTreeMap::new();
+        for k in stdout["metrics"]["kernels"].as_array().unwrap() {
+            metric_cycles.insert(
+                (
+                    k["device"].as_u64().unwrap(),
+                    k["kernel"].as_str().unwrap().to_string(),
+                ),
+                k["cycles"].as_u64().unwrap(),
+            );
+        }
+        assert_eq!(
+            span_cycles, metric_cycles,
+            "{engine}: metrics and trace spans disagree on per-kernel cycles"
+        );
+    }
+}
+
+#[test]
+fn occupancy_and_divergence_are_non_trivial() {
+    let (_, stdout) = run_cli("eim", &[]);
+    let kernels = stdout["metrics"]["kernels"].as_array().unwrap();
+    // At least one kernel must report an occupancy strictly between 0 and
+    // 100% and a divergence strictly between 0 and 100% — all-zero or
+    // all-saturated counters would mean the model is wired to constants.
+    assert!(
+        kernels.iter().any(|k| {
+            let occ = k["occupancy_pct"].as_f64().unwrap();
+            occ > 0.0 && occ < 100.0
+        }),
+        "no kernel with non-trivial occupancy"
+    );
+    assert!(
+        kernels.iter().any(|k| {
+            let div = k["divergence_pct"].as_f64().unwrap();
+            div > 0.0 && div < 100.0
+        }),
+        "no kernel with non-trivial divergence"
+    );
+    assert!(
+        kernels
+            .iter()
+            .any(|k| k["global_bytes"].as_u64().unwrap() > 0),
+        "no kernel moved global memory"
+    );
+}
+
+#[test]
+fn prometheus_dump_is_byte_identical_across_runs() {
+    let dir = std::env::temp_dir().join("eim_metrics_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    for engine in ["eim", "multigpu"] {
+        let dump = |run: usize| {
+            let path = dir.join(format!("{engine}_{run}.prom"));
+            let out = Command::new(env!("CARGO_BIN_EXE_eim"))
+                .args([
+                    "--dataset",
+                    "WV",
+                    "--scale",
+                    "0.01",
+                    "--k",
+                    "3",
+                    "--eps",
+                    "0.4",
+                    "--seed",
+                    "11",
+                    "--engine",
+                    engine,
+                    "--metrics",
+                ])
+                .arg(&path)
+                .output()
+                .expect("binary runs");
+            assert!(
+                out.status.success(),
+                "{engine}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            std::fs::read(&path).expect("metrics file written")
+        };
+        let a = dump(0);
+        assert!(!a.is_empty(), "{engine}: empty metrics dump");
+        assert_eq!(a, dump(1), "{engine}: metrics dump not byte-identical");
+    }
+}
+
+#[test]
+fn prometheus_dump_has_no_nans_and_monotone_buckets() {
+    let dir = std::env::temp_dir().join("eim_metrics_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wellformed.prom");
+    let out = Command::new(env!("CARGO_BIN_EXE_eim"))
+        .args([
+            "--dataset",
+            "WV",
+            "--scale",
+            "0.01",
+            "--k",
+            "3",
+            "--seed",
+            "11",
+            "--metrics",
+        ])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("name value");
+        assert!(
+            value.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false),
+            "non-finite sample: {line}"
+        );
+        if let Some(prefix) = series.find("le=").map(|i| series[..i].to_string()) {
+            let v: u64 = value.parse().expect("bucket counts are integers");
+            if let Some((ref p, prev)) = last_bucket {
+                if *p == prefix {
+                    assert!(prev <= v, "non-monotone buckets: {line}");
+                }
+            }
+            last_bucket = Some((prefix, v));
+        } else {
+            last_bucket = None;
+        }
+    }
+}
+
+/// Runs the eIM engine on a generated graph inside a rayon pool of
+/// `threads`, with a disabled trace and an attached metrics sink, and
+/// returns the Prometheus dump.
+fn run_engine_metrics(seed: u64, threads: usize) -> String {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let graph =
+            eim::graph::generators::barabasi_albert(400, 3, WeightModel::WeightedCascade, seed);
+        let config = ImmConfig::paper_default()
+            .with_k(4)
+            .with_epsilon(0.4)
+            .with_seed(seed);
+        let registry = MetricsRegistry::new();
+        let trace = RunTrace::disabled().with_metrics(registry.sink().with_engine("eim"));
+        let device = Device::with_run_trace(DeviceSpec::test_small(), trace.clone());
+        let mut engine =
+            EimEngine::new(&graph, config, device, ScanStrategy::ThreadPerSet).expect("fits");
+        run_imm_recovering(&mut engine, &config, &RecoveryPolicy::abort(), &trace).expect("runs");
+        registry.render_prometheus()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The metric dump is a pure function of the seed: invariant under the
+    /// rayon thread count (chunk merging is associative, counter updates
+    /// commutative) and under replay.
+    #[test]
+    fn metrics_invariant_under_thread_count_and_replay(seed in 0u64..1024) {
+        let single = run_engine_metrics(seed, 1);
+        prop_assert!(!single.is_empty());
+        let parallel = run_engine_metrics(seed, 4);
+        prop_assert_eq!(&single, &parallel, "thread count changed the dump");
+        let replay = run_engine_metrics(seed, 4);
+        prop_assert_eq!(&parallel, &replay, "replay changed the dump");
+    }
+}
