@@ -13,6 +13,11 @@
 //!                      are identical, only simulated time differs
 //!   --metrics <file>   write the simulated hardware counters of the
 //!                      benchmarked device work in Prometheus text format
+//!   --digest <file>    write a deterministic JSON digest of every bench's
+//!                      *outputs* (RRR-set/coverage hashes, counters, cycle
+//!                      totals, selected seeds) with no wall times — two
+//!                      runs at the same seed must produce byte-identical
+//!                      digests, which CI checks with `cmp`
 //! ```
 //!
 //! Measures the three host wall-clock hot paths on fixed seeds: RRR-set
@@ -20,10 +25,11 @@
 //! end-to-end `run_imm`. Simulated cycle counts are byte-stable and covered
 //! by the test suite; this harness tracks the *real* time the reproduction
 //! takes, so performance wins are provable and regressions visible. The
-//! checked-in `BENCH_pr3.json` at the repo root is this tool's output with
-//! `--baseline` pointing at a pre-optimization capture; CI's `perf-smoke`
-//! job reruns `--smoke` and fails on a >2x regression versus
-//! `BENCH_smoke_baseline.json`.
+//! checked-in `BENCH_pr3.json` / `BENCH_pr6.json` at the repo root are this
+//! tool's output with `--baseline` pointing at a pre-optimization capture;
+//! CI's `perf-smoke` job reruns `--smoke` and fails on a >2x regression
+//! versus `BENCH_smoke_baseline.json` (>1.5x for the sampler, the fused
+//! critical path), and `cmp`s the `--digest` output of two runs.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -46,6 +52,7 @@ struct Args {
     seed: u64,
     no_overlap: bool,
     metrics: Option<PathBuf>,
+    digest: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +63,7 @@ fn parse_args() -> Args {
         seed: 190,
         no_overlap: false,
         metrics: None,
+        digest: None,
     };
     let mut it = std::env::args().skip(1);
     let Some(cmd) = it.next() else {
@@ -80,6 +88,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
             "--no-overlap" => args.no_overlap = true,
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--digest" => args.digest = Some(PathBuf::from(value("--digest"))),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option {other}");
@@ -93,7 +102,7 @@ fn parse_args() -> Args {
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
-         [--metrics FILE]"
+         [--metrics FILE] [--digest FILE]"
     );
     std::process::exit(code);
 }
@@ -156,6 +165,27 @@ impl Workload {
     }
 }
 
+/// FNV-1a 64-bit — a tiny dependency-free hash for the `--digest` output.
+/// Not cryptographic; it only needs to make accidental output divergence
+/// between two runs overwhelmingly visible.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+    fn u32(&mut self, v: u32) {
+        v.to_le_bytes().into_iter().for_each(|b| self.byte(b));
+    }
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
 /// Best-of-`reps` wall time of `f`, in milliseconds.
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -191,7 +221,13 @@ fn bench_entry(wall_ms: f64, detail: &[(&str, Value)]) -> Value {
     Value::Object(m)
 }
 
-fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) -> Map {
+fn run_benches(
+    w: &Workload,
+    seed: u64,
+    overlap: bool,
+    metrics: &MetricsSink,
+    digests: &mut Map,
+) -> Map {
     let mut benches = Map::new();
     // Metrics-only telemetry: the trace recorder stays disabled (no event
     // buffering on the hot paths), but an attached sink still collects the
@@ -212,6 +248,7 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) ->
     let dg = PlainDeviceGraph::new(&g);
     let device = make_device(DeviceSpec::rtx_a6000());
     let mut sampled_sets = 0usize;
+    let mut last_batch = None;
     let smp_ms = time_ms(w.reps, || {
         let batch = sample_batch(
             &device,
@@ -225,7 +262,50 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) ->
         .expect("no fault plan");
         sampled_sets = batch.counters.sampled;
         std::hint::black_box(&batch.stats);
+        last_batch = Some(batch);
     });
+    let batch = last_batch.expect("reps >= 1");
+    let mut sets_hash = Fnv::new();
+    for slot in batch.sets.iter() {
+        match slot {
+            Some(set) => {
+                sets_hash.byte(1);
+                set.iter().for_each(|&v| sets_hash.u32(v));
+            }
+            None => sets_hash.byte(0),
+        }
+    }
+    let mut cov_hash = Fnv::new();
+    batch.coverage.iter().for_each(|&c| cov_hash.u32(c));
+    let mut smp_digest = Map::new();
+    smp_digest.insert("sets_fnv64".to_string(), Value::from(sets_hash.hex()));
+    smp_digest.insert("coverage_fnv64".to_string(), Value::from(cov_hash.hex()));
+    smp_digest.insert(
+        "sampled".to_string(),
+        Value::from(batch.counters.sampled as u64),
+    );
+    smp_digest.insert(
+        "singletons".to_string(),
+        Value::from(batch.counters.singletons as u64),
+    );
+    smp_digest.insert(
+        "discarded".to_string(),
+        Value::from(batch.counters.discarded as u64),
+    );
+    smp_digest.insert(
+        "total_cycles".to_string(),
+        Value::from(batch.stats.total_cycles),
+    );
+    smp_digest.insert(
+        "max_block_cycles".to_string(),
+        Value::from(batch.stats.max_block_cycles),
+    );
+    smp_digest.insert(
+        "num_blocks".to_string(),
+        Value::from(batch.stats.num_blocks as u64),
+    );
+    digests.insert("sampler".to_string(), Value::Object(smp_digest));
+    drop(batch);
     benches.insert(
         "sampler".to_string(),
         bench_entry(
@@ -242,11 +322,20 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) ->
     // Selection at reproduce-scale set counts.
     let store = random_store(w.sel_n, w.sel_sets, seed ^ 0x5e1ec7);
     let mut covered = 0usize;
+    let mut sel_seeds = Vec::new();
     let sel_ms = time_ms(w.reps, || {
         let sel = select_seeds(&store, w.sel_k);
         covered = sel.covered_sets;
         std::hint::black_box(&sel);
+        sel_seeds = sel.seeds;
     });
+    let mut sel_digest = Map::new();
+    sel_digest.insert(
+        "seeds".to_string(),
+        Value::from(sel_seeds.iter().map(|&v| v as u64).collect::<Vec<_>>()),
+    );
+    sel_digest.insert("covered_sets".to_string(), Value::from(covered as u64));
+    digests.insert("selection".to_string(), Value::Object(sel_digest));
     benches.insert(
         "selection".to_string(),
         bench_entry(
@@ -303,6 +392,7 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) ->
         .with_epsilon(w.e2e_eps)
         .with_seed(seed);
     let mut num_sets = 0usize;
+    let mut e2e_seeds = Vec::new();
     let e2e_ms = time_ms(w.reps, || {
         let device = make_device(DeviceSpec::rtx_a6000_with_mem(512 << 20));
         let mut engine =
@@ -310,7 +400,15 @@ fn run_benches(w: &Workload, seed: u64, overlap: bool, metrics: &MetricsSink) ->
         let r = run_imm(&mut engine, &cfg).expect("no faults scheduled");
         num_sets = r.num_sets;
         std::hint::black_box(&r.seeds);
+        e2e_seeds = r.seeds;
     });
+    let mut e2e_digest = Map::new();
+    e2e_digest.insert(
+        "seeds".to_string(),
+        Value::from(e2e_seeds.iter().map(|&v| v as u64).collect::<Vec<_>>()),
+    );
+    e2e_digest.insert("rrr_sets".to_string(), Value::from(num_sets as u64));
+    digests.insert("end_to_end".to_string(), Value::Object(e2e_digest));
     benches.insert(
         "end_to_end".to_string(),
         bench_entry(
@@ -342,7 +440,8 @@ fn main() {
     } else {
         MetricsSink::disabled()
     };
-    let benches = run_benches(&w, args.seed, !args.no_overlap, &sink);
+    let mut digests = Map::new();
+    let benches = run_benches(&w, args.seed, !args.no_overlap, &sink, &mut digests);
 
     let mut root = Map::new();
     root.insert(
@@ -389,6 +488,31 @@ fn main() {
             }
         }
         std::fs::write(path, registry.render_prometheus()).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &args.digest {
+        // Deterministic by construction: only simulated quantities and
+        // output hashes, no wall times. Two runs at the same seed must
+        // write byte-identical files (CI compares them with `cmp`).
+        let mut d = Map::new();
+        d.insert(
+            "schema".to_string(),
+            Value::from("eim-bench-digest-v1".to_string()),
+        );
+        d.insert(
+            "mode".to_string(),
+            Value::from(if args.smoke { "smoke" } else { "full" }),
+        );
+        d.insert("seed".to_string(), Value::from(args.seed));
+        d.insert("digests".to_string(), Value::Object(digests));
+        let text = serde_json::to_string_pretty(&Value::Object(d)).expect("serialize");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        std::fs::write(path, text).expect("write digest");
         println!("wrote {}", path.display());
     }
 

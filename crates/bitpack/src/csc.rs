@@ -112,6 +112,22 @@ impl PackedCsc {
         }
     }
 
+    /// Appends the neighbor stream's elements `start..end` (a row from
+    /// [`PackedCsc::row_bounds`]) to `out`, decoded sequentially.
+    pub fn decode_neighbors_into(&self, start: usize, end: usize, out: &mut Vec<VertexId>) {
+        self.neighbors.extend_decode_u32(start, end, out);
+    }
+
+    /// The raw weight slice of neighbor-stream range `start..end` when
+    /// weights are stored plain; `None` when they derive from the row
+    /// length (`p = 1 / d`).
+    pub fn plain_weights(&self, start: usize, end: usize) -> Option<&[Weight]> {
+        match &self.weights {
+            WeightStorage::Plain(w) => Some(&w[start..end]),
+            WeightStorage::Derived => None,
+        }
+    }
+
     /// Decodes a full in-neighbor row.
     pub fn in_neighbors(&self, v: VertexId) -> Vec<VertexId> {
         let (start, end) = self.row_bounds(v);

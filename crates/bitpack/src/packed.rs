@@ -119,6 +119,32 @@ impl PackedArray {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Appends elements `start..end`, decoded as `u32`, to `out`.
+    ///
+    /// Sequential decode with a rolling bit cursor — the traversal hot loop
+    /// reads whole CSC rows, and amortizing the index arithmetic across the
+    /// row is markedly cheaper than a [`PackedArray::get`] per element.
+    /// Values wider than 32 bits are truncated; callers pack vertex ids.
+    pub fn extend_decode_u32(&self, start: usize, end: usize, out: &mut Vec<u32>) {
+        debug_assert!(start <= end && end <= self.len);
+        let nbits = self.nbits as usize;
+        let m = mask(self.nbits);
+        let mut bit = start * nbits;
+        out.reserve(end - start);
+        for _ in start..end {
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            let lo = self.words[word] >> off;
+            let v = if off + self.nbits > 64 {
+                lo | (self.words[word + 1] << (64 - off))
+            } else {
+                lo
+            };
+            out.push((v & m) as u32);
+            bit += nbits;
+        }
+    }
+
     /// Decodes the whole array into a fresh `Vec`.
     pub fn decode(&self) -> Vec<u64> {
         self.iter().collect()
@@ -239,6 +265,23 @@ mod tests {
             for (i, v) in a.iter().enumerate() {
                 prop_assert_eq!(a.get(i), v);
             }
+        }
+
+        #[test]
+        fn range_decode_matches_per_index_gets(
+            vals in prop::collection::vec(any::<u32>(), 1..200),
+            cut_a in any::<usize>(),
+            cut_b in any::<usize>(),
+        ) {
+            let a = PackedArray::from_u32s(&vals);
+            let mut bounds = [cut_a % (vals.len() + 1), cut_b % (vals.len() + 1)];
+            bounds.sort_unstable();
+            let [start, end] = bounds;
+            let mut out = vec![7u32; 3]; // pre-existing contents must survive
+            a.extend_decode_u32(start, end, &mut out);
+            prop_assert_eq!(&out[..3], &[7u32; 3]);
+            let decoded: Vec<u32> = (start..end).map(|i| a.get(i) as u32).collect();
+            prop_assert_eq!(&out[3..], &decoded[..]);
         }
     }
 }

@@ -3,6 +3,30 @@
 use eim_bitpack::PackedCsc;
 use eim_graph::{Graph, VertexId, Weight};
 
+/// Integer acceptance threshold of an IC edge weight `p`: a uniform draw
+/// `u: u32` activates the edge iff `(u >> 8) <= weight_threshold(p)`.
+///
+/// This is *exactly* the float comparison `r <= p` with
+/// `r = (u >> 8) as f32 * 2^-24` (the vendored `Standard` f32 draw): the
+/// 24-bit mantissa `m = u >> 8` scales to f32 losslessly, and
+/// `p * 2^24` is exact in f64, so `m * 2^-24 <= p  <=>  m <= floor(p * 2^24)`.
+/// Precomputing the threshold lets the kernel compare raw keystream words
+/// against the CSC weights with no float conversion per edge.
+#[inline]
+pub fn weight_threshold(p: f32) -> u32 {
+    ((p as f64 * 16_777_216.0).floor() as u64).min(u32::MAX as u64) as u32
+}
+
+/// Reusable decode buffer for [`DeviceGraph::in_edges`] on representations
+/// that cannot hand out slices directly (the log-encoded CSC decodes through
+/// it). Lives in the sampler's per-worker launch scratch so no allocation
+/// happens mid-traversal.
+#[derive(Default)]
+pub struct EdgeScratch {
+    nbrs: Vec<VertexId>,
+    thresholds: Vec<u32>,
+}
+
 /// What a sampling kernel needs from the device-resident network data,
 /// independent of whether it is log-encoded.
 pub trait DeviceGraph: Sync {
@@ -16,17 +40,65 @@ pub trait DeviceGraph: Sync {
     fn in_weight(&self, v: VertexId, i: usize) -> Weight;
     /// Bytes this representation occupies on the device.
     fn device_bytes(&self) -> usize;
+
+    /// `v`'s full in-neighbor list alongside the integer acceptance
+    /// thresholds of its edge weights ([`weight_threshold`]) — the chunked
+    /// CSC view the fused sampler scans. The default decodes edge by edge
+    /// into `scratch`; representations with contiguous storage override it
+    /// to return their own slices zero-copy.
+    fn in_edges<'a>(
+        &'a self,
+        v: VertexId,
+        scratch: &'a mut EdgeScratch,
+    ) -> (&'a [VertexId], &'a [u32]) {
+        let d = self.in_degree(v);
+        scratch.nbrs.clear();
+        scratch.thresholds.clear();
+        scratch.nbrs.reserve(d);
+        scratch.thresholds.reserve(d);
+        for i in 0..d {
+            scratch.nbrs.push(self.in_neighbor(v, i));
+            scratch
+                .thresholds
+                .push(weight_threshold(self.in_weight(v, i)));
+        }
+        (&scratch.nbrs, &scratch.thresholds)
+    }
 }
 
 /// Plain (uncompressed) CSC view — what gIM keeps on the device.
+///
+/// Construction precomputes the flat per-edge threshold array mirroring the
+/// CSC weight array, so [`DeviceGraph::in_edges`] is zero-copy; engines
+/// build the view once per run, amortizing the `O(m)` pass.
 pub struct PlainDeviceGraph<'g> {
     graph: &'g Graph,
+    /// Exclusive prefix of in-degrees: edge range of `v` in `thresholds`.
+    edge_starts: Vec<usize>,
+    /// Per-edge acceptance thresholds in CSC order ([`weight_threshold`]).
+    thresholds: Vec<u32>,
 }
 
 impl<'g> PlainDeviceGraph<'g> {
-    /// Wraps a graph.
+    /// Wraps a graph, precomputing the edge threshold array.
     pub fn new(graph: &'g Graph) -> Self {
-        Self { graph }
+        let n = graph.num_vertices();
+        let mut edge_starts = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        edge_starts.push(0);
+        for v in 0..n as VertexId {
+            acc += graph.in_degree(v);
+            edge_starts.push(acc);
+        }
+        let mut thresholds = Vec::with_capacity(acc);
+        for v in 0..n as VertexId {
+            thresholds.extend(graph.in_weights(v).iter().map(|&p| weight_threshold(p)));
+        }
+        Self {
+            graph,
+            edge_starts,
+            thresholds,
+        }
     }
 }
 
@@ -44,7 +116,20 @@ impl DeviceGraph for PlainDeviceGraph<'_> {
         self.graph.in_weights(v)[i]
     }
     fn device_bytes(&self) -> usize {
+        // Thresholds re-encode the weight array (same 4 bytes per edge on
+        // device), so the footprint matches the plain CSC layout.
         self.graph.csc_bytes()
+    }
+    fn in_edges<'a>(
+        &'a self,
+        v: VertexId,
+        _scratch: &'a mut EdgeScratch,
+    ) -> (&'a [VertexId], &'a [u32]) {
+        let (s, e) = (
+            self.edge_starts[v as usize],
+            self.edge_starts[v as usize + 1],
+        );
+        (self.graph.in_neighbors(v), &self.thresholds[s..e])
     }
 }
 
@@ -63,6 +148,31 @@ impl DeviceGraph for PackedCsc {
     }
     fn device_bytes(&self) -> usize {
         self.bytes()
+    }
+    fn in_edges<'a>(
+        &'a self,
+        v: VertexId,
+        scratch: &'a mut EdgeScratch,
+    ) -> (&'a [VertexId], &'a [u32]) {
+        // One offset decode per row plus a rolling sequential neighbor
+        // decode, instead of the default's per-edge accessors (each of
+        // which re-derives the row bounds from the packed offsets).
+        let (start, end) = self.row_bounds(v);
+        scratch.nbrs.clear();
+        scratch.thresholds.clear();
+        self.decode_neighbors_into(start, end, &mut scratch.nbrs);
+        match self.plain_weights(start, end) {
+            Some(ws) => scratch
+                .thresholds
+                .extend(ws.iter().map(|&p| weight_threshold(p))),
+            None => {
+                // Derived weights are constant across the row.
+                let d = end - start;
+                let t = weight_threshold(if d == 0 { 0.0 } else { 1.0 / d as Weight });
+                scratch.thresholds.resize(d, t);
+            }
+        }
+        (&scratch.nbrs, &scratch.thresholds)
     }
 }
 
@@ -94,5 +204,56 @@ mod tests {
             }
         }
         assert!(packed.device_bytes() < plain.device_bytes());
+    }
+
+    #[test]
+    fn in_edges_zero_copy_and_scratch_paths_agree() {
+        let g = generators::rmat(
+            300,
+            1_500,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            9,
+        );
+        let plain = PlainDeviceGraph::new(&g);
+        let packed = PackedCsc::from_graph(&g);
+        let derived = PackedCsc::from_graph_derived(&g);
+        let mut s1 = EdgeScratch::default();
+        let mut s2 = EdgeScratch::default();
+        let mut s3 = EdgeScratch::default();
+        for v in 0..300u32 {
+            let (pn, pt) = plain.in_edges(v, &mut s1);
+            let (kn, kt) = packed.in_edges(v, &mut s2);
+            assert_eq!(pn, kn);
+            assert_eq!(pt, kt);
+            assert_eq!(pn.len(), plain.in_degree(v));
+            for (i, &t) in pt.iter().enumerate() {
+                assert_eq!(t, weight_threshold(plain.in_weight(v, i)));
+            }
+            // Derived weights (weighted cascade): same neighbors, and each
+            // threshold encodes 1/d exactly as the per-edge accessor does.
+            let (dn, dt) = derived.in_edges(v, &mut s3);
+            assert_eq!(pn, dn);
+            for (i, &t) in dt.iter().enumerate() {
+                assert_eq!(t, weight_threshold(DeviceGraph::in_weight(&derived, v, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_threshold_matches_float_compare_exactly() {
+        // The acceptance decision must be bit-identical to the reference
+        // float comparison for every 24-bit mantissa.
+        for p in [0.0f32, 1e-9, 0.01, 0.25, 1.0 / 3.0, 0.5, 0.999, 1.0] {
+            let t = weight_threshold(p);
+            for m in (0u32..1 << 24).step_by(3_191).chain([
+                t.saturating_sub(1),
+                t,
+                t.saturating_add(1).min((1 << 24) - 1),
+            ]) {
+                let r = m as f32 * (1.0 / (1u32 << 24) as f32);
+                assert_eq!(r <= p, m <= t, "p={p} m={m}");
+            }
+        }
     }
 }

@@ -282,9 +282,12 @@ impl ImmEngine for EimEngine<'_> {
         self.counters.sampled += batch.counters.sampled;
         self.counters.singletons += batch.counters.singletons;
         self.counters.discarded += batch.counters.discarded;
-        for set in batch.sets.iter().flatten() {
-            self.store.append_set(set);
-        }
+        // Bulk-ingest the batch: the arena is already in append order and
+        // the sampler aggregated the C deltas in flight, so the store grows
+        // without re-walking any set.
+        let lens: Vec<usize> = batch.sets.kept_lens().collect();
+        self.store
+            .append_batch(batch.sets.arena(), &lens, &batch.coverage);
         self.ensure_store_capacity()?;
         Ok(())
     }

@@ -234,8 +234,8 @@ impl<'g> MultiGpuEimEngine<'g> {
             self.counters.sampled += batch.counters.sampled;
             self.counters.singletons += batch.counters.singletons;
             self.counters.discarded += batch.counters.discarded;
-            for set in batch.sets.iter().flatten() {
-                self.partition_bytes[j] += set.len() * 4 + 8;
+            for len in batch.sets.kept_lens() {
+                self.partition_bytes[j] += len * 4 + 8;
             }
             // Non-primary devices stage this round's partition to device 0
             // on their own DMA engine, double-buffered against the sampling
@@ -259,7 +259,7 @@ impl<'g> MultiGpuEimEngine<'g> {
             if let Some(ev) = staging {
                 self.streams[j].wait_event(dev, &ev);
             }
-            batches.push(batch.sets);
+            batches.push((batch.sets, batch.coverage));
             base += share as u64;
         }
         self.next_index = target as u64;
@@ -275,11 +275,11 @@ impl<'g> MultiGpuEimEngine<'g> {
         }
         // Devices own contiguous ascending index ranges and each batch is
         // already in sample-index order, so appending batch-by-batch IS the
-        // global-index merge order — no sort, no per-set reallocation.
-        for sets in &batches {
-            for set in sets.iter().flatten() {
-                self.store.append_set(set);
-            }
+        // global-index merge order — no sort, no per-set reallocation. Each
+        // batch lands in bulk with its in-flight coverage histogram.
+        for (sets, coverage) in &batches {
+            let lens: Vec<usize> = sets.kept_lens().collect();
+            self.store.append_batch(sets.arena(), &lens, coverage);
         }
         Ok(())
     }

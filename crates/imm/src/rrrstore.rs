@@ -73,6 +73,27 @@ pub trait RrrStoreBuilder: RrrSets {
     /// # Panics
     /// Panics (debug) if the set is unsorted or references `v >= n`.
     fn append_set(&mut self, set: &[VertexId]);
+
+    /// Appends a whole sampling batch at once: `elements` is every kept
+    /// set's members concatenated in append order, `lens` the per-set
+    /// lengths partitioning it, and `coverage` the batch's per-vertex
+    /// occurrence histogram (the sampler's in-flight `C` aggregation). `R`
+    /// and `O` grow in bulk and `C` absorbs `coverage` with one
+    /// vectorizable add per vertex instead of a scattered increment per
+    /// element.
+    ///
+    /// # Panics
+    /// Panics (debug) if any set is unsorted/out-of-range, if `lens` does
+    /// not partition `elements`, or if `coverage` disagrees with the
+    /// element multiset.
+    fn append_batch(&mut self, elements: &[VertexId], lens: &[usize], coverage: &[u32]) {
+        validate_batch(elements, lens, coverage, self.num_vertices());
+        let mut cursor = 0usize;
+        for &len in lens {
+            self.append_set(&elements[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
 }
 
 fn validate_set(set: &[VertexId], n: usize) {
@@ -84,6 +105,32 @@ fn validate_set(set: &[VertexId], n: usize) {
         set.last().is_none_or(|&v| (v as usize) < n),
         "set member out of range"
     );
+}
+
+#[allow(unused_variables)]
+fn validate_batch(elements: &[VertexId], lens: &[usize], coverage: &[u32], n: usize) {
+    debug_assert_eq!(
+        lens.iter().sum::<usize>(),
+        elements.len(),
+        "lens must partition the element arena"
+    );
+    debug_assert_eq!(coverage.len(), n, "coverage must cover every vertex");
+    #[cfg(debug_assertions)]
+    {
+        let mut cursor = 0usize;
+        for &len in lens {
+            validate_set(&elements[cursor..cursor + len], n);
+            cursor += len;
+        }
+        let mut recount = vec![0u32; n];
+        for &v in elements {
+            recount[v as usize] += 1;
+        }
+        debug_assert_eq!(
+            recount, coverage,
+            "coverage histogram must match the element multiset"
+        );
+    }
 }
 
 /// Uncompressed store: `u32` elements, `u64` offsets.
@@ -138,6 +185,20 @@ impl RrrStoreBuilder for PlainRrrStore {
         self.offsets.push(self.r.len() as u64);
         for &v in set {
             self.counts[v as usize] += 1;
+        }
+    }
+
+    fn append_batch(&mut self, elements: &[VertexId], lens: &[usize], coverage: &[u32]) {
+        validate_batch(elements, lens, coverage, self.n);
+        self.r.extend_from_slice(elements);
+        self.offsets.reserve(lens.len());
+        let mut acc = self.r.len() as u64 - elements.len() as u64;
+        for &len in lens {
+            acc += len as u64;
+            self.offsets.push(acc);
+        }
+        for (c, &h) in self.counts.iter_mut().zip(coverage) {
+            *c += h;
         }
     }
 }
@@ -209,6 +270,22 @@ impl RrrStoreBuilder for PackedRrrStore {
         }
         self.offsets.push(self.r.len() as u64);
     }
+
+    fn append_batch(&mut self, elements: &[VertexId], lens: &[usize], coverage: &[u32]) {
+        validate_batch(elements, lens, coverage, self.n);
+        for &v in elements {
+            self.r.push(v as u64);
+        }
+        self.offsets.reserve(lens.len());
+        let mut acc = self.r.len() as u64 - elements.len() as u64;
+        for &len in lens {
+            acc += len as u64;
+            self.offsets.push(acc);
+        }
+        for (c, &h) in self.counts.iter_mut().zip(coverage) {
+            *c += h;
+        }
+    }
 }
 
 /// Runtime-selected store backend, so engines can switch between plain and
@@ -268,6 +345,13 @@ impl RrrStoreBuilder for AnyRrrStore {
         match self {
             AnyRrrStore::Plain(s) => s.append_set(set),
             AnyRrrStore::Packed(s) => s.append_set(set),
+        }
+    }
+
+    fn append_batch(&mut self, elements: &[VertexId], lens: &[usize], coverage: &[u32]) {
+        match self {
+            AnyRrrStore::Plain(s) => s.append_batch(elements, lens, coverage),
+            AnyRrrStore::Packed(s) => s.append_batch(elements, lens, coverage),
         }
     }
 }
@@ -390,6 +474,107 @@ mod tests {
         check_common(&packed);
         assert!(matches!(plain, AnyRrrStore::Plain(_)));
         assert!(matches!(packed, AnyRrrStore::Packed(_)));
+    }
+
+    #[test]
+    fn append_batch_matches_per_set_appends() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let n = 500;
+        // Build a batch arena the way the sampler lays it out.
+        let mut elements: Vec<u32> = Vec::new();
+        let mut lens: Vec<usize> = Vec::new();
+        let mut coverage = vec![0u32; n];
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..80 {
+            let len = rng.gen_range(1..12);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            set.sort_unstable();
+            set.dedup();
+            elements.extend_from_slice(&set);
+            lens.push(set.len());
+            for &v in &set {
+                coverage[v as usize] += 1;
+            }
+            sets.push(set);
+        }
+        for packed in [false, true] {
+            let mut bulk = AnyRrrStore::new(n, packed);
+            // Two batches back to back: offsets must chain correctly.
+            let split = elements.len() / 2;
+            let mut split_sets = 0usize;
+            let mut acc = 0usize;
+            for &l in &lens {
+                if acc + l > split {
+                    break;
+                }
+                acc += l;
+                split_sets += 1;
+            }
+            let mut cov_a = vec![0u32; n];
+            for &v in &elements[..acc] {
+                cov_a[v as usize] += 1;
+            }
+            let cov_b: Vec<u32> = coverage.iter().zip(&cov_a).map(|(&t, &a)| t - a).collect();
+            bulk.append_batch(&elements[..acc], &lens[..split_sets], &cov_a);
+            bulk.append_batch(&elements[acc..], &lens[split_sets..], &cov_b);
+            let mut incremental = AnyRrrStore::new(n, packed);
+            for set in &sets {
+                incremental.append_set(set);
+            }
+            assert_eq!(bulk.num_sets(), incremental.num_sets());
+            assert_eq!(bulk.total_elements(), incremental.total_elements());
+            assert_eq!(bulk.counts(), incremental.counts());
+            for i in 0..bulk.num_sets() {
+                assert_eq!(bulk.set_members(i), incremental.set_members(i));
+                assert_eq!(bulk.set_bounds(i), incremental.set_bounds(i));
+            }
+        }
+    }
+
+    #[test]
+    fn append_batch_default_impl_falls_back_to_append_set() {
+        // A builder that only implements append_set still ingests batches.
+        struct Fallback(PlainRrrStore);
+        impl RrrSets for Fallback {
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn num_sets(&self) -> usize {
+                self.0.num_sets()
+            }
+            fn total_elements(&self) -> usize {
+                self.0.total_elements()
+            }
+            fn set_bounds(&self, i: usize) -> (usize, usize) {
+                self.0.set_bounds(i)
+            }
+            fn element(&self, idx: usize) -> VertexId {
+                self.0.element(idx)
+            }
+            fn counts(&self) -> &[u32] {
+                self.0.counts()
+            }
+            fn bytes(&self) -> usize {
+                self.0.bytes()
+            }
+        }
+        impl RrrStoreBuilder for Fallback {
+            fn append_set(&mut self, set: &[VertexId]) {
+                self.0.append_set(set);
+            }
+        }
+        let mut fb = Fallback(PlainRrrStore::new(6));
+        let elements = [1u32, 3, 5, 0, 2, 3, 4, 5];
+        let lens = [3usize, 1, 4];
+        let mut coverage = vec![0u32; 6];
+        for &v in &elements {
+            coverage[v as usize] += 1;
+        }
+        fb.append_batch(&elements, &lens, &coverage);
+        assert_eq!(fb.num_sets(), 3);
+        assert_eq!(fb.set_members(2), vec![2, 3, 4, 5]);
+        assert_eq!(fb.counts()[5], 2);
     }
 
     #[test]
