@@ -1,4 +1,5 @@
-//! `eim-bench` — host wall-clock performance benchmarks with JSON output.
+//! `eim-bench` — host wall-clock performance benchmarks with JSON output,
+//! plus a randomized fault-injection soak harness.
 //!
 //! ```text
 //! eim-bench perf [OPTIONS]
@@ -18,29 +19,47 @@
 //!                      totals, selected seeds) with no wall times — two
 //!                      runs at the same seed must produce byte-identical
 //!                      digests, which CI checks with `cmp`
+//!
+//! eim-bench chaos [OPTIONS]
+//!
+//! Options:
+//!   --plans <n>        randomized fault plans to soak (default 12)
+//!   --seed <n>         base RNG seed for plan generation (default 190)
+//!   --devices <n>      simulated devices per run (default 4)
+//!   --json <file>      write the soak summary as JSON
 //! ```
 //!
-//! Measures the three host wall-clock hot paths on fixed seeds: RRR-set
-//! sampling (`sample_batch`), greedy seed selection (`select_seeds`), and an
-//! end-to-end `run_imm`. Simulated cycle counts are byte-stable and covered
-//! by the test suite; this harness tracks the *real* time the reproduction
-//! takes, so performance wins are provable and regressions visible. The
-//! checked-in `BENCH_pr3.json` / `BENCH_pr6.json` at the repo root are this
-//! tool's output with `--baseline` pointing at a pre-optimization capture;
-//! CI's `perf-smoke` job reruns `--smoke` and fails on a >2x regression
-//! versus `BENCH_smoke_baseline.json` (>1.5x for the sampler, the fused
-//! critical path), and `cmp`s the `--digest` output of two runs.
+//! `perf` measures the three host wall-clock hot paths on fixed seeds:
+//! RRR-set sampling (`sample_batch`), greedy seed selection
+//! (`select_seeds`), and an end-to-end `run_imm`. Simulated cycle counts
+//! are byte-stable and covered by the test suite; this harness tracks the
+//! *real* time the reproduction takes, so performance wins are provable and
+//! regressions visible. The checked-in `BENCH_pr3.json` / `BENCH_pr6.json`
+//! at the repo root are this tool's output with `--baseline` pointing at a
+//! pre-optimization capture; CI's `perf-smoke` job reruns `--smoke` and
+//! fails on a >2x regression versus `BENCH_smoke_baseline.json` (>1.5x for
+//! the sampler, the fused critical path), and `cmp`s the `--digest` output
+//! of two runs.
+//!
+//! `chaos` generates N deterministic fault plans mixing every injection
+//! class (kernel, transfer, device_fail, link_flap, straggler, pressure),
+//! runs each against the multi-GPU engine under the retry/evict recovery
+//! policy, and asserts the survivors return the clean run's seed set byte
+//! for byte with bounded simulated-time overhead. Runs that lose every
+//! device must fail with the typed exhaustion error — anything else is a
+//! soak failure and a nonzero exit.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use eim_core::sampler::sample_batch;
-use eim_core::{EimEngine, PlainDeviceGraph, ScanStrategy};
+use eim_core::{EimEngine, MultiGpuEimEngine, PlainDeviceGraph, ScanStrategy};
 use eim_diffusion::DiffusionModel;
-use eim_gpusim::{Device, DeviceSpec, MetricsRegistry, MetricsSink, RunTrace};
+use eim_gpusim::{Device, DeviceSpec, FaultSpec, MetricsRegistry, MetricsSink, RunTrace};
 use eim_graph::{generators, WeightModel};
 use eim_imm::{
-    run_imm, select_seeds, select_seeds_reference, ImmConfig, PlainRrrStore, RrrStoreBuilder,
+    run_imm, run_imm_recovering, select_seeds, select_seeds_reference, EngineError, ImmConfig,
+    ImmEngine as _, PlainRrrStore, RecoveryPolicy, RrrStoreBuilder,
 };
 use rand::{Rng, SeedableRng};
 use serde_json::{Map, Value};
@@ -65,17 +84,7 @@ fn parse_args() -> Args {
         metrics: None,
         digest: None,
     };
-    let mut it = std::env::args().skip(1);
-    let Some(cmd) = it.next() else {
-        usage_and_exit(1);
-    };
-    if cmd == "--help" || cmd == "-h" {
-        usage_and_exit(0);
-    }
-    if cmd != "perf" {
-        eprintln!("unknown subcommand {cmd:?}");
-        usage_and_exit(1);
-    }
+    let mut it = std::env::args().skip(2);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -101,10 +110,47 @@ fn parse_args() -> Args {
 
 fn usage_and_exit(code: i32) -> ! {
     println!(
-        "eim-bench perf [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
-         [--metrics FILE] [--digest FILE]"
+        "eim-bench perf  [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
+         [--metrics FILE] [--digest FILE]\n\
+         eim-bench chaos [--plans N] [--seed N] [--devices N] [--json FILE]"
     );
     std::process::exit(code);
+}
+
+struct ChaosArgs {
+    plans: u64,
+    seed: u64,
+    devices: usize,
+    json: Option<PathBuf>,
+}
+
+fn parse_chaos_args() -> ChaosArgs {
+    let mut args = ChaosArgs {
+        plans: 12,
+        seed: 190,
+        devices: 4,
+        json: None,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--plans" => args.plans = value("--plans").parse().expect("plans"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--devices" => args.devices = value("--devices").parse().expect("devices"),
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown option {other}");
+                usage_and_exit(1);
+            }
+        }
+    }
+    assert!(args.devices >= 1, "--devices must be at least 1");
+    args
 }
 
 /// Workload sizes for one mode. Full mode mirrors the set counts a default
@@ -426,7 +472,196 @@ fn run_benches(
     benches
 }
 
+/// Draws one randomized-but-deterministic fault spec mixing every
+/// injection class. Probabilities are kept low enough that most plans
+/// leave survivors, high enough that the soak regularly exercises
+/// retries, stragglers, flaps, and full device loss.
+fn random_fault_spec(rng: &mut rand_chacha::ChaCha8Rng) -> String {
+    let mut spec = format!("seed={}", rng.gen::<u64>());
+    if rng.gen_bool(0.7) {
+        spec.push_str(&format!(",kernel=0.{:02}", rng.gen_range(1..40u32)));
+    }
+    if rng.gen_bool(0.5) {
+        spec.push_str(&format!(",transfer=0.{:02}", rng.gen_range(1..30u32)));
+    }
+    if rng.gen_bool(0.5) {
+        spec.push_str(&format!(",device_fail=0.0{:02}", rng.gen_range(1..30u32)));
+    }
+    if rng.gen_bool(0.4) {
+        spec.push_str(&format!(",link_flap=0.{:02}", rng.gen_range(1..25u32)));
+    }
+    if rng.gen_bool(0.5) {
+        let from = rng.gen_range(0..32u64);
+        let len = rng.gen_range(1..64u64);
+        let mult = 1.0 + rng.gen_range(1..80u32) as f64 / 10.0;
+        spec.push_str(&format!(",straggler={mult}@{from}:{}", from + len));
+    }
+    if rng.gen_bool(0.3) {
+        let from = rng.gen_range(0..32u64);
+        let len = rng.gen_range(1..48u64);
+        spec.push_str(&format!(
+            ",pressure=0.{:02}@{from}:{}",
+            rng.gen_range(30..95u32),
+            from + len
+        ));
+    }
+    spec
+}
+
+/// Ceiling on how much simulated time a surviving chaos run may cost
+/// relative to the clean run. Generous — exponential backoff across many
+/// retried rounds is expensive by design — but it still catches runaway
+/// retry loops and eviction storms.
+const CHAOS_MAX_OVERHEAD: f64 = 200.0;
+
+fn run_chaos(args: ChaosArgs) -> ! {
+    println!(
+        "eim-bench chaos — {} plans, seed {}, {} devices",
+        args.plans, args.seed, args.devices
+    );
+    let g = generators::rmat(
+        400,
+        2_400,
+        generators::RmatParams::GRAPH500,
+        WeightModel::WeightedCascade,
+        31,
+    );
+    let cfg = ImmConfig::paper_default()
+        .with_k(4)
+        .with_epsilon(0.3)
+        .with_seed(args.seed);
+    let spec_dev = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+    let make_engine = || MultiGpuEimEngine::new(&g, cfg, spec_dev, args.devices).expect("fits");
+
+    let (clean_seeds, clean_sets, clean_time) = {
+        let mut e = make_engine();
+        let r = run_imm(&mut e, &cfg).expect("clean run");
+        (r.seeds, r.num_sets, e.elapsed_us())
+    };
+    println!("clean          {clean_time:>10.1} us   ({clean_sets} sets, seeds {clean_seeds:?})");
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed);
+    let policy = RecoveryPolicy::retry().with_max_retries(8);
+    let mut plans = Vec::new();
+    let (mut converged, mut died, mut failures) = (0u64, 0u64, 0u64);
+    let (mut evictions, mut redistributed, mut retries) = (0u64, 0u64, 0u64);
+    let mut max_overhead: f64 = 1.0;
+    for i in 0..args.plans {
+        let spec_str = random_fault_spec(&mut rng);
+        let spec = FaultSpec::parse(&spec_str).expect("generated specs parse");
+        let mut e = make_engine().with_faults(&spec);
+        let mut entry = Map::new();
+        entry.insert("plan", Value::from(i));
+        entry.insert("spec", Value::from(spec_str.clone()));
+        match run_imm_recovering(&mut e, &cfg, &policy, &RunTrace::disabled()) {
+            Ok(r) => {
+                let overhead = e.elapsed_us() / clean_time;
+                let seeds_ok = r.seeds == clean_seeds && r.num_sets == clean_sets;
+                let bounded = overhead <= CHAOS_MAX_OVERHEAD;
+                if seeds_ok && bounded {
+                    converged += 1;
+                } else {
+                    failures += 1;
+                }
+                evictions += r.recovery.devices_evicted as u64;
+                redistributed += r.recovery.redistributed_sets;
+                retries += r.recovery.retries as u64;
+                max_overhead = max_overhead.max(overhead);
+                entry.insert("outcome", Value::from("converged"));
+                entry.insert("seeds_match", Value::from(seeds_ok));
+                entry.insert("overhead", Value::from(overhead));
+                entry.insert("overhead_bounded", Value::from(bounded));
+                entry.insert(
+                    "devices_evicted",
+                    Value::from(r.recovery.devices_evicted as u64),
+                );
+                entry.insert("retries", Value::from(r.recovery.retries as u64));
+                println!(
+                    "plan {i:>3}  converged  overhead {overhead:>7.2}x  evicted {}  \
+                     retries {:>3}  {}",
+                    r.recovery.devices_evicted,
+                    r.recovery.retries,
+                    if seeds_ok {
+                        "seeds ok"
+                    } else {
+                        "SEEDS DIVERGED"
+                    }
+                );
+                if !seeds_ok {
+                    eprintln!("plan {i}: spec {spec_str:?} changed the answer");
+                }
+                if !bounded {
+                    eprintln!(
+                        "plan {i}: spec {spec_str:?} overhead {overhead:.1}x \
+                         exceeds {CHAOS_MAX_OVERHEAD}x"
+                    );
+                }
+            }
+            Err(EngineError::RetriesExhausted { attempts, .. }) => {
+                died += 1;
+                entry.insert("outcome", Value::from("retries_exhausted"));
+                entry.insert("attempts", Value::from(attempts as u64));
+                println!("plan {i:>3}  all devices lost (typed failure, {attempts} attempts)");
+            }
+            Err(other) => {
+                failures += 1;
+                entry.insert("outcome", Value::from("unexpected_error"));
+                entry.insert("error", Value::from(other.to_string()));
+                eprintln!("plan {i}: spec {spec_str:?} unexpected error: {other}");
+            }
+        }
+        plans.push(Value::Object(entry));
+    }
+
+    println!(
+        "chaos summary  {converged} converged, {died} died typed, {failures} failures; \
+         {evictions} evictions, {redistributed} re-sharded sets, {retries} retries, \
+         max overhead {max_overhead:.2}x"
+    );
+
+    if let Some(path) = &args.json {
+        let mut root = Map::new();
+        root.insert("schema", Value::from("eim-bench-chaos-v1"));
+        root.insert("seed", Value::from(args.seed));
+        root.insert("devices", Value::from(args.devices as u64));
+        root.insert(
+            "clean_seeds",
+            Value::from(clean_seeds.iter().map(|&v| v as u64).collect::<Vec<_>>()),
+        );
+        root.insert("clean_sets", Value::from(clean_sets as u64));
+        root.insert("clean_time_us", Value::from(clean_time));
+        root.insert("converged", Value::from(converged));
+        root.insert("died_typed", Value::from(died));
+        root.insert("failures", Value::from(failures));
+        root.insert("evictions", Value::from(evictions));
+        root.insert("redistributed_sets", Value::from(redistributed));
+        root.insert("retries", Value::from(retries));
+        root.insert("max_overhead", Value::from(max_overhead));
+        root.insert("plans", Value::from(plans));
+        let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        std::fs::write(path, text).expect("write json");
+        println!("wrote {}", path.display());
+    }
+
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}
+
 fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    match cmd.as_str() {
+        "--help" | "-h" => usage_and_exit(0),
+        "perf" => {}
+        "chaos" => run_chaos(parse_chaos_args()),
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            usage_and_exit(1);
+        }
+    }
     let args = parse_args();
     let w = Workload::new(args.smoke);
     println!(

@@ -146,9 +146,10 @@ pub fn run_algo_traced(
     match result {
         Ok(data) => RunOutcome::Ok(data),
         Err(EngineError::OutOfMemory { .. }) => RunOutcome::Oom,
-        // Benchmarks attach no fault plan, so fault errors cannot occur;
-        // treat them like OOM if they ever do rather than panicking.
-        Err(EngineError::Fault(_) | EngineError::RetriesExhausted { .. }) => RunOutcome::Oom,
+        // Benchmarks attach no fault plan and no checkpointing, so the
+        // remaining errors cannot occur; treat them like OOM if they ever
+        // do rather than panicking.
+        Err(_) => RunOutcome::Oom,
     }
 }
 

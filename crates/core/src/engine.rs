@@ -6,8 +6,8 @@ use eim_gpusim::ArgValue;
 use eim_gpusim::{CopyEvent, CopyStream, Device, MemoryError, TransferDirection};
 use eim_graph::Graph;
 use eim_imm::{
-    AnyRrrStore, EngineError, ImmConfig, ImmEngine, PackedRrrBatch, RecoveryPolicy, RecoveryReport,
-    RrrSets, RrrStoreBuilder, Selection,
+    AnyRrrStore, DeviceManifest, EngineError, EngineManifest, ImmConfig, ImmEngine, PackedRrrBatch,
+    RecoveryPolicy, RecoveryReport, RrrSets, RrrStoreBuilder, Selection,
 };
 
 use crate::device_graph::{DeviceGraph, PlainDeviceGraph};
@@ -365,6 +365,41 @@ impl ImmEngine for EimEngine<'_> {
 
     fn recovery_report(&self) -> RecoveryReport {
         self.report
+    }
+
+    fn checkpoint_manifest(&self) -> EngineManifest {
+        EngineManifest {
+            devices: vec![DeviceManifest {
+                ordinal: 0,
+                clock_us: self.device.clock_us(),
+                evicted: false,
+                partition_bytes: self.store.bytes(),
+            }],
+            gathered_bytes: 0,
+            store_alloc_bytes: self.store_alloc_bytes,
+        }
+    }
+
+    fn restore_manifest(&mut self, m: &EngineManifest) -> Result<(), EngineError> {
+        if m.devices.is_empty() {
+            return Ok(());
+        }
+        // The replay already sampled everything; settle the graph upload so
+        // the pinned clock below is final.
+        if let Some(upload) = self.upload.take() {
+            self.stream.wait_event(&self.device, &upload);
+        }
+        // Pin the store allocation: the replay's single bulk extension grew
+        // it along a different (cheaper) path than the original incremental
+        // run, and resumed timing must match the original exactly.
+        self.device.memory().free(self.store_alloc_bytes);
+        self.device
+            .memory()
+            .alloc(m.store_alloc_bytes)
+            .map_err(to_engine_error)?;
+        self.store_alloc_bytes = m.store_alloc_bytes;
+        self.device.clock().set_us(m.devices[0].clock_us);
+        Ok(())
     }
 }
 

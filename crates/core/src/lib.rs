@@ -42,5 +42,5 @@ pub use builder::{EimBuilder, EimResult};
 pub use device_graph::{weight_threshold, DeviceGraph, EdgeScratch, PlainDeviceGraph};
 pub use engine::EimEngine;
 pub use memory::MemoryFootprint;
-pub use multigpu::MultiGpuEimEngine;
+pub use multigpu::{DeviceRecoverySummary, MultiGpuEimEngine};
 pub use select::ScanStrategy;

@@ -26,11 +26,13 @@ use std::sync::Arc;
 
 use eim_bitpack::PackedCsc;
 use eim_gpusim::{
-    CopyEvent, CopyStream, Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace, TransferDirection,
+    ArgValue, CopyEvent, CopyStream, Device, DeviceSpec, FaultPlan, FaultSpec, RunTrace,
+    TransferDirection,
 };
 use eim_graph::Graph;
 use eim_imm::{
-    AnyRrrStore, EngineError, ImmConfig, ImmEngine, RrrSets, RrrStoreBuilder, Selection,
+    AnyRrrStore, DeviceManifest, EngineError, EngineManifest, Eviction, ImmConfig, ImmEngine,
+    RecoveryReport, RrrSets, RrrStoreBuilder, Selection,
 };
 
 use crate::device_graph::PlainDeviceGraph;
@@ -67,6 +69,26 @@ pub struct MultiGpuEimEngine<'g> {
     next_index: u64,
     counters: SamplerCounters,
     store_alloc_bytes: usize,
+    /// Original ordinal of each live device slot — eviction compacts the
+    /// device vectors, so slot index and construction-time ordinal diverge
+    /// once a device dies.
+    ordinals: Vec<u64>,
+    /// Per-original-device recovery accounting, indexed by ordinal; evicted
+    /// devices keep their entry (that is where their eviction is counted).
+    device_reports: Vec<RecoveryReport>,
+}
+
+/// Per-device recovery view of a multi-GPU run, for telemetry breakdowns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceRecoverySummary {
+    /// The device's construction-time ordinal.
+    pub ordinal: u64,
+    /// Whether the device was evicted after a fail-stop fault.
+    pub evicted: bool,
+    /// The device's simulated clock (0 once evicted).
+    pub clock_us: f64,
+    /// Recovery actions attributed to this device.
+    pub report: RecoveryReport,
 }
 
 impl<'g> MultiGpuEimEngine<'g> {
@@ -145,6 +167,8 @@ impl<'g> MultiGpuEimEngine<'g> {
             next_index: 0,
             counters: SamplerCounters::default(),
             store_alloc_bytes: 0,
+            ordinals: (0..num_devices as u64).collect(),
+            device_reports: vec![RecoveryReport::default(); num_devices],
         })
     }
 
@@ -176,6 +200,22 @@ impl<'g> MultiGpuEimEngine<'g> {
     /// Sampling counters.
     pub fn counters(&self) -> SamplerCounters {
         self.counters
+    }
+
+    /// Per-device recovery breakdown, one entry per construction-time
+    /// ordinal (evicted devices included).
+    pub fn device_summaries(&self) -> Vec<DeviceRecoverySummary> {
+        (0..self.device_reports.len() as u64)
+            .map(|ordinal| {
+                let slot = self.ordinals.iter().position(|&o| o == ordinal);
+                DeviceRecoverySummary {
+                    ordinal,
+                    evicted: slot.is_none(),
+                    clock_us: slot.map_or(0.0, |s| self.devices[s].clock_us()),
+                    report: self.device_reports[ordinal as usize],
+                }
+            })
+            .collect()
     }
 
     fn grow_primary_store(&mut self) -> Result<(), EngineError> {
@@ -270,6 +310,20 @@ impl<'g> MultiGpuEimEngine<'g> {
             .iter()
             .map(|dev| dev.clock().now_us())
             .fold(0.0, f64::max);
+        // Barrier skew — how long the fastest device idles waiting for the
+        // slowest — is the visible cost of a straggler window; export the
+        // worst round as a high-water gauge.
+        let round_min = self
+            .devices
+            .iter()
+            .map(|dev| dev.clock().now_us())
+            .fold(f64::INFINITY, f64::min);
+        if round_end > round_min {
+            self.devices[0]
+                .run_trace()
+                .metrics()
+                .gauge_max("eim_round_skew_us", (round_end - round_min).round() as u64);
+        }
         for dev in &self.devices {
             dev.clock().advance_to(round_end);
         }
@@ -375,6 +429,185 @@ impl ImmEngine for MultiGpuEimEngine<'_> {
         for dev in &self.devices {
             dev.advance_clock(us);
         }
+    }
+
+    fn recovery_report(&self) -> RecoveryReport {
+        let mut merged = RecoveryReport::default();
+        for r in &self.device_reports {
+            merged.merge(r);
+        }
+        merged
+    }
+
+    fn evict_lost_devices(&mut self) -> Result<Option<Eviction>, EngineError> {
+        let lost: Vec<usize> = (0..self.devices.len())
+            .filter(|&j| self.devices[j].is_lost())
+            .collect();
+        if lost.is_empty() || lost.len() == self.devices.len() {
+            return Ok(None);
+        }
+        let primary_lost = lost[0] == 0;
+        for &j in lost.iter().rev() {
+            let ordinal = self.ordinals[j];
+            let dev = &self.devices[j];
+            self.device_reports[ordinal as usize].devices_evicted += 1;
+            dev.run_trace().record_recovery(
+                "recover:evict_device",
+                dev.clock_us(),
+                vec![
+                    ("ordinal", ArgValue::U64(ordinal)),
+                    (
+                        "dead_at_event",
+                        ArgValue::U64(dev.fault_plan().and_then(|p| p.dead_at()).unwrap_or(0)),
+                    ),
+                ],
+            );
+            dev.run_trace()
+                .metrics()
+                .counter_add("eim_device_failures_total", &[], 1);
+            // A non-primary casualty's committed partition was already
+            // eagerly staged to the primary each round, so no data is lost —
+            // only the gather accounting must forget it.
+            if j > 0 {
+                self.gathered_bytes -= self.partition_bytes[j];
+            }
+            self.devices.remove(j);
+            self.streams.remove(j);
+            self.uploads.remove(j);
+            self.partition_bytes.remove(j);
+            self.ordinals.remove(j);
+        }
+        if primary_lost {
+            // Promote the first survivor to primary: it must own the
+            // gathered store, so reserve the store arena there and re-upload
+            // the host mirror's content over its copy stream — the
+            // re-shard's PCIe bill, paid on the simulated clock.
+            self.devices[0]
+                .memory()
+                .alloc(self.store_alloc_bytes)
+                .map_err(EngineError::from)?;
+            if let Some(upload) = self.uploads[0].take() {
+                self.streams[0].wait_event(&self.devices[0], &upload);
+            }
+            let bytes = self.store.bytes();
+            if bytes > 0 {
+                let ev = self.streams[0].enqueue(
+                    &self.devices[0],
+                    bytes,
+                    TransferDirection::HostToDevice,
+                );
+                self.streams[0].wait_event(&self.devices[0], &ev);
+            }
+            // Everything now lives on the new primary; future rounds
+            // accumulate fresh partitions on the survivors.
+            for b in &mut self.partition_bytes {
+                *b = 0;
+            }
+            self.gathered_bytes = 0;
+        }
+        // Eviction is a barrier: survivors leave it clock-aligned, so the
+        // next sampling round deals onto a consistent timeline.
+        let end = self
+            .devices
+            .iter()
+            .map(|dev| dev.clock().now_us())
+            .fold(0.0, f64::max);
+        for dev in &self.devices {
+            dev.clock().advance_to(end);
+        }
+        Ok(Some(Eviction {
+            devices_evicted: lost.len() as u32,
+            survivors: self.devices.len(),
+        }))
+    }
+
+    fn checkpoint_manifest(&self) -> EngineManifest {
+        let devices = (0..self.device_reports.len() as u64)
+            .map(
+                |ordinal| match self.ordinals.iter().position(|&o| o == ordinal) {
+                    Some(slot) => DeviceManifest {
+                        ordinal,
+                        clock_us: self.devices[slot].clock_us(),
+                        evicted: false,
+                        partition_bytes: self.partition_bytes[slot],
+                    },
+                    None => DeviceManifest {
+                        ordinal,
+                        clock_us: 0.0,
+                        evicted: true,
+                        partition_bytes: 0,
+                    },
+                },
+            )
+            .collect();
+        EngineManifest {
+            devices,
+            gathered_bytes: self.gathered_bytes,
+            store_alloc_bytes: self.store_alloc_bytes,
+        }
+    }
+
+    fn restore_manifest(&mut self, m: &EngineManifest) -> Result<(), EngineError> {
+        if m.devices.is_empty() {
+            return Ok(());
+        }
+        // Restore runs on a freshly built engine: every original device is
+        // still present, so the manifest must describe the same topology.
+        if m.devices.len() != self.devices.len() {
+            return Err(EngineError::CheckpointMismatch {
+                expected: self.devices.len() as u64,
+                found: m.devices.len() as u64,
+            });
+        }
+        // The replay already waited out some uploads; drain the rest so the
+        // pinned clocks below are final.
+        for (j, dev) in self.devices.iter().enumerate() {
+            if let Some(upload) = self.uploads[j].take() {
+                self.streams[j].wait_event(dev, &upload);
+            }
+        }
+        // Reproduce the checkpointed eviction topology without re-paying the
+        // re-shard: the checkpointed run already charged it, and the clocks
+        // we pin below carry that cost.
+        let primary_evicted = m.devices[0].evicted;
+        for ordinal in (0..m.devices.len()).rev() {
+            if m.devices[ordinal].evicted {
+                self.devices.remove(ordinal);
+                self.streams.remove(ordinal);
+                self.uploads.remove(ordinal);
+                self.partition_bytes.remove(ordinal);
+                self.ordinals.remove(ordinal);
+            }
+        }
+        if self.devices.is_empty() {
+            return Err(EngineError::CheckpointMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        // Pin the primary store allocation. The replay grew it on the
+        // original device 0; if that device was evicted its memory went with
+        // it, and the surviving primary reserves the manifest's allocation.
+        if primary_evicted {
+            self.devices[0]
+                .memory()
+                .alloc(m.store_alloc_bytes)
+                .map_err(EngineError::from)?;
+        } else {
+            self.devices[0].memory().free(self.store_alloc_bytes);
+            self.devices[0]
+                .memory()
+                .alloc(m.store_alloc_bytes)
+                .map_err(EngineError::from)?;
+        }
+        self.store_alloc_bytes = m.store_alloc_bytes;
+        for (slot, &ordinal) in self.ordinals.iter().enumerate() {
+            let dm = &m.devices[ordinal as usize];
+            self.partition_bytes[slot] = dm.partition_bytes;
+            self.devices[slot].clock().set_us(dm.clock_us);
+        }
+        self.gathered_bytes = m.gathered_bytes;
+        Ok(())
     }
 }
 
@@ -493,5 +726,174 @@ mod tests {
             .err()
             .expect("tiny devices cannot hold the graph");
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+
+    // ---- device loss, eviction, and re-sharding ----
+
+    use eim_imm::{run_imm_recovering, RecoveryPolicy};
+
+    fn clean_reference(g: &Graph, c: &ImmConfig) -> (Vec<u32>, usize) {
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut e = MultiGpuEimEngine::new(g, *c, spec, 4).unwrap();
+        let r = run_imm(&mut e, c).unwrap();
+        (r.seeds, r.num_sets)
+    }
+
+    /// Runs a faulted 4-device recovery and returns
+    /// `(seeds, num_sets, devices_evicted, redistributed_sets)`,
+    /// or `None` when the plan killed every device (retries exhausted).
+    fn faulted_run(
+        g: &Graph,
+        c: &ImmConfig,
+        fault_spec: &str,
+    ) -> Option<(Vec<u32>, usize, u32, u64)> {
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut e = MultiGpuEimEngine::new(g, *c, spec, 4)
+            .unwrap()
+            .with_faults(&FaultSpec::parse(fault_spec).unwrap());
+        match run_imm_recovering(&mut e, c, &RecoveryPolicy::retry(), &RunTrace::disabled()) {
+            Ok(r) => Some((
+                r.seeds,
+                r.num_sets,
+                r.recovery.devices_evicted,
+                r.recovery.redistributed_sets,
+            )),
+            Err(EngineError::RetriesExhausted { .. }) => None,
+            Err(e) => panic!("unexpected engine error: {e}"),
+        }
+    }
+
+    #[test]
+    fn losing_devices_mid_run_preserves_the_answer_exactly() {
+        // Sweep deterministic fault seeds until the derived plans have
+        // killed one device in some run and two-or-more in another. Every
+        // surviving run must return the clean run's answer byte for byte.
+        let g = graph();
+        let c = cfg();
+        let (clean_seeds, clean_sets) = clean_reference(&g, &c);
+        let (mut saw_single_loss, mut saw_multi_loss) = (false, false);
+        for fault_seed in 1..40 {
+            let spec = format!("seed={fault_seed},device_fail=0.02");
+            let Some((seeds, sets, evicted, redistributed)) = faulted_run(&g, &c, &spec) else {
+                continue; // all four died: correct typed failure, nothing to compare
+            };
+            assert_eq!(seeds, clean_seeds, "{spec} changed the seed set");
+            assert_eq!(sets, clean_sets, "{spec} changed the sample count");
+            if evicted > 0 {
+                assert!(
+                    redistributed > 0,
+                    "{spec}: eviction re-sharded no pending sets"
+                );
+            }
+            saw_single_loss |= evicted == 1;
+            saw_multi_loss |= evicted >= 2;
+            if saw_single_loss && saw_multi_loss {
+                return;
+            }
+        }
+        panic!(
+            "fault-seed sweep never produced both a 1-loss and a 2+-loss run \
+             (single={saw_single_loss}, multi={saw_multi_loss})"
+        );
+    }
+
+    #[test]
+    fn losing_the_primary_device_preserves_the_answer_exactly() {
+        // Force device 0 (the gather/selection primary) dead on its first
+        // kernel launch: the promotion path must re-upload the store onto
+        // the new primary and still reproduce the clean answer.
+        let g = graph();
+        let c = cfg();
+        let (clean_seeds, clean_sets) = clean_reference(&g, &c);
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut e = MultiGpuEimEngine::new(&g, c, spec, 4).unwrap();
+        let kill_primary = FaultSpec::parse("seed=1,device_fail=0.999").unwrap();
+        let devices = std::mem::take(&mut e.devices);
+        e.devices = devices
+            .into_iter()
+            .enumerate()
+            .map(|(j, d)| {
+                if j == 0 {
+                    d.with_fault_plan(Arc::new(FaultPlan::new(kill_primary.clone())))
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let r = run_imm_recovering(&mut e, &c, &RecoveryPolicy::retry(), &RunTrace::disabled())
+            .expect("survivors absorb the primary loss");
+        assert_eq!(r.recovery.devices_evicted, 1);
+        assert_eq!(e.num_devices(), 3);
+        assert_eq!(r.seeds, clean_seeds);
+        assert_eq!(r.num_sets, clean_sets);
+        let summaries = e.device_summaries();
+        assert!(summaries[0].evicted, "ordinal 0 should be marked evicted");
+        assert_eq!(summaries[0].report.devices_evicted, 1);
+        assert!(summaries[1..].iter().all(|s| !s.evicted));
+    }
+
+    #[test]
+    fn straggler_skews_the_clock_but_not_the_answer() {
+        let g = graph();
+        let c = cfg();
+        let (clean_seeds, clean_sets) = clean_reference(&g, &c);
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let clean_time = {
+            let mut e = MultiGpuEimEngine::new(&g, c, spec, 4).unwrap();
+            run_imm(&mut e, &c).unwrap();
+            e.elapsed_us()
+        };
+        let mut e = MultiGpuEimEngine::new(&g, c, spec, 4)
+            .unwrap()
+            .with_faults(&FaultSpec::parse("seed=5,straggler=8.0@0:64").unwrap());
+        let r = run_imm_recovering(&mut e, &c, &RecoveryPolicy::retry(), &RunTrace::disabled())
+            .expect("a straggler is a slowdown, not a fault");
+        assert_eq!(r.seeds, clean_seeds, "straggler changed the answer");
+        assert_eq!(r.num_sets, clean_sets);
+        assert!(
+            e.elapsed_us() > clean_time,
+            "an 8x straggler window must cost simulated time \
+             ({} vs clean {})",
+            e.elapsed_us(),
+            clean_time
+        );
+    }
+
+    #[test]
+    fn manifest_restores_clocks_and_partitions_onto_a_fresh_engine() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let mut a = MultiGpuEimEngine::new(&g, c, spec, 3).unwrap();
+        a.extend_to(4_000).unwrap();
+        let manifest = a.checkpoint_manifest();
+        assert_eq!(manifest.devices.len(), 3);
+
+        let mut b = MultiGpuEimEngine::new(&g, c, spec, 3).unwrap();
+        b.extend_to(4_000).unwrap(); // replay the same samples
+        b.restore_manifest(&manifest).unwrap();
+        assert_eq!(b.device_clocks_us(), a.device_clocks_us());
+        assert_eq!(b.checkpoint_manifest(), manifest);
+
+        // Both engines must finish the run identically from here.
+        let ra = run_imm(&mut a, &c).unwrap();
+        let rb = run_imm(&mut b, &c).unwrap();
+        assert_eq!(ra.seeds, rb.seeds);
+        assert_eq!(ra.num_sets, rb.num_sets);
+        assert_eq!(a.elapsed_us().to_bits(), b.elapsed_us().to_bits());
+    }
+
+    #[test]
+    fn manifest_topology_mismatch_is_a_typed_error() {
+        let g = graph();
+        let c = cfg();
+        let spec = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+        let a = MultiGpuEimEngine::new(&g, c, spec, 2).unwrap();
+        let manifest = a.checkpoint_manifest();
+        let mut b = MultiGpuEimEngine::new(&g, c, spec, 4).unwrap();
+        assert!(matches!(
+            b.restore_manifest(&manifest),
+            Err(EngineError::CheckpointMismatch { .. })
+        ));
     }
 }

@@ -1,5 +1,6 @@
 //! Kernel launch and makespan accounting.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eim_trace::{KernelHw, RunTrace, SimClock};
@@ -63,6 +64,12 @@ pub struct Device {
     clock: Arc<SimClock>,
     fault_plan: Option<Arc<FaultPlan>>,
     copy_overlap: bool,
+    /// Straggler multiplier armed by the last fault check (f64 bits); the
+    /// next launch consumes it and resets to 1.0.
+    straggler_mult: AtomicU64,
+    /// PCIe link degradation level: effective bandwidth is the spec rate
+    /// divided by `2^level`. Bumped by link-flap faults, never restored.
+    link_degrade: AtomicU32,
 }
 
 impl Device {
@@ -87,6 +94,8 @@ impl Device {
             clock,
             fault_plan: None,
             copy_overlap: true,
+            straggler_mult: AtomicU64::new(1f64.to_bits()),
+            link_degrade: AtomicU32::new(0),
         }
     }
 
@@ -127,6 +136,30 @@ impl Device {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.fault_plan.as_ref()
+    }
+
+    /// Whether this device has fail-stopped (its fault plan latched dead).
+    /// A lost device rejects every subsequent launch and transfer with
+    /// [`SimFault::DeviceLost`]; multi-GPU engines evict it at the next
+    /// round barrier.
+    pub fn is_lost(&self) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.is_dead())
+    }
+
+    /// Current PCIe link degradation level (0 = healthy; each link flap
+    /// halves the effective bandwidth).
+    pub fn link_degrade_level(&self) -> u32 {
+        self.link_degrade.load(Ordering::Relaxed)
+    }
+
+    /// Simulated microseconds to move `bytes` across this device's PCIe
+    /// link at its *current* effective bandwidth (the spec rate divided by
+    /// `2^degrade_level`). Equals [`DeviceSpec::transfer_us`] while the
+    /// link is healthy.
+    pub fn transfer_time_us(&self, bytes: usize) -> f64 {
+        let level = self.link_degrade.load(Ordering::Relaxed).min(53);
+        let gbps = self.spec.pcie_gbps / (1u64 << level) as f64;
+        self.spec.costs.pcie_latency_us + bytes as f64 / (gbps * 1000.0)
     }
 
     /// Creates a device that records every launch's name and stats —
@@ -331,8 +364,21 @@ impl Device {
             shared_spill_bytes,
             mallocs: ops.mallocs,
         };
+        // A straggler window armed by the preceding fault check stretches
+        // this launch's compute time (the device clocks down; the work —
+        // and therefore every output byte — is unchanged).
+        let mult = f64::from_bits(self.straggler_mult.swap(1f64.to_bits(), Ordering::Relaxed));
+        let compute_us = spec.cycles_to_us(busiest) * mult;
+        if mult > 1.0 {
+            let excess = compute_us - spec.cycles_to_us(busiest);
+            self.run_trace.metrics().counter_add(
+                "eim_straggler_delay_us_total",
+                &[],
+                excess.round() as u64,
+            );
+        }
         let stats = LaunchStats {
-            elapsed_us: spec.costs.kernel_launch_us + spec.cycles_to_us(busiest),
+            elapsed_us: spec.costs.kernel_launch_us + compute_us,
             total_cycles,
             max_block_cycles,
             num_blocks,
@@ -411,14 +457,35 @@ impl Device {
     }
 
     /// Draws the next kernel-launch event from the fault plan (no-op without
-    /// one). On a fault, the failed launch still pays the launch overhead on
-    /// the simulated clock and the fault lands on the trace's fault lane.
+    /// one). On a transient fault, the failed launch still pays the launch
+    /// overhead on the simulated clock and the fault lands on the trace's
+    /// fault lane. A `device_fail` draw latches the plan dead: this check
+    /// and every later one return [`SimFault::DeviceLost`], the later ones
+    /// without consuming ordinals or advancing the clock (the device is
+    /// gone; nothing is issued to it).
     pub fn check_kernel_fault(&self, name: &str) -> Result<(), SimFault> {
         let Some(plan) = &self.fault_plan else {
             return Ok(());
         };
+        if let Some(ordinal) = plan.dead_at() {
+            return Err(SimFault::DeviceLost { ordinal });
+        }
         let decision = plan.next_kernel_event();
         self.apply_pressure(&decision);
+        self.straggler_mult
+            .store(decision.straggler_multiplier.to_bits(), Ordering::Relaxed);
+        if decision.device_fail {
+            plan.mark_dead(decision.ordinal);
+            self.clock.advance(self.spec.costs.kernel_launch_us);
+            self.run_trace.record_fault(
+                &format!("fault:device_lost:{name}"),
+                self.clock.now_us(),
+                decision.ordinal,
+            );
+            return Err(SimFault::DeviceLost {
+                ordinal: decision.ordinal,
+            });
+        }
         if decision.fault {
             self.clock.advance(self.spec.costs.kernel_launch_us);
             self.run_trace.record_fault(
@@ -456,20 +523,47 @@ impl Device {
     /// async copies consume transfer ordinals in exactly the order the
     /// synchronous path would — fault schedules replay identically.
     pub(crate) fn check_transfer_fault(&self) -> Result<(), SimFault> {
-        if let Some(plan) = &self.fault_plan {
-            let decision = plan.next_transfer_event();
-            self.apply_pressure(&decision);
-            if decision.fault {
-                self.clock.advance(self.spec.costs.pcie_latency_us);
-                self.run_trace.record_fault(
-                    "fault:pcie_transfer",
-                    self.clock.now_us(),
-                    decision.ordinal,
-                );
-                return Err(SimFault::Transfer {
-                    ordinal: decision.ordinal,
-                });
-            }
+        let Some(plan) = &self.fault_plan else {
+            return Ok(());
+        };
+        if let Some(ordinal) = plan.dead_at() {
+            return Err(SimFault::DeviceLost { ordinal });
+        }
+        let decision = plan.next_transfer_event();
+        self.apply_pressure(&decision);
+        if decision.device_fail {
+            plan.mark_dead(decision.ordinal);
+            self.clock.advance(self.spec.costs.pcie_latency_us);
+            self.run_trace.record_fault(
+                "fault:device_lost:pcie",
+                self.clock.now_us(),
+                decision.ordinal,
+            );
+            return Err(SimFault::DeviceLost {
+                ordinal: decision.ordinal,
+            });
+        }
+        if decision.link_flap {
+            // The transaction aborts and the link drops a bandwidth tier;
+            // retries go through at the degraded rate.
+            self.link_degrade.fetch_add(1, Ordering::Relaxed);
+            self.clock.advance(self.spec.costs.pcie_latency_us);
+            self.run_trace
+                .record_fault("fault:link_flap", self.clock.now_us(), decision.ordinal);
+            return Err(SimFault::LinkFlap {
+                ordinal: decision.ordinal,
+            });
+        }
+        if decision.fault {
+            self.clock.advance(self.spec.costs.pcie_latency_us);
+            self.run_trace.record_fault(
+                "fault:pcie_transfer",
+                self.clock.now_us(),
+                decision.ordinal,
+            );
+            return Err(SimFault::Transfer {
+                ordinal: decision.ordinal,
+            });
         }
         Ok(())
     }
@@ -486,9 +580,10 @@ impl Device {
         Ok(self.transfer(bytes, direction))
     }
 
-    /// Simulated microseconds to move `bytes` across PCIe.
+    /// Simulated microseconds to move `bytes` across PCIe (at the link's
+    /// current effective bandwidth — see [`Device::transfer_time_us`]).
     pub fn transfer(&self, bytes: usize, direction: TransferDirection) -> f64 {
-        let us = self.spec.transfer_us(bytes);
+        let us = self.transfer_time_us(bytes);
         let (name, dir) = match direction {
             TransferDirection::HostToDevice => ("pcie:h2d", "h2d"),
             TransferDirection::DeviceToHost => ("pcie:d2h", "d2h"),
@@ -696,6 +791,93 @@ mod tests {
         // One thread still gets threads * 4 = 4 chunks; within each, the
         // four blocks run serially through the same growing scratch vector.
         assert_eq!(r.outputs, [1, 2, 3, 4].repeat(4));
+    }
+
+    #[test]
+    fn device_loss_is_permanent_and_stops_consuming_ordinals() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let plan = Arc::new(FaultPlan::new(FaultSpec::parse("seed=1").unwrap()));
+        let d = Device::with_run_trace(DeviceSpec::test_small(), eim_trace::RunTrace::enabled())
+            .with_fault_plan(plan.clone());
+        plan.mark_dead(7);
+        assert!(d.is_lost());
+        let events_before = plan.events_so_far();
+        let clock_before = d.clock_us();
+        for _ in 0..4 {
+            let err = d.checked_launch("dead", 1, |_| ()).unwrap_err();
+            assert_eq!(err, SimFault::DeviceLost { ordinal: 7 });
+            let err = d
+                .checked_transfer(4096, TransferDirection::DeviceToHost)
+                .unwrap_err();
+            assert_eq!(err, SimFault::DeviceLost { ordinal: 7 });
+        }
+        assert_eq!(
+            plan.events_so_far(),
+            events_before,
+            "dead device draws nothing"
+        );
+        assert_eq!(
+            d.clock_us(),
+            clock_before,
+            "nothing was issued, no time passed"
+        );
+    }
+
+    #[test]
+    fn straggler_window_stretches_only_checked_launches_in_it() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let make = |spec: &str| {
+            Device::new(DeviceSpec::test_small())
+                .with_fault_plan(Arc::new(FaultPlan::new(FaultSpec::parse(spec).unwrap())))
+        };
+        let work = |d: &Device| {
+            d.checked_launch("w", 4, |ctx| ctx.charge_cycles(10_000))
+                .unwrap()
+                .stats
+                .elapsed_us
+        };
+        let clean = make("seed=1");
+        let slow = make("seed=1,straggler=3@0:1");
+        let base = work(&clean);
+        let stretched = work(&slow);
+        let launch_us = clean.spec().costs.kernel_launch_us;
+        assert!(
+            (stretched - launch_us - 3.0 * (base - launch_us)).abs() < 1e-9,
+            "compute portion must scale 3x: clean {base}, straggler {stretched}"
+        );
+        // Ordinal 1 is outside the window: back to clean timing, and the
+        // armed multiplier was consumed by the first launch.
+        assert_eq!(work(&slow), base);
+    }
+
+    #[test]
+    fn link_flap_degrades_bandwidth_permanently() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // Scan for a seed whose first transfer draw flaps.
+        let mut seed = 0;
+        let plan = loop {
+            let p =
+                FaultPlan::new(FaultSpec::parse(&format!("seed={seed},link_flap=0.3")).unwrap());
+            if p.next_transfer_event().link_flap {
+                p.reset();
+                break p;
+            }
+            seed += 1;
+        };
+        let d = Device::new(DeviceSpec::test_small()).with_fault_plan(Arc::new(plan));
+        let healthy_us = d.transfer_time_us(1 << 20);
+        assert_eq!(healthy_us, d.spec().transfer_us(1 << 20));
+        let err = d
+            .checked_transfer(1 << 20, TransferDirection::HostToDevice)
+            .unwrap_err();
+        assert!(matches!(err, SimFault::LinkFlap { .. }));
+        assert_eq!(d.link_degrade_level(), 1);
+        let degraded_us = d.transfer_time_us(1 << 20);
+        let latency = d.spec().costs.pcie_latency_us;
+        assert!(
+            (degraded_us - latency - 2.0 * (healthy_us - latency)).abs() < 1e-9,
+            "wire time must double: {healthy_us} -> {degraded_us}"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl CopyStream {
         bytes: usize,
         direction: TransferDirection,
     ) -> CopyEvent {
-        let dur_us = device.spec().transfer_us(bytes);
+        // Priced at the link's current effective bandwidth: a link-flapped
+        // device pays more per byte, and the spec-rate `ideal_us` below
+        // makes the lost utilization visible in the metrics.
+        let dur_us = device.transfer_time_us(bytes);
         let start_us = device.clock().now_us().max(self.tail_us);
         let (name, dir) = match direction {
             TransferDirection::HostToDevice => ("stream:h2d", "h2d"),

@@ -23,6 +23,7 @@
 //! and `eim-baselines`.
 
 pub mod bounds;
+mod checkpoint;
 mod config;
 mod engine;
 mod martingale;
@@ -32,10 +33,15 @@ mod selection;
 mod source_elim;
 mod spill;
 
+pub use checkpoint::{
+    run_fingerprint, store_digest, CheckpointPhase, Checkpointing, DeviceManifest, EngineManifest,
+    RunCheckpoint, CHECKPOINT_FILE,
+};
 pub use config::ImmConfig;
 pub use engine::{CpuEngine, CpuParallelism};
 pub use martingale::{
-    run_imm, run_imm_recovering, run_imm_traced, EngineError, ImmEngine, ImmResult, PhaseBreakdown,
+    run_imm, run_imm_checkpointed, run_imm_recovering, run_imm_traced, EngineError, Eviction,
+    ImmEngine, ImmResult, PhaseBreakdown,
 };
 pub use recovery::{MartingaleCheckpoint, RecoveryMode, RecoveryPolicy, RecoveryReport};
 pub use rrrstore::{AnyRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};

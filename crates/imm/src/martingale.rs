@@ -12,6 +12,9 @@ use eim_trace::{ArgValue, RunTrace};
 use crate::bounds::{
     adjusted_ell, epsilon_prime, lambda_prime, lambda_star, max_estimation_iterations,
 };
+use crate::checkpoint::{
+    store_digest, CheckpointPhase, Checkpointing, EngineManifest, RunCheckpoint,
+};
 use crate::config::ImmConfig;
 use crate::recovery::{MartingaleCheckpoint, RecoveryPolicy, RecoveryReport};
 use crate::rrrstore::RrrSets;
@@ -41,6 +44,23 @@ pub enum EngineError {
         /// Retries performed before giving up.
         attempts: u32,
     },
+    /// The run stopped on purpose after persisting a checkpoint
+    /// ([`Checkpointing::kill_after`]) — resume it with `--resume`.
+    Interrupted {
+        /// Checkpoints this run wrote before stopping.
+        checkpoints_written: u32,
+    },
+    /// A resume checkpoint does not belong to this run (different config,
+    /// graph, engine, or device count), or the replayed store diverged from
+    /// the digest the checkpoint recorded.
+    CheckpointMismatch {
+        /// The fingerprint/digest this run expected.
+        expected: u64,
+        /// The fingerprint/digest actually found.
+        found: u64,
+    },
+    /// A checkpoint could not be persisted to disk.
+    CheckpointIo,
 }
 
 impl std::fmt::Display for EngineError {
@@ -58,6 +78,17 @@ impl std::fmt::Display for EngineError {
             EngineError::RetriesExhausted { fault, attempts } => {
                 write!(f, "{fault} (gave up after {attempts} retries)")
             }
+            EngineError::Interrupted {
+                checkpoints_written,
+            } => write!(
+                f,
+                "run interrupted after writing {checkpoints_written} checkpoint(s); resume to continue"
+            ),
+            EngineError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint does not match this run (expected {expected:#018x}, found {found:#018x})"
+            ),
+            EngineError::CheckpointIo => write!(f, "failed to persist a run checkpoint"),
         }
     }
 }
@@ -78,6 +109,16 @@ impl From<SimFault> for EngineError {
     fn from(f: SimFault) -> Self {
         EngineError::Fault(f)
     }
+}
+
+/// What evicting dead devices accomplished — returned by
+/// [`ImmEngine::evict_lost_devices`] so the driver can report and trace it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// Devices removed from the run.
+    pub devices_evicted: u32,
+    /// Devices still serving the run.
+    pub survivors: usize,
 }
 
 /// A sampling/selection backend the IMM driver can run.
@@ -112,6 +153,27 @@ pub trait ImmEngine {
     /// The driver merges this into the run's [`RecoveryReport`].
     fn recovery_report(&self) -> RecoveryReport {
         RecoveryReport::default()
+    }
+    /// Removes fail-stopped devices from the run and re-shards their work
+    /// onto the survivors. The driver calls this only after the transient
+    /// retry budget is exhausted (a dead device never answers a retry).
+    /// Returns `Ok(None)` when nothing can be evicted — no device is dead,
+    /// every device is dead, or the engine does not model devices — and the
+    /// driver then gives up with [`EngineError::RetriesExhausted`].
+    fn evict_lost_devices(&mut self) -> Result<Option<Eviction>, EngineError> {
+        Ok(None)
+    }
+    /// Engine-side state a checkpoint must carry to reconstruct this engine
+    /// (per-device clocks, store allocation, evictions). Default: empty —
+    /// resume then replays work but cannot pin the simulated timeline.
+    fn checkpoint_manifest(&self) -> EngineManifest {
+        EngineManifest::default()
+    }
+    /// Pins engine state from a checkpoint manifest after the driver has
+    /// replayed sampling: device clocks, allocator state, and eviction
+    /// topology. Default: no-op (engines without simulated devices).
+    fn restore_manifest(&mut self, _manifest: &EngineManifest) -> Result<(), EngineError> {
+        Ok(())
     }
 }
 
@@ -228,6 +290,31 @@ fn extend_with_recovery<E: ImmEngine>(
                 // banked earlier batches — but never regressed.
                 debug_assert!(engine.logical_sets() >= ckpt.logical_sets);
                 if attempts >= policy.max_retries {
+                    // The retry budget is spent. A fail-stopped device never
+                    // answers a retry: give the engine one chance to evict
+                    // the dead and re-shard the pending work onto survivors
+                    // before the round is declared unrecoverable.
+                    if let Some(eviction) = engine.evict_lost_devices()? {
+                        let pending = target.saturating_sub(engine.logical_sets()) as u64;
+                        report.redistributed_sets += pending;
+                        trace
+                            .metrics()
+                            .counter_add("eim_redistributed_sets_total", &[], pending);
+                        trace.record_recovery(
+                            "recover:evict_device",
+                            engine.elapsed_us(),
+                            vec![
+                                (
+                                    "devices_evicted",
+                                    ArgValue::U64(eviction.devices_evicted as u64),
+                                ),
+                                ("survivors", ArgValue::U64(eviction.survivors as u64)),
+                                ("redistributed_sets", ArgValue::U64(pending)),
+                            ],
+                        );
+                        attempts = 0;
+                        continue;
+                    }
                     return Err(EngineError::RetriesExhausted { fault, attempts });
                 }
                 attempts += 1;
@@ -272,6 +359,78 @@ pub fn run_imm_recovering<E: ImmEngine>(
     policy: &RecoveryPolicy,
     trace: &RunTrace,
 ) -> Result<ImmResult, EngineError> {
+    run_imm_checkpointed(engine, config, policy, trace, &Checkpointing::disabled())
+}
+
+/// Persists one checkpoint (when a directory is configured) and enforces the
+/// deterministic-kill budget. The persisted report merges the driver's
+/// tallies with the engine's internal ones so a resume carries both forward.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint<E: ImmEngine>(
+    engine: &E,
+    ckpt: &Checkpointing,
+    trace: &RunTrace,
+    report: &mut RecoveryReport,
+    written_this_run: &mut u32,
+    phase: CheckpointPhase,
+    lower_bound: f64,
+    last_coverage: f64,
+) -> Result<(), EngineError> {
+    let Some(dir) = &ckpt.dir else {
+        return Ok(());
+    };
+    report.checkpoints_written += 1;
+    let mut persisted = *report;
+    persisted.merge(&engine.recovery_report());
+    let cp = RunCheckpoint {
+        fingerprint: ckpt.fingerprint,
+        phase,
+        logical_sets: engine.logical_sets(),
+        store_digest: store_digest(engine.store()),
+        lower_bound_bits: (!lower_bound.is_nan()).then(|| lower_bound.to_bits()),
+        last_coverage_bits: last_coverage.to_bits(),
+        report: persisted,
+        manifest: engine.checkpoint_manifest(),
+    };
+    cp.save(dir).map_err(|_| EngineError::CheckpointIo)?;
+    *written_this_run += 1;
+    trace
+        .metrics()
+        .counter_add("eim_checkpoints_written_total", &[], 1);
+    trace.record_recovery(
+        "recover:checkpoint",
+        engine.elapsed_us(),
+        vec![
+            ("logical_sets", ArgValue::U64(cp.logical_sets as u64)),
+            ("written", ArgValue::U64(*written_this_run as u64)),
+        ],
+    );
+    if ckpt
+        .kill_after
+        .is_some_and(|limit| *written_this_run >= limit)
+    {
+        return Err(EngineError::Interrupted {
+            checkpoints_written: *written_this_run,
+        });
+    }
+    Ok(())
+}
+
+/// [`run_imm_recovering`] with checkpoint/restart. With a checkpoint
+/// directory configured the driver persists its martingale state after each
+/// estimation iteration and after the final sampling extension; with a
+/// resume checkpoint it first *replays* sampling up to the checkpointed
+/// count (sample content is a pure function of `(seed, index)`, so the
+/// replayed store is digest-verified byte-identical), pins the engine's
+/// simulated clocks and allocator state from the manifest, and continues
+/// exactly where the interrupted run stopped — same seeds, same timeline.
+pub fn run_imm_checkpointed<E: ImmEngine>(
+    engine: &mut E,
+    config: &ImmConfig,
+    policy: &RecoveryPolicy,
+    trace: &RunTrace,
+    ckpt: &Checkpointing,
+) -> Result<ImmResult, EngineError> {
     engine.set_recovery_policy(*policy);
     let mut report = RecoveryReport::default();
     let n = engine.n();
@@ -284,34 +443,107 @@ pub fn run_imm_recovering<E: ImmEngine>(
     let eps_p = epsilon_prime(eps);
     let n_f = n as f64;
 
-    let t0 = engine.elapsed_us();
+    let mut t0 = engine.elapsed_us();
+    let mut t1 = t0;
     let mut lower_bound = f64::NAN;
     let mut last_coverage = 0.0f64;
-    for i in 1..=max_estimation_iterations(n) {
-        let x = n_f / 2f64.powi(i as i32);
-        let theta_i = (lp / x).ceil().max(1.0) as usize;
-        extend_with_recovery(engine, theta_i, policy, trace, &mut report)?;
-        let short = engine.logical_sets() < theta_i;
-        let sel = engine.select(k);
-        last_coverage = sel.coverage_fraction();
-        if n_f * last_coverage >= (1.0 + eps_p) * x {
+    let mut start_iteration: usize = 1;
+    let mut resumed_past_estimation = false;
+    let mut estimation_sets = 0usize;
+    let mut written_this_run: u32 = 0;
+
+    if let Some(cp) = &ckpt.resume {
+        if cp.fingerprint != ckpt.fingerprint {
+            return Err(EngineError::CheckpointMismatch {
+                expected: ckpt.fingerprint,
+                found: cp.fingerprint,
+            });
+        }
+        report = cp.report;
+        report.resumes += 1;
+        // Replay sampling up to the checkpointed logical count; the digest
+        // check proves the regenerated store is the one the checkpoint saw.
+        extend_with_recovery(engine, cp.logical_sets, policy, trace, &mut report)?;
+        let digest = store_digest(engine.store());
+        if digest != cp.store_digest {
+            return Err(EngineError::CheckpointMismatch {
+                expected: cp.store_digest,
+                found: digest,
+            });
+        }
+        engine.restore_manifest(&cp.manifest)?;
+        last_coverage = f64::from_bits(cp.last_coverage_bits);
+        if let Some(bits) = cp.lower_bound_bits {
+            lower_bound = f64::from_bits(bits);
+        }
+        // The manifest pinned the clocks back onto the original run's
+        // timeline, so phase attribution restarts from its origin too.
+        t0 = 0.0;
+        t1 = t0;
+        match cp.phase {
+            CheckpointPhase::Estimation { next_iteration } => {
+                start_iteration = next_iteration as usize
+            }
+            CheckpointPhase::Sampled {
+                estimation_end_us_bits,
+                estimation_sets: sets,
+            } => {
+                resumed_past_estimation = true;
+                t1 = f64::from_bits(estimation_end_us_bits);
+                estimation_sets = sets;
+            }
+        }
+        trace.metrics().counter_add("eim_resumes_total", &[], 1);
+        trace.record_recovery(
+            "recover:resume",
+            engine.elapsed_us(),
+            vec![("logical_sets", ArgValue::U64(cp.logical_sets as u64))],
+        );
+    }
+
+    if !resumed_past_estimation {
+        for i in start_iteration..=max_estimation_iterations(n) {
+            let x = n_f / 2f64.powi(i as i32);
+            let theta_i = (lp / x).ceil().max(1.0) as usize;
+            extend_with_recovery(engine, theta_i, policy, trace, &mut report)?;
+            let short = engine.logical_sets() < theta_i;
+            let sel = engine.select(k);
+            last_coverage = sel.coverage_fraction();
+            if n_f * last_coverage >= (1.0 + eps_p) * x {
+                lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
+                break;
+            }
+            if short {
+                // Backend cannot produce more sets (degenerate input);
+                // settle for the coverage we have rather than looping
+                // forever.
+                break;
+            }
+            // Checkpoint only between iterations: once the threshold is
+            // crossed the post-sampling checkpoint supersedes this one, and
+            // skipping it keeps the resume path free of a redundant branch.
+            write_checkpoint(
+                engine,
+                ckpt,
+                trace,
+                &mut report,
+                &mut written_this_run,
+                CheckpointPhase::Estimation {
+                    next_iteration: (i + 1) as u32,
+                },
+                lower_bound,
+                last_coverage,
+            )?;
+        }
+        if lower_bound.is_nan() {
+            // Never crossed the threshold (pathological coverage, e.g. k = 1
+            // on an all-singleton store, or a capped backend): fall back on
+            // the last observed coverage instead of theta = lambda*.
             lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
-            break;
         }
-        if short {
-            // Backend cannot produce more sets (degenerate input); settle
-            // for the coverage we have rather than looping forever.
-            break;
-        }
+        estimation_sets = engine.store().num_sets();
+        t1 = engine.elapsed_us();
     }
-    if lower_bound.is_nan() {
-        // Never crossed the threshold (pathological coverage, e.g. k = 1 on
-        // an all-singleton store, or a capped backend): fall back on the
-        // last observed coverage instead of theta = lambda*.
-        lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
-    }
-    let estimation_sets = engine.store().num_sets();
-    let t1 = engine.elapsed_us();
     trace.record_phase("estimation", t0, t1 - t0);
 
     let theta = (ls / lower_bound).ceil().max(1.0) as usize;
@@ -322,6 +554,19 @@ pub fn run_imm_recovering<E: ImmEngine>(
     // further sampling cannot add coverage, so skip the final extension.
     let t2 = engine.elapsed_us();
     trace.record_phase("sampling", t1, t2 - t1);
+    write_checkpoint(
+        engine,
+        ckpt,
+        trace,
+        &mut report,
+        &mut written_this_run,
+        CheckpointPhase::Sampled {
+            estimation_end_us_bits: t1.to_bits(),
+            estimation_sets,
+        },
+        lower_bound,
+        last_coverage,
+    )?;
 
     let sel = engine.select(k);
     let t3 = engine.elapsed_us();
@@ -670,5 +915,305 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+
+    // ---- device eviction at the driver level ----
+
+    /// An engine stuck on a fail-stopped device: every `extend_to` faults
+    /// until `evict_lost_devices` is called, after which it behaves like
+    /// the clean [`ToyEngine`]. Counts both kinds of calls so tests can pin
+    /// down exactly when the driver reaches for eviction.
+    struct DeadDeviceEngine {
+        inner: ToyEngine,
+        dead: bool,
+        fault_calls: usize,
+        evict_calls: usize,
+    }
+
+    impl ImmEngine for DeadDeviceEngine {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+            if self.dead {
+                self.fault_calls += 1;
+                return Err(EngineError::Fault(eim_gpusim::SimFault::DeviceLost {
+                    ordinal: self.fault_calls as u64,
+                }));
+            }
+            self.inner.extend_to(target)
+        }
+        fn select(&mut self, k: usize) -> Selection {
+            self.inner.select(k)
+        }
+        fn store(&self) -> &dyn RrrSets {
+            self.inner.store()
+        }
+        fn elapsed_us(&self) -> f64 {
+            self.inner.elapsed_us()
+        }
+        fn advance_time(&mut self, us: f64) {
+            self.inner.clock += us;
+        }
+        fn evict_lost_devices(&mut self) -> Result<Option<Eviction>, EngineError> {
+            self.evict_calls += 1;
+            if !self.dead {
+                return Ok(None);
+            }
+            self.dead = false;
+            Ok(Some(Eviction {
+                devices_evicted: 1,
+                survivors: 3,
+            }))
+        }
+    }
+
+    #[test]
+    fn eviction_fires_only_after_the_retry_budget_is_spent() {
+        let mut e = DeadDeviceEngine {
+            inner: ToyEngine::new(64, None),
+            dead: true,
+            fault_calls: 0,
+            evict_calls: 0,
+        };
+        let policy = RecoveryPolicy::retry().with_max_retries(2);
+        let r = run_imm_recovering(&mut e, &cfg(2, 0.3), &policy, &RunTrace::disabled()).unwrap();
+        // max_retries backoff-retries burn first, then the one extra fault
+        // triggers eviction — never sooner.
+        assert_eq!(e.fault_calls, 3, "2 retries + the fault that evicts");
+        assert_eq!(e.evict_calls, 1);
+        assert_eq!(r.recovery.retries, 2);
+        assert!(
+            r.recovery.redistributed_sets > 0,
+            "eviction must account the pending re-sharded sets"
+        );
+        let mut clean = ToyEngine::new(64, None);
+        let rc = run_imm(&mut clean, &cfg(2, 0.3)).unwrap();
+        assert_eq!(r.seeds, rc.seeds, "eviction changed the answer");
+        assert_eq!(r.num_sets, rc.num_sets);
+    }
+
+    #[test]
+    fn eviction_that_cannot_help_still_exhausts_retries() {
+        // `evict_lost_devices` returning `None` (nothing to evict) must
+        // fall through to the typed exhaustion error.
+        let fault = EngineError::Fault(eim_gpusim::SimFault::DeviceLost { ordinal: 0 });
+        let mut flaky = FlakyEngine {
+            inner: ToyEngine::new(64, None),
+            script: vec![Some(fault); 32],
+            calls: 0,
+            oom_until_batch: None,
+        };
+        let err = run_imm_recovering(
+            &mut flaky,
+            &cfg(2, 0.3),
+            &RecoveryPolicy::retry().with_max_retries(3),
+            &RunTrace::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::RetriesExhausted { attempts: 3, .. }
+        ));
+    }
+
+    // ---- checkpoint / kill / resume at the driver level ----
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eim-martingale-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn killed_run_resumes_to_the_identical_result() {
+        let config = cfg(2, 0.1); // tight epsilon → several estimation rounds
+        let dir = temp_ckpt_dir("resume");
+        let fingerprint = crate::run_fingerprint(&config, 64, "toy", 1);
+
+        let mut clean = ToyEngine::new(64, None);
+        let rc = run_imm(&mut clean, &config).unwrap();
+
+        let mut killed = ToyEngine::new(64, None);
+        let ckpt = Checkpointing {
+            dir: Some(dir.clone()),
+            resume: None,
+            kill_after: Some(1),
+            fingerprint,
+        };
+        let err = run_imm_checkpointed(
+            &mut killed,
+            &config,
+            &RecoveryPolicy::retry(),
+            &RunTrace::disabled(),
+            &ckpt,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Interrupted {
+                checkpoints_written: 1
+            }
+        ));
+
+        let cp = crate::RunCheckpoint::load(&dir).unwrap();
+        assert_eq!(cp.fingerprint, fingerprint);
+        let mut resumed = ToyEngine::new(64, None);
+        let ckpt = Checkpointing {
+            dir: Some(dir.clone()),
+            resume: Some(cp),
+            kill_after: None,
+            fingerprint,
+        };
+        let r = run_imm_checkpointed(
+            &mut resumed,
+            &config,
+            &RecoveryPolicy::retry(),
+            &RunTrace::disabled(),
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(r.seeds, rc.seeds);
+        assert_eq!(r.num_sets, rc.num_sets);
+        assert_eq!(r.theta, rc.theta);
+        assert_eq!(r.lower_bound.to_bits(), rc.lower_bound.to_bits());
+        assert_eq!(r.recovery.resumes, 1);
+        assert!(r.recovery.checkpoints_written >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- property: backoff schedule shape ----
+
+    /// Records the simulated clock at every `extend_to` call and whether
+    /// that call was scripted to fault, so the property below can audit the
+    /// exact backoff the driver charged between consecutive attempts.
+    struct ClockProbeEngine {
+        inner: ToyEngine,
+        pattern: Vec<bool>, // true → this call faults
+        calls: usize,
+        log: Vec<(f64, bool)>, // (clock at call, faulted)
+    }
+
+    impl ImmEngine for ClockProbeEngine {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn extend_to(&mut self, target: usize) -> Result<(), EngineError> {
+            let faulted = self.pattern.get(self.calls).copied().unwrap_or(false);
+            self.calls += 1;
+            self.log.push((self.inner.clock, faulted));
+            if faulted {
+                return Err(EngineError::Fault(eim_gpusim::SimFault::KernelLaunch {
+                    ordinal: self.calls as u64,
+                }));
+            }
+            self.inner.extend_to(target)
+        }
+        fn select(&mut self, k: usize) -> Selection {
+            self.inner.select(k)
+        }
+        fn store(&self) -> &dyn RrrSets {
+            self.inner.store()
+        }
+        fn elapsed_us(&self) -> f64 {
+            self.inner.elapsed_us()
+        }
+        fn advance_time(&mut self, us: f64) {
+            self.inner.clock += us;
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Across arbitrary fault schedules the backoff charged between
+        /// consecutive attempts is exponential in the attempt streak,
+        /// capped at `base * 2^16`, and the simulated clock is strictly
+        /// monotone across every retry.
+        #[test]
+        fn backoff_is_exponential_capped_and_monotone(
+            pattern in proptest::collection::vec(0u32..10, 1..20),
+            base in 1.0f64..500.0,
+        ) {
+            let mut e = ClockProbeEngine {
+                inner: ToyEngine::new(64, None),
+                // ~60% of calls fault
+                pattern: pattern.iter().map(|&v| v < 6).collect(),
+                calls: 0,
+                log: Vec::new(),
+            };
+            // Budget above any possible streak so the run always finishes.
+            let policy = RecoveryPolicy::retry()
+                .with_max_retries(25)
+                .with_backoff_us(base);
+            let r = run_imm_recovering(
+                &mut e,
+                &cfg(2, 0.3),
+                &policy,
+                &RunTrace::disabled(),
+            )
+            .unwrap();
+            let faults = e.log.iter().filter(|(_, f)| *f).count() as u64;
+            proptest::prop_assert_eq!(r.recovery.retries as u64, faults);
+
+            let mut attempts: u32 = 0;
+            for w in e.log.windows(2) {
+                let ((clock, faulted), (next_clock, _)) = (w[0], w[1]);
+                if faulted {
+                    attempts += 1;
+                    let expected = base * (1u64 << (attempts - 1).min(16)) as f64;
+                    let charged = next_clock - clock;
+                    proptest::prop_assert!(
+                        (charged - expected).abs() <= 1e-9 * expected.max(1.0),
+                        "attempt {}: charged {} expected {}",
+                        attempts, charged, expected
+                    );
+                    proptest::prop_assert!(charged <= base * 65_536.0 * (1.0 + 1e-12));
+                    proptest::prop_assert!(next_clock > clock, "clock stalled across a retry");
+                } else {
+                    attempts = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_the_wrong_fingerprint_is_a_typed_error() {
+        let config = cfg(2, 0.1);
+        let dir = temp_ckpt_dir("mismatch");
+        let fingerprint = crate::run_fingerprint(&config, 64, "toy", 1);
+        let mut killed = ToyEngine::new(64, None);
+        let ckpt = Checkpointing {
+            dir: Some(dir.clone()),
+            resume: None,
+            kill_after: Some(1),
+            fingerprint,
+        };
+        run_imm_checkpointed(
+            &mut killed,
+            &config,
+            &RecoveryPolicy::retry(),
+            &RunTrace::disabled(),
+            &ckpt,
+        )
+        .unwrap_err();
+        let cp = crate::RunCheckpoint::load(&dir).unwrap();
+        let mut resumed = ToyEngine::new(64, None);
+        let ckpt = Checkpointing {
+            dir: Some(dir.clone()),
+            resume: Some(cp),
+            kill_after: None,
+            fingerprint: fingerprint ^ 1, // a different run configuration
+        };
+        let err = run_imm_checkpointed(
+            &mut resumed,
+            &config,
+            &RecoveryPolicy::retry(),
+            &RunTrace::disabled(),
+            &ckpt,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::CheckpointMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -122,6 +122,14 @@ pub struct RecoveryReport {
     pub reloaded_bytes: usize,
     /// Selection rounds that ran with part of the store host-resident.
     pub degraded_rounds: u32,
+    /// Devices lost to fail-stop faults and evicted from the run.
+    pub devices_evicted: u32,
+    /// Pending samples re-sharded onto surviving devices after evictions.
+    pub redistributed_sets: u64,
+    /// Run checkpoints persisted to disk.
+    pub checkpoints_written: u32,
+    /// Times this run was reconstructed from a persisted checkpoint.
+    pub resumes: u32,
 }
 
 impl RecoveryReport {
@@ -138,6 +146,10 @@ impl RecoveryReport {
         self.spilled_bytes += other.spilled_bytes;
         self.reloaded_bytes += other.reloaded_bytes;
         self.degraded_rounds += other.degraded_rounds;
+        self.devices_evicted += other.devices_evicted;
+        self.redistributed_sets += other.redistributed_sets;
+        self.checkpoints_written += other.checkpoints_written;
+        self.resumes += other.resumes;
     }
 }
 
@@ -187,11 +199,17 @@ mod tests {
             retries: 2,
             batch_splits: 1,
             spilled_bytes: 50,
+            devices_evicted: 1,
+            redistributed_sets: 640,
+            resumes: 1,
             ..Default::default()
         });
         assert_eq!(a.retries, 3);
         assert_eq!(a.batch_splits, 1);
         assert_eq!(a.spilled_bytes, 150);
+        assert_eq!(a.devices_evicted, 1);
+        assert_eq!(a.redistributed_sets, 640);
+        assert_eq!(a.resumes, 1);
         assert!(RecoveryReport::default().is_empty());
     }
 

@@ -363,6 +363,11 @@ fn counter_help(name: &str) -> &'static str {
         "eim_recovery_spilled_bytes_total" => "Bytes spilled to the host.",
         "eim_recovery_reloaded_bytes_total" => "Spilled bytes re-streamed to the device.",
         "eim_recovery_degraded_rounds_total" => "Rounds run in degraded mode.",
+        "eim_device_failures_total" => "Devices lost to fail-stop faults and evicted.",
+        "eim_redistributed_sets_total" => "Pending RRR samples re-sharded onto surviving devices.",
+        "eim_straggler_delay_us_total" => "Extra simulated microseconds from straggler windows.",
+        "eim_checkpoints_written_total" => "Run checkpoints persisted to disk.",
+        "eim_resumes_total" => "Runs reconstructed from a persisted checkpoint.",
         _ => "Simulated counter.",
     }
 }

@@ -102,6 +102,14 @@ impl SimClock {
     pub fn reset(&self) {
         self.bits.store(0f64.to_bits(), Ordering::Relaxed);
     }
+
+    /// Pins the clock to an absolute time, forwards *or backwards*. The
+    /// checkpoint/restore path uses this to replace replay time with the
+    /// persisted device time; live engines should stick to
+    /// [`SimClock::advance`] / [`SimClock::advance_to`].
+    pub fn set_us(&self, us: f64) {
+        self.bits.store(us.to_bits(), Ordering::Relaxed);
+    }
 }
 
 impl Default for SimClock {

@@ -23,9 +23,17 @@
 //!   --no-elim            disable source elimination (eIM only)
 //!   --spread-sims <n>    Monte-Carlo spread evaluations [0 = skip]
 //!   --inject-faults <s>  deterministic fault schedule, e.g.
-//!                        "seed=42,kernel=0.05,transfer=0.02,pressure=0.6@8:24"
+//!                        "seed=42,kernel=0.05,transfer=0.02,device_fail=0.001,
+//!                         link_flap=0.01,straggler=3@8:24,pressure=0.6@8:24"
 //!   --recovery <mode>    abort | retry | degrade       [abort]
 //!   --max-retries <n>    retry budget per batch (with --recovery)
+//!   --checkpoint <dir>   persist run checkpoints into <dir> (atomic
+//!                        tmp-then-rename; the latest always wins)
+//!   --resume             reconstruct the run from <dir>'s checkpoint and
+//!                        continue; output is identical to an uninterrupted run
+//!   --ckpt-kill-after <n> interrupt deliberately after the n-th checkpoint
+//!                        write (exit code 3) — the kill half of kill/resume
+//!                        tests
 //!   --no-overlap         force-serialize copy streams (no compute/copy
 //!                        overlap); results are identical, only slower
 //!   --trace <file>       write a Chrome trace-event JSON (Perfetto)
@@ -37,18 +45,18 @@
 //! ```
 
 use std::fs::File;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use std::sync::Arc;
 
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
-use eim::core::{EimEngine, MultiGpuEimEngine, ScanStrategy};
+use eim::core::{DeviceRecoverySummary, EimEngine, MultiGpuEimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
 use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, MetricsRegistry, RunTrace};
 use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
 use eim::imm::{
-    run_imm_recovering, CpuEngine, CpuParallelism, EngineError, ImmConfig, ImmEngine, ImmResult,
-    RecoveryPolicy, RecoveryReport,
+    run_fingerprint, run_imm_checkpointed, Checkpointing, CpuEngine, CpuParallelism, EngineError,
+    ImmConfig, ImmEngine, ImmResult, RecoveryPolicy, RecoveryReport, RunCheckpoint,
 };
 use eim::prelude::*;
 
@@ -71,6 +79,9 @@ struct Args {
     faults: Option<FaultSpec>,
     recovery: RecoveryPolicy,
     max_retries: Option<u32>,
+    checkpoint: Option<String>,
+    resume: bool,
+    ckpt_kill_after: Option<u32>,
     no_overlap: bool,
     trace: Option<String>,
     trace_event_cap: Option<usize>,
@@ -85,7 +96,8 @@ fn usage() -> ! {
          [--engine eim|gim|curipples|cpu|multigpu] [--devices n] \
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--no-elim] \
          [--spread-sims n] [--inject-faults spec] \
-         [--recovery abort|retry|degrade] [--max-retries n] [--no-overlap] \
+         [--recovery abort|retry|degrade] [--max-retries n] \
+         [--checkpoint <dir>] [--resume] [--ckpt-kill-after n] [--no-overlap] \
          [--trace <file>] [--trace-event-cap n] [--metrics <file>] [--json]"
     );
     std::process::exit(2);
@@ -111,6 +123,9 @@ fn parse_args() -> Args {
         faults: None,
         recovery: RecoveryPolicy::abort(),
         max_retries: None,
+        checkpoint: None,
+        resume: false,
+        ckpt_kill_after: None,
         no_overlap: false,
         trace: None,
         trace_event_cap: None,
@@ -160,6 +175,11 @@ fn parse_args() -> Args {
                 }
             }
             "--max-retries" => a.max_retries = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--checkpoint" => a.checkpoint = Some(val()),
+            "--resume" => a.resume = true,
+            "--ckpt-kill-after" => {
+                a.ckpt_kill_after = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             "--no-overlap" => a.no_overlap = true,
             "--trace" => a.trace = Some(val()),
             "--trace-event-cap" => {
@@ -179,6 +199,10 @@ fn parse_args() -> Args {
         usage();
     }
     if a.devices == 0 {
+        usage();
+    }
+    if a.resume && a.checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint <dir>");
         usage();
     }
     if let Some(r) = a.max_retries {
@@ -225,8 +249,13 @@ fn load_graph(a: &Args) -> Graph {
 /// Reports an engine failure and exits nonzero. Under `--json` the error is
 /// a structured object on stdout so harnesses can parse the failure mode
 /// (the OOM cells of the paper's tables); otherwise a plain message on
-/// stderr. Never panics.
+/// stderr. A deliberate `--ckpt-kill-after` interruption exits 3 (resumable),
+/// everything else exits 1. Never panics.
 fn report_engine_error(json: bool, e: EngineError) -> ! {
+    let code = match e {
+        EngineError::Interrupted { .. } => 3,
+        _ => 1,
+    };
     if json {
         let err = match e {
             EngineError::OutOfMemory {
@@ -253,13 +282,30 @@ fn report_engine_error(json: bool, e: EngineError) -> ! {
                 "ordinal": fault.ordinal(),
                 "attempts": attempts,
             }),
+            EngineError::Interrupted {
+                checkpoints_written,
+            } => serde_json::json!({
+                "kind": "interrupted",
+                "message": e.to_string(),
+                "checkpoints_written": checkpoints_written,
+            }),
+            EngineError::CheckpointMismatch { expected, found } => serde_json::json!({
+                "kind": "checkpoint_mismatch",
+                "message": e.to_string(),
+                "expected": expected,
+                "found": found,
+            }),
+            EngineError::CheckpointIo => serde_json::json!({
+                "kind": "checkpoint_io",
+                "message": e.to_string(),
+            }),
         };
         let out = serde_json::json!({ "error": err });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
     } else {
         eprintln!("error: {e}");
     }
-    std::process::exit(1);
+    std::process::exit(code);
 }
 
 /// The recovery report as a JSON object for `--json` output.
@@ -271,7 +317,45 @@ fn recovery_json(r: &RecoveryReport) -> serde_json::Value {
         "spilled_bytes": r.spilled_bytes,
         "reloaded_bytes": r.reloaded_bytes,
         "degraded_rounds": r.degraded_rounds,
+        "devices_evicted": r.devices_evicted,
+        "redistributed_sets": r.redistributed_sets,
+        "checkpoints_written": r.checkpoints_written,
+        "resumes": r.resumes,
     })
+}
+
+/// Builds the checkpoint/restart control from the CLI flags, loading and
+/// fingerprint-checking the resume checkpoint up front so a stale or
+/// mismatched file fails fast with a clear message.
+fn build_checkpointing(a: &Args, config: &ImmConfig, n: usize, devices: usize) -> Checkpointing {
+    let fingerprint = run_fingerprint(config, n, &a.engine, devices);
+    let mut c = Checkpointing {
+        dir: a.checkpoint.clone().map(PathBuf::from),
+        resume: None,
+        kill_after: a.ckpt_kill_after,
+        fingerprint,
+    };
+    if a.resume {
+        let dir = c.dir.as_deref().expect("validated in parse_args");
+        match RunCheckpoint::load(dir) {
+            Ok(cp) => {
+                if cp.fingerprint != fingerprint {
+                    eprintln!(
+                        "checkpoint in {} belongs to a different run (graph, config, \
+                         engine, or device count changed)",
+                        dir.display()
+                    );
+                    std::process::exit(1);
+                }
+                c.resume = Some(cp);
+            }
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    c
 }
 
 fn main() {
@@ -319,16 +403,23 @@ fn main() {
         }
     };
     let policy = a.recovery;
-    let (result, sim_us): (ImmResult, Option<f64>) = match a.engine.as_str() {
+    let n_vertices = graph.num_vertices();
+    let (result, sim_us, device_summaries): (
+        ImmResult,
+        Option<f64>,
+        Option<Vec<DeviceRecoverySummary>>,
+    ) = match a.engine.as_str() {
         "eim" => {
+            let ckpt = build_checkpointing(&a, &config, n_vertices, 1);
             let mut e = EimEngine::new(&graph, config, make_device(), ScanStrategy::ThreadPerSet)
                 .unwrap_or_else(|e| run_err(e));
-            let r =
-                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
+            let r = run_imm_checkpointed(&mut e, &config, &policy, &trace, &ckpt)
+                .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
-            (r, Some(us))
+            (r, Some(us), None)
         }
         "multigpu" => {
+            let ckpt = build_checkpointing(&a, &config, n_vertices, a.devices);
             let mut e = MultiGpuEimEngine::with_telemetry(
                 &graph,
                 config,
@@ -343,33 +434,37 @@ fn main() {
                     e = e.with_faults(f);
                 }
             }
-            let r =
-                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
+            let r = run_imm_checkpointed(&mut e, &config, &policy, &trace, &ckpt)
+                .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
-            (r, Some(us))
+            let summaries = e.device_summaries();
+            (r, Some(us), Some(summaries))
         }
         "gim" => {
+            let ckpt = build_checkpointing(&a, &baseline, n_vertices, 1);
             let mut e =
                 GimEngine::new(&graph, baseline, make_device()).unwrap_or_else(|e| run_err(e));
-            let r = run_imm_recovering(&mut e, &baseline, &policy, &trace)
+            let r = run_imm_checkpointed(&mut e, &baseline, &policy, &trace, &ckpt)
                 .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
-            (r, Some(us))
+            (r, Some(us), None)
         }
         "curipples" => {
+            let ckpt = build_checkpointing(&a, &baseline, n_vertices, 1);
             let mut e = CuRipplesEngine::new(&graph, baseline, make_device(), HostSpec::default())
                 .unwrap_or_else(|e| run_err(e));
-            let r = run_imm_recovering(&mut e, &baseline, &policy, &trace)
+            let r = run_imm_checkpointed(&mut e, &baseline, &policy, &trace, &ckpt)
                 .unwrap_or_else(|e| run_err(e));
             let us = e.elapsed_us();
-            (r, Some(us))
+            (r, Some(us), None)
         }
         "cpu" => {
+            let ckpt = build_checkpointing(&a, &config, n_vertices, 1);
             let mut e =
                 CpuEngine::new(&graph, config, CpuParallelism::Rayon).with_trace(trace.clone());
-            let r =
-                run_imm_recovering(&mut e, &config, &policy, &trace).unwrap_or_else(|e| run_err(e));
-            (r, None)
+            let r = run_imm_checkpointed(&mut e, &config, &policy, &trace, &ckpt)
+                .unwrap_or_else(|e| run_err(e));
+            (r, None, None)
         }
         _ => usage(),
     };
@@ -413,6 +508,25 @@ fn main() {
     }
 
     if a.json {
+        // Multi-GPU runs break the merged recovery report down per device
+        // inside the telemetry block.
+        let mut telemetry = trace.summary().to_json();
+        if let (Some(summaries), serde_json::Value::Object(map)) =
+            (&device_summaries, &mut telemetry)
+        {
+            let devices: Vec<serde_json::Value> = summaries
+                .iter()
+                .map(|s| {
+                    serde_json::json!({
+                        "ordinal": s.ordinal,
+                        "evicted": s.evicted,
+                        "clock_us": s.clock_us,
+                        "recovery": recovery_json(&s.report),
+                    })
+                })
+                .collect();
+            map.insert("devices", serde_json::json!(devices));
+        }
         let out = serde_json::json!({
             "engine": a.engine,
             "model": a.model.to_string(),
@@ -429,7 +543,7 @@ fn main() {
             "simulated_device_ms": sim_us.map(|us| us / 1000.0),
             "estimated_spread": spread,
             "recovery": recovery_json(&result.recovery),
-            "telemetry": trace.summary().to_json(),
+            "telemetry": telemetry,
             "metrics": registry.to_json(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
@@ -482,6 +596,18 @@ fn main() {
                 r.reloaded_bytes / 1024,
                 r.degraded_rounds
             );
+            if r.devices_evicted > 0 {
+                println!(
+                    "evictions: {} device(s) lost and evicted, {} pending sets re-sharded onto survivors",
+                    r.devices_evicted, r.redistributed_sets
+                );
+            }
+            if r.checkpoints_written > 0 || r.resumes > 0 {
+                println!(
+                    "checkpointing: {} checkpoint(s) written, {} resume(s)",
+                    r.checkpoints_written, r.resumes
+                );
+            }
         }
         if let Some(path) = &a.trace {
             println!("trace: {path}");

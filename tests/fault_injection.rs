@@ -337,7 +337,16 @@ fn cli_fault_abort_is_a_structured_nonzero_exit() {
 
 #[test]
 fn cli_rejects_bad_fault_specs() {
-    for bad in ["kernel=1.0", "seed=x", "pressure=0.5@9", "nonsense"] {
+    for bad in [
+        "kernel=1.0",
+        "seed=x",
+        "pressure=0.5@9",
+        "nonsense",
+        "device_fail=1.0",
+        "link_flap=-0.1",
+        "straggler=0.5@0:4", // multiplier must be >= 1
+        "straggler=2.0@8:2", // empty window
+    ] {
         let out = eim_cli()
             .args(CLI_BASE)
             .args(["--inject-faults", bad])
@@ -345,4 +354,98 @@ fn cli_rejects_bad_fault_specs() {
             .unwrap();
         assert!(!out.status.success(), "spec {bad:?} should be rejected");
     }
+}
+
+// ---- the three fail-stop / degradation classes ----
+
+#[test]
+fn link_flap_retry_matches_clean_and_costs_bandwidth() {
+    // A flapping link drops staging enqueues (retried) and degrades the
+    // link to a lower bandwidth tier each flap: the answer must not move,
+    // and the degraded link must cost simulated time. Flaps are drawn on
+    // the multi-GPU partition-staging path.
+    use eim::core::MultiGpuEimEngine;
+    use eim::imm::run_imm;
+
+    let g = graph();
+    let c = ImmConfig::paper_default()
+        .with_k(3)
+        .with_epsilon(0.35)
+        .with_seed(11);
+    let spec_dev = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+    let (clean_seeds, clean_sets, clean_time) = {
+        let mut e = MultiGpuEimEngine::new(&g, c, spec_dev, 4).unwrap();
+        let r = run_imm(&mut e, &c).unwrap();
+        (r.seeds, r.num_sets, e.elapsed_us())
+    };
+    let spec = FaultSpec::parse("seed=42,link_flap=0.2").unwrap();
+    let mut e = MultiGpuEimEngine::new(&g, c, spec_dev, 4)
+        .unwrap()
+        .with_faults(&spec);
+    let r = run_imm_recovering(
+        &mut e,
+        &c,
+        &RecoveryPolicy::retry().with_max_retries(20),
+        &RunTrace::disabled(),
+    )
+    .expect("retry absorbs link flaps");
+    assert!(r.recovery.retries > 0, "no flap was drawn — dead test");
+    assert_eq!(r.seeds, clean_seeds);
+    assert_eq!(r.num_sets, clean_sets);
+    assert!(
+        e.elapsed_us() > clean_time,
+        "degraded link cost no time ({} vs {})",
+        e.elapsed_us(),
+        clean_time
+    );
+}
+
+#[test]
+fn device_fail_on_a_single_device_run_is_unrecoverable_but_typed() {
+    // With one device there are no survivors to re-shard onto: the run
+    // must end in a typed exhaustion, never a panic or a wrong answer.
+    let g = graph();
+    let spec = FaultSpec::parse("seed=1,device_fail=0.999").unwrap();
+    let err = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .faults(spec)
+        .recovery(RecoveryPolicy::retry())
+        .run()
+        .expect_err("a lone fail-stopped device cannot recover");
+    assert!(
+        matches!(err, EngineError::RetriesExhausted { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn straggler_window_preserves_the_answer_and_slows_the_clock() {
+    let g = graph();
+    let (clean_seeds, clean_sets) = clean_run(&g);
+    let clean_time = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .run()
+        .unwrap()
+        .sim_time_us();
+    let spec = FaultSpec::parse("seed=7,straggler=10.0@0:32").unwrap();
+    let r = EimBuilder::new(&g)
+        .k(3)
+        .epsilon(0.35)
+        .seed(11)
+        .faults(spec)
+        .recovery(RecoveryPolicy::retry())
+        .run()
+        .expect("a straggler never faults");
+    assert_eq!(r.seeds, clean_seeds);
+    assert_eq!(r.num_sets, clean_sets);
+    assert!(
+        r.sim_time_us() > clean_time,
+        "10x straggler window cost no time ({} vs {})",
+        r.sim_time_us(),
+        clean_time
+    );
 }
