@@ -1,0 +1,243 @@
+//! Variable-width bit stream — the frame payload coder behind the
+//! compressed RRR store and its host-spill pages.
+//!
+//! [`PackedArray`](crate::PackedArray) fixes one width for a whole array;
+//! compressed RRR frames interleave values at *per-set* widths (a first
+//! value at `ceil(log2 n)` bits followed by gaps at that set's own
+//! `bits_for(max gap)`), so the coder here takes the width per push and per
+//! read instead. Values straddle 64-bit word boundaries exactly as in the
+//! fixed-width layout.
+
+use crate::nbits::mask;
+
+/// Decodes `nbits` bits starting at absolute offset `bit` of `words`.
+#[inline]
+fn read_at(words: &[u64], bit: usize, nbits: u32) -> u64 {
+    let word = bit >> 6;
+    let off = (bit & 63) as u32;
+    let lo = words[word] >> off;
+    let v = if off + nbits > 64 {
+        lo | (words[word + 1] << (64 - off))
+    } else {
+        lo
+    };
+    v & mask(nbits)
+}
+
+/// Append-only writer for a variable-width bit stream.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `v` at `nbits` bits.
+    ///
+    /// # Panics
+    /// Panics if `nbits` is outside `1..=64` or `v` does not fit.
+    pub fn push(&mut self, v: u64, nbits: u32) {
+        assert!((1..=64).contains(&nbits), "bits per value must be 1..=64");
+        assert!(v <= mask(nbits), "value {v} does not fit in {nbits} bits");
+        let bit = self.len_bits;
+        self.len_bits += nbits as usize;
+        self.words.resize(self.len_bits.div_ceil(64), 0);
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        self.words[word] |= v << off;
+        if off + nbits > 64 {
+            self.words[word + 1] |= v >> (64 - off);
+        }
+    }
+
+    /// Bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Decodes `nbits` bits starting at absolute bit offset `bit` from the
+    /// bits written so far — the in-place read path for a still-open frame
+    /// (the compressed store's tail block decodes without sealing).
+    #[inline]
+    pub fn read(&self, bit: usize, nbits: u32) -> u64 {
+        debug_assert!(
+            bit + nbits as usize <= self.len_bits,
+            "read past end of stream"
+        );
+        read_at(&self.words, bit, nbits)
+    }
+
+    /// Heap bytes of the backing words.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The backing words written so far.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Seals the stream for reading.
+    pub fn finish(self) -> BitStream {
+        BitStream {
+            words: self.words,
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// A sealed, randomly-addressable bit stream; readers supply the width of
+/// every value they decode (the frame header's job in the RRR store).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitStream {
+    words: Vec<u64>,
+    len_bits: usize,
+}
+
+impl BitStream {
+    /// Decodes `nbits` bits starting at absolute bit offset `bit`.
+    ///
+    /// # Panics
+    /// Panics (debug) on an out-of-range read; release reads garbage the
+    /// same way a device kernel would, so callers bound-check at the edges.
+    #[inline]
+    pub fn read(&self, bit: usize, nbits: u32) -> u64 {
+        debug_assert!(
+            bit + nbits as usize <= self.len_bits,
+            "read past end of stream"
+        );
+        read_at(&self.words, bit, nbits)
+    }
+
+    /// A sequential cursor starting at absolute bit offset `bit`.
+    pub fn reader_at(&self, bit: usize) -> BitReader<'_> {
+        debug_assert!(bit <= self.len_bits);
+        BitReader { stream: self, bit }
+    }
+
+    /// Total bits stored.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Heap bytes of the backing words.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The backing words (for digesting the exact encoded layout).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Sequential decoder over a [`BitStream`] with a rolling cursor.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    stream: &'a BitStream,
+    bit: usize,
+}
+
+impl BitReader<'_> {
+    /// Decodes the next `nbits` bits and advances the cursor.
+    #[inline]
+    pub fn read(&mut self, nbits: u32) -> u64 {
+        let v = self.stream.read(self.bit, nbits);
+        self.bit += nbits as usize;
+        v
+    }
+
+    /// Current absolute bit offset.
+    pub fn position(&self) -> usize {
+        self.bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mixed_widths_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [(5u64, 3u32), (1023, 10), (0, 1), (u64::MAX, 64), (7, 17)];
+        for &(v, bits) in &values {
+            w.push(v, bits);
+        }
+        let s = w.finish();
+        let mut r = s.reader_at(0);
+        for &(v, bits) in &values {
+            assert_eq!(r.read(bits), v);
+        }
+        assert_eq!(r.position(), s.len_bits());
+    }
+
+    #[test]
+    fn values_straddle_word_boundaries() {
+        // 60 bits, then a 10-bit value spanning words 0 and 1.
+        let mut w = BitWriter::new();
+        w.push(0x0fff_ffff_ffff_ffff, 60);
+        w.push(0x2a5, 10);
+        w.push(1, 1);
+        let s = w.finish();
+        assert_eq!(s.read(0, 60), 0x0fff_ffff_ffff_ffff);
+        assert_eq!(s.read(60, 10), 0x2a5);
+        assert_eq!(s.read(70, 1), 1);
+    }
+
+    #[test]
+    fn open_writer_reads_back_what_it_wrote() {
+        let mut w = BitWriter::new();
+        w.push(0x1ffff, 17);
+        w.push(3, 2);
+        assert_eq!(w.read(0, 17), 0x1ffff);
+        assert_eq!(w.read(17, 2), 3);
+        w.push(0xdead_beef, 61);
+        assert_eq!(w.read(19, 61), 0xdead_beef);
+        assert_eq!(w.bytes(), 16);
+        let s = w.clone().finish();
+        assert_eq!(s.read(19, 61), 0xdead_beef);
+        assert_eq!(s.words(), w.words());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = BitWriter::new().finish();
+        assert_eq!(s.len_bits(), 0);
+        assert_eq!(s.bytes(), 0);
+        assert!(s.words().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_values() {
+        BitWriter::new().push(8, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_width_sequence(
+            pairs in prop::collection::vec((0u64..=u64::MAX, 1u32..=64), 0..200)
+        ) {
+            let pairs: Vec<(u64, u32)> = pairs
+                .into_iter()
+                .map(|(v, bits)| (v & crate::nbits::mask(bits), bits))
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, bits) in &pairs {
+                w.push(v, bits);
+            }
+            let s = w.finish();
+            let mut r = s.reader_at(0);
+            for &(v, bits) in &pairs {
+                prop_assert_eq!(r.read(bits), v);
+            }
+        }
+    }
+}

@@ -114,6 +114,7 @@ impl PackedCsc {
 
     /// Appends the neighbor stream's elements `start..end` (a row from
     /// [`PackedCsc::row_bounds`]) to `out`, decoded sequentially.
+    #[inline]
     pub fn decode_neighbors_into(&self, start: usize, end: usize, out: &mut Vec<VertexId>) {
         self.neighbors.extend_decode_u32(start, end, out);
     }
@@ -215,6 +216,35 @@ mod tests {
                 assert!((p.in_weight(v, i) - g.in_weights(v)[i]).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn row_decode_at_exact_word_boundary_and_empty_rows() {
+        // Neighbor id 199 forces 8-bit ids, so a first row of exactly 8
+        // in-edges fills bits 0..64: row 1 starts precisely on the word
+        // boundary. Vertex 2 has no in-edges (zero-length row).
+        let mut edges: Vec<(u32, u32)> = (1..=8).map(|u| (u, 0)).collect();
+        edges.extend([(9, 1), (10, 1), (199, 3)]);
+        let g = GraphBuilder::new(200)
+            .edges(edges)
+            .build(WeightModel::WeightedCascade);
+        let p = PackedCsc::from_graph(&g);
+        assert_eq!(p.neighbor_bits(), 8);
+        assert_eq!(p.in_degree(0), 8);
+        assert_eq!(p.in_degree(2), 0);
+        let mut out = Vec::new();
+        for v in 0..4u32 {
+            let (s, e) = p.row_bounds(v);
+            out.clear();
+            p.decode_neighbors_into(s, e, &mut out);
+            assert_eq!(out, g.in_neighbors(v), "row {v}");
+        }
+        // The empty row must not disturb pre-existing output contents.
+        let (s, e) = p.row_bounds(2);
+        assert_eq!(s, e);
+        let mut keep = vec![42u32];
+        p.decode_neighbors_into(s, e, &mut keep);
+        assert_eq!(keep, vec![42]);
     }
 
     #[test]

@@ -7,7 +7,12 @@ use crate::nbits::{bits_for, mask};
 /// boundary, as in Figure 1 of the paper).
 #[derive(Clone, Debug, PartialEq)]
 pub struct PackedArray {
+    /// Packed payload plus one trailing zero word, so decoders may always
+    /// read `words[word + 1]` and reassemble straddling values branch-free.
     words: Vec<u64>,
+    /// Words actually carrying payload (excludes the padding word) — the
+    /// count every byte-accounting figure is based on.
+    data_words: usize,
     len: usize,
     nbits: u32,
 }
@@ -28,7 +33,8 @@ impl PackedArray {
         assert!((1..=64).contains(&nbits), "bits per value must be 1..=64");
         let m = mask(nbits);
         let total_bits = values.len() * nbits as usize;
-        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let data_words = total_bits.div_ceil(64);
+        let mut words = vec![0u64; data_words + 1];
         for (i, &v) in values.iter().enumerate() {
             assert!(v <= m, "value {v} does not fit in {nbits} bits");
             let bit = i * nbits as usize;
@@ -41,6 +47,7 @@ impl PackedArray {
         }
         Self {
             words,
+            data_words,
             len: values.len(),
             nbits,
         }
@@ -52,7 +59,8 @@ impl PackedArray {
         let nbits = bits_for(max);
         let m = mask(nbits);
         let total_bits = values.len() * nbits as usize;
-        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let data_words = total_bits.div_ceil(64);
+        let mut words = vec![0u64; data_words + 1];
         for (i, &v) in values.iter().enumerate() {
             let v = v as u64;
             debug_assert!(v <= m);
@@ -66,14 +74,23 @@ impl PackedArray {
         }
         Self {
             words,
+            data_words,
             len: values.len(),
             nbits,
         }
     }
 
     /// Wraps raw parts (used by [`crate::AtomicPackedArray::into_packed`]).
-    pub(crate) fn from_raw(words: Vec<u64>, len: usize, nbits: u32) -> Self {
-        Self { words, len, nbits }
+    /// Appends the decoder padding word; `words` must hold payload only.
+    pub(crate) fn from_raw(mut words: Vec<u64>, len: usize, nbits: u32) -> Self {
+        let data_words = words.len();
+        words.push(0);
+        Self {
+            words,
+            data_words,
+            len,
+            nbits,
+        }
     }
 
     /// Element count.
@@ -105,13 +122,12 @@ impl PackedArray {
         let bit = i * self.nbits as usize;
         let word = bit >> 6;
         let off = (bit & 63) as u32;
+        // The padding word makes `word + 1` always readable, and
+        // `(hi << 1) << (63 - off)` is `hi << (64 - off)` for `off > 0` but
+        // exactly 0 for `off == 0` — no straddle branch to mispredict.
         let lo = self.words[word] >> off;
-        let v = if off + self.nbits > 64 {
-            lo | (self.words[word + 1] << (64 - off))
-        } else {
-            lo
-        };
-        v & mask(self.nbits)
+        let hi = (self.words[word + 1] << 1) << (63 - off);
+        (lo | hi) & mask(self.nbits)
     }
 
     /// Decoding iterator over all elements.
@@ -125,24 +141,38 @@ impl PackedArray {
     /// reads whole CSC rows, and amortizing the index arithmetic across the
     /// row is markedly cheaper than a [`PackedArray::get`] per element.
     /// Values wider than 32 bits are truncated; callers pack vertex ids.
+    #[inline]
     pub fn extend_decode_u32(&self, start: usize, end: usize, out: &mut Vec<u32>) {
         debug_assert!(start <= end && end <= self.len);
         let nbits = self.nbits as usize;
         let m = mask(self.nbits);
-        let mut bit = start * nbits;
-        out.reserve(end - start);
-        for _ in start..end {
+        let bit = start * nbits;
+        let words = &self.words[..];
+        // Short ranges — CSC rows mostly — fit one two-word window entirely;
+        // decode them with a single pair of loads and per-element shifts.
+        // (`extend` over an exact-size range writes without per-element
+        // capacity checks, unlike a `push` loop.)
+        if end > start && (end - start) * nbits + (bit & 63) <= 128 {
+            let word = bit >> 6;
+            let win = words[word] as u128 | ((words[word + 1] as u128) << 64);
+            let off = (bit & 63) as u32;
+            out.extend(
+                (0..(end - start) as u32)
+                    .map(|j| ((win >> (off + j * self.nbits)) as u64 & m) as u32),
+            );
+            return;
+        }
+        out.extend((start..end).map(|i| {
+            let bit = i * nbits;
             let word = bit >> 6;
             let off = (bit & 63) as u32;
-            let lo = self.words[word] >> off;
-            let v = if off + self.nbits > 64 {
-                lo | (self.words[word + 1] << (64 - off))
-            } else {
-                lo
-            };
-            out.push((v & m) as u32);
-            bit += nbits;
-        }
+            // Branch-free straddle reassembly (see [`PackedArray::get`]):
+            // the trailing padding word keeps `word + 1` in bounds, and the
+            // double shift zeroes the high half exactly when `off == 0`.
+            let lo = words[word] >> off;
+            let hi = (words[word + 1] << 1) << (63 - off);
+            ((lo | hi) & m) as u32
+        }));
     }
 
     /// Decodes the whole array into a fresh `Vec`.
@@ -154,7 +184,7 @@ impl PackedArray {
     /// memory-saving figure in the paper.
     #[inline]
     pub fn bytes(&self) -> usize {
-        self.words.len() * std::mem::size_of::<u64>()
+        self.data_words * std::mem::size_of::<u64>()
     }
 
     /// Bytes the same data occupies unpacked at `unpacked_width` bytes per
@@ -236,7 +266,69 @@ mod tests {
         PackedArray::from_values_with_bits(&[200], 7);
     }
 
+    #[test]
+    fn range_decode_at_exact_word_boundaries() {
+        // 8 bits x 8 values = 64 bits: every 8th element starts a word, so
+        // these ranges begin and end exactly on word boundaries — the frame
+        // edges block decoders jump to.
+        let vals: Vec<u64> = (0..40).map(|i| (i * 37) % 256).collect();
+        let a = PackedArray::from_values_with_bits(&vals, 8);
+        for (start, end) in [(0, 8), (8, 16), (8, 40), (16, 24), (0, 40)] {
+            let mut out = Vec::new();
+            a.extend_decode_u32(start, end, &mut out);
+            let want: Vec<u32> = vals[start..end].iter().map(|&v| v as u32).collect();
+            assert_eq!(out, want, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn range_decode_zero_length_anywhere() {
+        let vals: Vec<u64> = (0..20).map(|i| i * 3).collect();
+        // 13 bits: ranges land mid-word; zero-length decodes (empty RRR
+        // sets, empty CSC rows) must neither read nor write.
+        let a = PackedArray::from_values_with_bits(&vals, 13);
+        for start in [0, 1, 4, 19, 20] {
+            let mut out = vec![9u32];
+            a.extend_decode_u32(start, start, &mut out);
+            assert_eq!(out, vec![9], "start {start}");
+        }
+    }
+
+    #[test]
+    fn range_decode_straddling_value_at_range_edges() {
+        // 7 bits: element 9 straddles words 0 and 1; ranges that start or
+        // end on the straddler exercise the two-word reassembly at the
+        // cursor's first and last step.
+        let vals: Vec<u64> = (0..20).map(|i| (i * 13) % 128).collect();
+        let a = PackedArray::from_values_with_bits(&vals, 7);
+        for (start, end) in [(9, 10), (0, 10), (9, 20), (10, 20)] {
+            let mut out = Vec::new();
+            a.extend_decode_u32(start, end, &mut out);
+            let want: Vec<u32> = vals[start..end].iter().map(|&v| v as u32).collect();
+            assert_eq!(out, want, "range {start}..{end}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn block_decode_roundtrips_any_nbits_width(
+            vals in prop::collection::vec(0u64..(1 << 20), 1..200),
+            width in 20u32..33,
+            cut_a in any::<usize>(),
+            cut_b in any::<usize>(),
+        ) {
+            // Random explicit widths (not derived from the max value), so
+            // boundary phases the natural width never hits are covered.
+            let a = PackedArray::from_values_with_bits(&vals, width);
+            let mut bounds = [cut_a % (vals.len() + 1), cut_b % (vals.len() + 1)];
+            bounds.sort_unstable();
+            let [start, end] = bounds;
+            let mut out = Vec::new();
+            a.extend_decode_u32(start, end, &mut out);
+            let want: Vec<u32> = vals[start..end].iter().map(|&v| v as u32).collect();
+            prop_assert_eq!(out, want);
+        }
+
         #[test]
         fn roundtrip_any_values(vals in prop::collection::vec(any::<u64>(), 0..200)) {
             let a = PackedArray::from_values(&vals);

@@ -133,6 +133,87 @@ impl DeviceGraph for PlainDeviceGraph<'_> {
     }
 }
 
+/// Log-encoded CSC view with the same once-per-run host precomputation
+/// [`PlainDeviceGraph`] gets: per-edge acceptance thresholds in flat CSC
+/// order and unpacked row starts. The device still holds only the packed
+/// arrays — thresholds re-encode the weight array at the same 4 bytes per
+/// edge the plain view claims, and the row starts mirror the packed
+/// offsets — so [`DeviceGraph::device_bytes`] delegates to the packed
+/// representation unchanged. What remains per [`DeviceGraph::in_edges`]
+/// call is the sequential neighbor decode, the one cost intrinsic to the
+/// log-encoded format.
+pub struct PackedDeviceGraph {
+    csc: PackedCsc,
+    /// Exclusive prefix of in-degrees: edge range of `v` in `thresholds`
+    /// and in the packed neighbor stream.
+    row_starts: Vec<usize>,
+    /// Per-edge acceptance thresholds in CSC order ([`weight_threshold`]).
+    thresholds: Vec<u32>,
+}
+
+impl PackedDeviceGraph {
+    /// Wraps a packed CSC, precomputing row starts and edge thresholds.
+    pub fn new(csc: PackedCsc) -> Self {
+        let n = csc.num_vertices();
+        let m = csc.num_edges();
+        let mut row_starts = Vec::with_capacity(n + 1);
+        let mut thresholds = Vec::with_capacity(m);
+        for v in 0..n as VertexId {
+            let (start, end) = csc.row_bounds(v);
+            row_starts.push(start);
+            match csc.plain_weights(start, end) {
+                Some(ws) => thresholds.extend(ws.iter().map(|&p| weight_threshold(p))),
+                None => {
+                    // Derived weights are constant across the row.
+                    let d = end - start;
+                    let t = weight_threshold(if d == 0 { 0.0 } else { 1.0 / d as Weight });
+                    thresholds.resize(thresholds.len() + d, t);
+                }
+            }
+        }
+        row_starts.push(m);
+        Self {
+            csc,
+            row_starts,
+            thresholds,
+        }
+    }
+
+    /// The wrapped packed representation.
+    pub fn csc(&self) -> &PackedCsc {
+        &self.csc
+    }
+}
+
+impl DeviceGraph for PackedDeviceGraph {
+    fn n(&self) -> usize {
+        self.csc.num_vertices()
+    }
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.row_starts[v as usize + 1] - self.row_starts[v as usize]
+    }
+    fn in_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.csc.in_neighbor(v, i)
+    }
+    fn in_weight(&self, v: VertexId, i: usize) -> Weight {
+        self.csc.in_weight(v, i)
+    }
+    fn device_bytes(&self) -> usize {
+        self.csc.bytes()
+    }
+    fn in_edges<'a>(
+        &'a self,
+        v: VertexId,
+        scratch: &'a mut EdgeScratch,
+    ) -> (&'a [VertexId], &'a [u32]) {
+        let (start, end) = (self.row_starts[v as usize], self.row_starts[v as usize + 1]);
+        scratch.nbrs.clear();
+        self.csc
+            .decode_neighbors_into(start, end, &mut scratch.nbrs);
+        (&scratch.nbrs, &self.thresholds[start..end])
+    }
+}
+
 impl DeviceGraph for PackedCsc {
     fn n(&self) -> usize {
         self.num_vertices()

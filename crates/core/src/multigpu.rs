@@ -31,11 +31,11 @@ use eim_gpusim::{
 };
 use eim_graph::Graph;
 use eim_imm::{
-    AnyRrrStore, DeviceManifest, EngineError, EngineManifest, Eviction, ImmConfig, ImmEngine,
-    RecoveryReport, RrrSets, RrrStoreBuilder, Selection,
+    degree_remap, AnyRrrStore, DeviceManifest, EngineError, EngineManifest, Eviction, ImmConfig,
+    ImmEngine, RecoveryReport, RrrSets, RrrStoreBuilder, Selection,
 };
 
-use crate::device_graph::PlainDeviceGraph;
+use crate::device_graph::{PackedDeviceGraph, PlainDeviceGraph};
 use crate::memory::ScratchPlan;
 use crate::sampler::{sample_batch, SamplerCounters};
 use crate::select::{select_on_device, ScanStrategy};
@@ -43,7 +43,7 @@ use crate::DeviceGraph;
 
 enum GraphRepr<'g> {
     Plain(PlainDeviceGraph<'g>),
-    Packed(PackedCsc),
+    Packed(PackedDeviceGraph),
 }
 
 /// eIM across `D` simulated devices.
@@ -126,7 +126,7 @@ impl<'g> MultiGpuEimEngine<'g> {
         let n = graph.num_vertices();
         config.validate(n);
         let repr = if config.packed {
-            GraphRepr::Packed(PackedCsc::from_graph(graph))
+            GraphRepr::Packed(PackedDeviceGraph::new(PackedCsc::from_graph(graph)))
         } else {
             GraphRepr::Plain(PlainDeviceGraph::new(graph))
         };
@@ -160,7 +160,11 @@ impl<'g> MultiGpuEimEngine<'g> {
             streams,
             uploads,
             graph: repr,
-            store: AnyRrrStore::new(n, config.packed),
+            store: if config.compressed {
+                AnyRrrStore::compressed(n, degree_remap(graph))
+            } else {
+                AnyRrrStore::new(n, config.packed)
+            },
             config,
             partition_bytes: vec![0; num_devices],
             gathered_bytes: 0,

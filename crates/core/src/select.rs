@@ -99,6 +99,14 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
         ScanStrategy::ThreadPerSet => spec.thread_slots(),
         ScanStrategy::WarpPerSet => spec.warp_slots(),
     };
+    // Round-robin assignment only ever lands sets on the first
+    // `min(slots, num_sets)` slots; the rest stay empty and would only pad
+    // the makespan scan with zeros.
+    let used_slots = slots.min(num_sets.max(1));
+    // Rayon with a single worker still pays per-call pool dispatch; the
+    // simulated cost model is identical either way, so take the serial
+    // path outright (the same convention as `eim_imm::select_seeds`).
+    let serial = rayon::current_num_threads() <= 1;
 
     let push_iteration =
         |total_cycles: u64, launches: u64, hw: KernelHw, iters: &mut Vec<SelectIteration>| {
@@ -132,20 +140,30 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
             ..KernelHw::default()
         };
         hw.global_bytes = hw.global_transactions * GLOBAL_TRANSACTION_BYTES;
-        let best = (0..n)
-            .into_par_iter()
-            .filter(|&v| !selected[v])
-            .map(|v| (counts[v], v))
-            .reduce(
-                || (0u32, usize::MAX),
-                |a, b| {
-                    if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
-                        b
-                    } else {
-                        a
-                    }
-                },
-            );
+        let best = if serial {
+            let mut best = (0u32, usize::MAX);
+            for (v, &c) in counts.iter().enumerate() {
+                if !selected[v] && (best.1 == usize::MAX || c > best.0) {
+                    best = (c, v);
+                }
+            }
+            best
+        } else {
+            (0..n)
+                .into_par_iter()
+                .filter(|&v| !selected[v])
+                .map(|v| (counts[v], v))
+                .reduce(
+                    || (0u32, usize::MAX),
+                    |a, b| {
+                        if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                            b
+                        } else {
+                            a
+                        }
+                    },
+                )
+        };
         if best.1 == usize::MAX {
             // The dangling argmax still launched: give it its own entry so
             // the breakdown sums to the totals.
@@ -160,9 +178,8 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
         // state, probe count, and — when found — the count-update work.
         // Each entry: (cycles, found, global transactions, atomics,
         // tail-wave idle lane-cycles for WarpPerSet).
-        let per_set: Vec<(u64, bool, u64, u64, u64)> = (0..num_sets)
-            .into_par_iter()
-            .map(|i| {
+        let scan_set = |i: usize| {
+            {
                 if covered_flags[i] {
                     // F[i] load only (coalesced).
                     return (costs.alu, false, 0, 0, 0);
@@ -197,14 +214,19 @@ pub fn select_on_device<S: RrrSets + ?Sized>(
                     }
                 };
                 (costs.alu + cycles, found, txns, atomics, tail_idle)
-            })
-            .collect();
+            }
+        };
+        let per_set: Vec<(u64, bool, u64, u64, u64)> = if serial {
+            (0..num_sets).map(scan_set).collect()
+        } else {
+            (0..num_sets).into_par_iter().map(scan_set).collect()
+        };
         // Round-robin slot assignment (the §3.5 schedule): the scan drains
         // when the busiest slot does; the per-slot sums also feed the
         // occupancy and divergence counters below.
-        let mut slot_sums = vec![0u64; slots];
+        let mut slot_sums = vec![0u64; used_slots];
         for (i, &(c, ..)) in per_set.iter().enumerate() {
-            slot_sums[i % slots] += c;
+            slot_sums[i % used_slots] += c;
         }
         let scan_makespan = slot_sums.iter().copied().max().unwrap_or(0);
         total_cycles += scan_makespan;

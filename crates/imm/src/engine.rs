@@ -11,7 +11,9 @@ use rayon::prelude::*;
 
 use crate::config::ImmConfig;
 use crate::martingale::{EngineError, ImmEngine};
-use crate::rrrstore::{PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder};
+use crate::rrrstore::{
+    degree_remap, CompressedRrrStore, PackedRrrStore, PlainRrrStore, RrrSets, RrrStoreBuilder,
+};
 use crate::selection::{select_seeds, Selection};
 use crate::source_elim::apply_source_elimination;
 
@@ -27,6 +29,7 @@ pub enum CpuParallelism {
 enum StoreKind {
     Plain(PlainRrrStore),
     Packed(PackedRrrStore),
+    Compressed(CompressedRrrStore),
 }
 
 impl StoreKind {
@@ -34,12 +37,14 @@ impl StoreKind {
         match self {
             StoreKind::Plain(s) => s,
             StoreKind::Packed(s) => s,
+            StoreKind::Compressed(s) => s,
         }
     }
     fn append(&mut self, set: &[VertexId]) {
         match self {
             StoreKind::Plain(s) => s.append_set(set),
             StoreKind::Packed(s) => s.append_set(set),
+            StoreKind::Compressed(s) => s.append_set(set),
         }
     }
 }
@@ -67,7 +72,9 @@ impl<'g> CpuEngine<'g> {
     /// A new engine over `graph`.
     pub fn new(graph: &'g Graph, config: ImmConfig, parallelism: CpuParallelism) -> Self {
         let n = graph.num_vertices();
-        let store = if config.packed {
+        let store = if config.compressed {
+            StoreKind::Compressed(CompressedRrrStore::with_remap(n, degree_remap(graph)))
+        } else if config.packed {
             StoreKind::Packed(PackedRrrStore::new(n))
         } else {
             StoreKind::Plain(PlainRrrStore::new(n))
@@ -241,6 +248,26 @@ mod tests {
         assert_eq!(rp.seeds, rq.seeds);
         assert_eq!(rp.num_sets, rq.num_sets);
         assert!(rq.store_bytes < rp.store_bytes);
+    }
+
+    #[test]
+    fn compressed_store_yields_identical_seeds() {
+        let g = generators::rmat(
+            300,
+            1_800,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            9,
+        );
+        let c = cfg();
+        let c_comp = c.with_compressed(true);
+        let mut plain = CpuEngine::new(&g, c.with_packed(false), CpuParallelism::Rayon);
+        let mut comp = CpuEngine::new(&g, c_comp, CpuParallelism::Rayon);
+        let rp = run_imm(&mut plain, &c.with_packed(false)).unwrap();
+        let rc = run_imm(&mut comp, &c_comp).unwrap();
+        assert_eq!(rp.seeds, rc.seeds);
+        assert_eq!(rp.num_sets, rc.num_sets);
+        assert_eq!(rp.total_elements, rc.total_elements);
     }
 
     #[test]
