@@ -58,11 +58,11 @@ use eim_core::sampler::sample_batch;
 use eim_core::{EimEngine, MultiGpuEimEngine, PlainDeviceGraph, ScanStrategy};
 use eim_diffusion::DiffusionModel;
 use eim_gpusim::{Device, DeviceSpec, FaultSpec, MetricsRegistry, MetricsSink, RunTrace};
-use eim_graph::{generators, WeightModel};
+use eim_graph::{generators, Dataset, WeightModel};
 use eim_imm::{
     frequency_remap, run_imm, run_imm_recovering, select_seeds, select_seeds_reference,
-    CompressedRrrStore, EngineError, ImmConfig, ImmEngine as _, PlainRrrStore, RecoveryPolicy,
-    RrrStoreBuilder,
+    CompressedRrrStore, CpuEngine, CpuParallelism, EngineError, HostResampler, ImmConfig,
+    ImmEngine as _, PlainRrrStore, RecoveryPolicy, RrrStoreBuilder, StreamingImmEngine,
 };
 use rand::{Rng, SeedableRng};
 use serde_json::{Map, Value};
@@ -115,9 +115,177 @@ fn usage_and_exit(code: i32) -> ! {
     println!(
         "eim-bench perf  [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
          [--metrics FILE] [--digest FILE]\n\
-         eim-bench chaos [--plans N] [--seed N] [--devices N] [--json FILE]"
+         eim-bench chaos [--plans N] [--seed N] [--devices N] [--json FILE]\n\
+         eim-bench updates [--json FILE] [--smoke] [--seed N]"
     );
     std::process::exit(code);
+}
+
+struct UpdatesArgs {
+    json: Option<PathBuf>,
+    smoke: bool,
+    seed: u64,
+}
+
+fn parse_updates_args() -> UpdatesArgs {
+    let mut args = UpdatesArgs {
+        json: None,
+        smoke: false,
+        seed: 190,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--smoke" => args.smoke = true,
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown option {other}");
+                usage_and_exit(1);
+            }
+        }
+    }
+    args
+}
+
+/// `updates`: the streaming-vs-recompute benchmark on the WV stand-in. Each
+/// batch of edge updates is applied twice — incrementally (invalidate +
+/// patch + warm replay) and as a cold full `run_imm` on the mutated graph —
+/// with the seeds byte-compared so the timing comparison is honest. Reports
+/// the resampled-set fraction per batch and the patch-vs-recompute wall
+/// speedup; CI's `streaming-smoke` job gates both against `BENCH_pr9.json`.
+fn run_updates(args: UpdatesArgs) -> ! {
+    let (scale, k, eps, batches, edges) = if args.smoke {
+        (0.15, 8usize, 0.3, 4usize, 24usize)
+    } else {
+        (0.6, 16, 0.25, 6, 48)
+    };
+    let dataset = Dataset::by_abbrev("WV").expect("WV registry entry");
+    let g0 = dataset.generate(scale, WeightModel::WeightedCascade, args.seed);
+    let config = ImmConfig::paper_default()
+        .with_k(k)
+        .with_epsilon(eps)
+        .with_seed(args.seed)
+        .with_packed(false);
+    let deltas = generators::update_stream(
+        &g0,
+        &generators::UpdateStreamSpec {
+            batches,
+            edges_per_batch: edges,
+            insert_fraction: 0.5,
+            seed: args.seed ^ 0x5eed,
+        },
+    );
+    println!(
+        "eim-bench updates — mode: {}, WV x {scale}, {} vertices / {} edges, \
+         {batches} batches x {edges} updates",
+        if args.smoke { "smoke" } else { "full" },
+        g0.num_vertices(),
+        g0.num_edges(),
+    );
+
+    let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+    let mut engine = StreamingImmEngine::new(
+        g0.clone(),
+        config,
+        WeightModel::WeightedCascade,
+        args.seed,
+        HostResampler::new(config.model, config.seed),
+    );
+    let t = Instant::now();
+    engine.replay().expect("initial replay");
+    let initial_ms = ms(t);
+
+    let mut cold_graph = g0.clone();
+    let mut rows: Vec<Value> = Vec::new();
+    let mut patch_total = 0.0f64;
+    let mut recompute_total = 0.0f64;
+    let mut fraction_sum = 0.0f64;
+    for delta in &deltas {
+        let t = Instant::now();
+        let report = engine.apply_update(delta).expect("incremental update");
+        let patch_ms = ms(t);
+        cold_graph.apply_delta(delta, WeightModel::WeightedCascade, args.seed);
+        let t = Instant::now();
+        let mut cold = CpuEngine::new(&cold_graph, config, CpuParallelism::Rayon);
+        let cold_result = run_imm(&mut cold, &config).expect("cold recompute");
+        let recompute_ms = ms(t);
+        assert_eq!(
+            report.result.seeds, cold_result.seeds,
+            "batch {}: incremental diverged from cold recompute",
+            report.batch
+        );
+        let fraction = report.resampled_fraction();
+        println!(
+            "batch {}: resampled {:>6} / {:<6} ({:>5.1}%)  patch {patch_ms:>8.2} ms  \
+             recompute {recompute_ms:>8.2} ms  ({:.2}x)",
+            report.batch,
+            report.resampled_slots.len(),
+            report.slots - report.fresh_slots,
+            100.0 * fraction,
+            recompute_ms / patch_ms,
+        );
+        patch_total += patch_ms;
+        recompute_total += recompute_ms;
+        fraction_sum += fraction;
+        let mut row = Map::new();
+        row.insert("batch", Value::from(report.batch));
+        row.insert("changed_heads", Value::from(report.changed_heads));
+        row.insert("resampled_sets", Value::from(report.resampled_slots.len()));
+        row.insert("fresh_sets", Value::from(report.fresh_slots));
+        row.insert("slots", Value::from(report.slots));
+        row.insert("resampled_fraction", Value::from(fraction));
+        row.insert("patch_ms", Value::from(patch_ms));
+        row.insert("recompute_ms", Value::from(recompute_ms));
+        rows.push(Value::Object(row));
+    }
+    let n_batches = deltas.len().max(1) as f64;
+    let fraction_mean = fraction_sum / n_batches;
+    let speedup = recompute_total / patch_total.max(1e-9);
+    println!(
+        "total: patch {patch_total:.2} ms vs recompute {recompute_total:.2} ms \
+         -> {speedup:.2}x; mean resampled fraction {:.1}% (initial build {initial_ms:.2} ms)",
+        100.0 * fraction_mean
+    );
+
+    let mut root = Map::new();
+    root.insert("schema", Value::from("eim-bench-updates-v1"));
+    root.insert(
+        "mode",
+        Value::from(if args.smoke { "smoke" } else { "full" }),
+    );
+    root.insert("seed", Value::from(args.seed));
+    root.insert("dataset", Value::from("WV"));
+    root.insert("scale", Value::from(scale));
+    root.insert("k", Value::from(k));
+    root.insert("epsilon", Value::from(eps));
+    root.insert("vertices", Value::from(g0.num_vertices()));
+    root.insert("edges", Value::from(g0.num_edges()));
+    root.insert("batches", Value::from(batches));
+    root.insert("edges_per_batch", Value::from(edges));
+    root.insert("initial_ms", Value::from(initial_ms));
+    root.insert("checkpoints", Value::Array(rows));
+    root.insert("resampled_fraction_mean", Value::from(fraction_mean));
+    root.insert("patch_ms_total", Value::from(patch_total));
+    root.insert("recompute_ms_total", Value::from(recompute_total));
+    root.insert("patch_speedup", Value::from(speedup));
+    root.insert("seeds_match", Value::from(true));
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        std::fs::write(path, text).expect("write json");
+        println!("wrote {}", path.display());
+    }
+    std::process::exit(0);
 }
 
 struct ChaosArgs {
@@ -782,6 +950,7 @@ fn main() {
         "--help" | "-h" => usage_and_exit(0),
         "perf" => {}
         "chaos" => run_chaos(parse_chaos_args()),
+        "updates" => run_updates(parse_updates_args()),
         other => {
             eprintln!("unknown subcommand {other:?}");
             usage_and_exit(1);

@@ -97,6 +97,25 @@ impl PackedBuf {
         v & mask(self.nbits)
     }
 
+    /// Shortens the buffer to `len` elements, discarding the tail. The
+    /// partial word past the new end is scrubbed so subsequent pushes OR
+    /// into clean bits. No-op when `len >= self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        let bit = len * self.nbits as usize;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        self.words.truncate(if off == 0 { word } else { word + 1 });
+        if off != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= mask(off);
+            }
+        }
+        self.len = len;
+    }
+
     /// Heap bytes of the packed words.
     #[inline]
     pub fn bytes(&self) -> usize {
@@ -162,6 +181,26 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.bytes(), 0);
         assert_eq!(b.freeze().len(), 0);
+    }
+
+    #[test]
+    fn truncate_then_push_matches_fresh_build() {
+        for nbits in [7u32, 20, 33, 64] {
+            let vals: Vec<u64> = (0..60).map(|i| (i * 0x9e37u64) & mask(nbits)).collect();
+            let mut b = PackedBuf::new(nbits);
+            for &v in &vals {
+                b.push(v);
+            }
+            b.truncate(23);
+            for &v in &vals[23..40] {
+                b.push(v);
+            }
+            let mut fresh = PackedBuf::new(nbits);
+            for &v in &vals[..40] {
+                fresh.push(v);
+            }
+            assert_eq!(b, fresh, "nbits={nbits}");
+        }
     }
 
     proptest! {

@@ -35,6 +35,7 @@ mod device_graph;
 mod engine;
 mod memory;
 mod multigpu;
+mod resample;
 pub mod sampler;
 pub mod select;
 
@@ -45,4 +46,5 @@ pub use device_graph::{
 pub use engine::EimEngine;
 pub use memory::MemoryFootprint;
 pub use multigpu::{DeviceRecoverySummary, MultiGpuEimEngine};
+pub use resample::DeviceResampler;
 pub use select::ScanStrategy;

@@ -259,6 +259,49 @@ pub fn sample_batch<G: DeviceGraph>(
     Ok(merge_blocks(result, blocks, count, n, source_elim))
 }
 
+/// Samples RRR sets for an explicit list of logical `indices` of run `seed`
+/// — the streaming resample kernel. Identical traversal, RNG streams, and
+/// cost model to [`sample_batch`]; only the index assignment differs: block
+/// `b` takes `indices[b]`, `indices[b + blocks]`, … round-robin, and the
+/// merged batch is ordered by *position in `indices`* (slot `j` of the
+/// result is sample `indices[j]`).
+///
+/// Because every set index owns a deterministic RNG stream, redrawing index
+/// `i` here against a mutated graph yields exactly the set a cold batch run
+/// would produce for `i` on that graph.
+pub fn sample_indices<G: DeviceGraph>(
+    device: &Device,
+    graph: &G,
+    model: DiffusionModel,
+    seed: u64,
+    indices: &[u64],
+    source_elim: bool,
+) -> Result<SampleBatch, SimFault> {
+    let n = graph.n();
+    let count = indices.len();
+    let blocks = (device.spec().num_sms * 4).min(count.max(1));
+    device.check_kernel_fault("eim_sample")?;
+    let result = device.launch_with_scratch(
+        "eim_sample",
+        blocks,
+        || SamplerScratch::new(n),
+        |ctx, scratch| {
+            let b = ctx.block_id();
+            ctx.charge_warp_sweep(n.div_ceil(32), ctx.spec().costs.global_access); // memset M
+            let local = count.saturating_sub(b).div_ceil(blocks);
+            let mut out = BlockOutput::with_capacity(local);
+            let mut j = b;
+            while j < count {
+                let idx = indices[j];
+                fused_sample_one(ctx, graph, model, seed, idx, source_elim, scratch, &mut out);
+                j += blocks;
+            }
+            out
+        },
+    );
+    Ok(merge_blocks(result, blocks, count, n, source_elim))
+}
+
 /// The pre-fusion sampler: traverse into a scratch queue, sort, then copy
 /// into the block output in a separate pass (charging the Q→R copy sweep
 /// the fused kernel eliminates). Retained as the differential-testing

@@ -140,7 +140,7 @@ pub struct StragglerWindow {
 /// and zero or more `pressure=<fraction>@<from>:<to>` windows, e.g.
 /// `seed=42,kernel=0.05,device_fail=0.01,straggler=3@8:24`.
 ///
-/// [`FaultSpec::to_string`] renders the canonical form of a spec, and
+/// The [`Display`](std::fmt::Display) impl renders the canonical form of a spec, and
 /// `FaultSpec::parse(&spec.to_string()) == spec` for every valid spec.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSpec {

@@ -1,0 +1,357 @@
+//! Edge-update batches for streaming graphs.
+//!
+//! A [`GraphDelta`] is one batch of edge insertions and deletions applied
+//! atomically to a [`Graph`]. [`Graph::apply_delta`] patches the CSC rows of
+//! the affected heads (the vertices whose in-rows change), reassigns weights
+//! under the graph's [`WeightModel`], and rebuilds the CSR side by
+//! transposition so both directions stay in sync.
+//!
+//! Batch semantics are *net effect*: within one batch deletes land before
+//! inserts, deleting a missing edge or inserting a present one is a no-op,
+//! and a delete+insert of the same edge self-heals (the row converges back
+//! to its prior content and is not reported as changed). The returned
+//! [`AppliedDelta::changed_heads`] is therefore exactly the set of vertices
+//! whose in-rows differ from before — the invalidation frontier a streaming
+//! IMM engine needs.
+//!
+//! Weight assignment for a changed row follows the model's semantics rather
+//! than replaying the build-time RNG stream (which was positional over the
+//! whole edge arena and cannot survive structural edits):
+//!
+//! * [`WeightModel::WeightedCascade`]: the whole changed row is rewritten to
+//!   `1/d^-_v` — the in-degree changed, so every weight in the row changes.
+//! * [`WeightModel::Uniform`]: inserted edges get `p`; survivors keep `p`.
+//! * [`WeightModel::Trivalency`] / [`WeightModel::Random`]: inserted edges
+//!   draw from the model's distribution through a per-edge deterministic
+//!   stream seeded from `(weight_seed, u, v)`, so the same insert always
+//!   gets the same weight regardless of batch composition or order.
+//! * [`WeightModel::Preserve`]: surviving edges keep their weights; inserted
+//!   edges default to `1/d^-_v` (the weighted-cascade convention).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Adjacency, Graph, VertexId, Weight, WeightModel};
+
+/// One atomic batch of edge updates. Edges are `(u, v)` pairs meaning
+/// `u -> v`; duplicates within a batch are tolerated (sets, not multisets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Edges to insert (no-op for edges already present after deletes).
+    pub inserts: Vec<(VertexId, VertexId)>,
+    /// Edges to delete (no-op for edges not present).
+    pub deletes: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphDelta {
+    /// A batch holding only insertions.
+    pub fn inserting(edges: Vec<(VertexId, VertexId)>) -> Self {
+        Self {
+            inserts: edges,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A batch holding only deletions.
+    pub fn deleting(edges: Vec<(VertexId, VertexId)>) -> Self {
+        Self {
+            inserts: Vec::new(),
+            deletes: edges,
+        }
+    }
+
+    /// Whether the batch carries no updates at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of update records (inserts + deletes, before deduplication).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// What [`Graph::apply_delta`] actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// Heads whose in-rows changed, ascending. Empty means the whole batch
+    /// was a structural no-op (every update was redundant or self-healed).
+    pub changed_heads: Vec<VertexId>,
+    /// Edges actually inserted (absent before, present after).
+    pub inserted: usize,
+    /// Edges actually deleted (present before, absent after).
+    pub deleted: usize,
+}
+
+/// Deterministic per-edge weight stream: the same `(seed, u, v)` always
+/// draws the same value, independent of batch composition.
+fn edge_rng(seed: u64, u: VertexId, v: VertexId) -> ChaCha8Rng {
+    // FNV-1a over the edge endpoints, folded into the weight seed.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+/// Weight for a freshly inserted edge `(u, v)` under `model`.
+fn inserted_weight(
+    model: WeightModel,
+    seed: u64,
+    u: VertexId,
+    v: VertexId,
+    new_deg: usize,
+) -> Weight {
+    match model {
+        // Whole-row reassignment happens in the caller; the per-edge value
+        // is the same for every slot.
+        WeightModel::WeightedCascade | WeightModel::Preserve => 1.0 / new_deg as Weight,
+        WeightModel::Uniform(p) => p,
+        WeightModel::Trivalency => {
+            const LEVELS: [Weight; 3] = [0.1, 0.01, 0.001];
+            LEVELS[edge_rng(seed, u, v).gen_range(0..3)]
+        }
+        WeightModel::Random => edge_rng(seed, u, v).gen_range(Weight::EPSILON..1.0),
+    }
+}
+
+impl Graph {
+    /// Applies one update batch in place, returning the set of heads whose
+    /// in-rows actually changed. See the module docs for batch and weight
+    /// semantics. `weight_seed` drives the deterministic per-edge weight
+    /// stream for inserted edges under the stochastic models.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range or an update names a
+    /// self-loop (the loaders reject self-loops, so updates do too).
+    pub fn apply_delta(
+        &mut self,
+        delta: &GraphDelta,
+        model: WeightModel,
+        weight_seed: u64,
+    ) -> AppliedDelta {
+        let n = self.num_vertices();
+        let check = |&(u, v): &(VertexId, VertexId)| {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            assert_ne!(u, v, "self-loops are not representable");
+        };
+        delta.inserts.iter().for_each(check);
+        delta.deletes.iter().for_each(check);
+
+        // Group the batch by head so each affected row is recomposed once.
+        let mut touched: Vec<VertexId> = delta
+            .inserts
+            .iter()
+            .chain(&delta.deletes)
+            .map(|&(_, v)| v)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.is_empty() {
+            return AppliedDelta::default();
+        }
+
+        let csc = self.csc();
+        let mut changed_heads = Vec::new();
+        let mut inserted = 0usize;
+        let mut deleted = 0usize;
+        // New content for every changed row, ready for the splice pass.
+        let mut new_rows: Vec<(VertexId, Vec<VertexId>, Vec<Weight>)> = Vec::new();
+
+        for &head in &touched {
+            let old_nbrs = csc.row(head);
+            let old_weights = csc.row_weights(head);
+            // Deletes first, then inserts (net-effect semantics).
+            let mut row: Vec<(VertexId, Weight)> = old_nbrs
+                .iter()
+                .copied()
+                .zip(old_weights.iter().copied())
+                .filter(|&(u, _)| !delta.deletes.contains(&(u, head)))
+                .collect();
+            for &(u, v) in &delta.inserts {
+                if v == head && !row.iter().any(|&(w, _)| w == u) {
+                    row.push((u, 0.0)); // weight assigned below, needs final degree
+                }
+            }
+            row.sort_unstable_by_key(|&(u, _)| u);
+            let new_deg = row.len();
+            for slot in row.iter_mut() {
+                let present_before = old_nbrs.binary_search(&slot.0).is_ok();
+                if !present_before || matches!(model, WeightModel::WeightedCascade) {
+                    slot.1 = inserted_weight(model, weight_seed, slot.0, head, new_deg);
+                }
+            }
+            let (nbrs, weights): (Vec<_>, Vec<_>) = row.into_iter().unzip();
+            if nbrs.as_slice() == old_nbrs && weights.as_slice() == old_weights {
+                continue; // self-healed or fully redundant: structural no-op
+            }
+            let before: std::collections::BTreeSet<_> = old_nbrs.iter().copied().collect();
+            inserted += nbrs.iter().filter(|u| !before.contains(u)).count();
+            deleted += old_nbrs
+                .iter()
+                .filter(|u| nbrs.binary_search(u).is_err())
+                .count();
+            changed_heads.push(head);
+            new_rows.push((head, nbrs, weights));
+        }
+
+        if changed_heads.is_empty() {
+            return AppliedDelta::default();
+        }
+
+        // Splice the changed rows into a fresh CSC in one pass, then
+        // re-derive the CSR side so the two stay transposes of each other.
+        let mut rows: Vec<(Vec<VertexId>, Vec<Weight>)> = Vec::with_capacity(n);
+        let mut next = 0usize;
+        for v in 0..n as VertexId {
+            if next < new_rows.len() && new_rows[next].0 == v {
+                let (_, nbrs, weights) = std::mem::take(&mut new_rows[next]);
+                rows.push((nbrs, weights));
+                next += 1;
+            } else {
+                rows.push((
+                    self.csc().row(v).to_vec(),
+                    self.csc().row_weights(v).to_vec(),
+                ));
+            }
+        }
+        *self = Graph::from_csc(Adjacency::from_rows(rows));
+
+        AppliedDelta {
+            changed_heads,
+            inserted,
+            deleted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn graph() -> Graph {
+        generators::rmat(
+            64,
+            320,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            5,
+        )
+    }
+
+    fn edges(g: &Graph) -> Vec<(VertexId, VertexId)> {
+        g.iter_edges().map(|(u, v, _)| (u, v)).collect()
+    }
+
+    #[test]
+    fn insert_then_delete_is_a_structural_noop() {
+        let mut g = graph();
+        let before = edges(&g);
+        // Find a non-edge.
+        let (u, v) = (0..64u32)
+            .flat_map(|u| (0..64u32).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let ins = g.apply_delta(
+            &GraphDelta::inserting(vec![(u, v)]),
+            WeightModel::WeightedCascade,
+            7,
+        );
+        assert_eq!(ins.changed_heads, vec![v]);
+        assert_eq!((ins.inserted, ins.deleted), (1, 0));
+        assert!(g.has_edge(u, v));
+        let del = g.apply_delta(
+            &GraphDelta::deleting(vec![(u, v)]),
+            WeightModel::WeightedCascade,
+            7,
+        );
+        assert_eq!(del.changed_heads, vec![v]);
+        assert_eq!((del.inserted, del.deleted), (0, 1));
+        assert_eq!(edges(&g), before);
+    }
+
+    #[test]
+    fn self_healing_batch_reports_no_changes() {
+        let mut g = graph();
+        let (u, v, _) = g.iter_edges().next().unwrap();
+        let before = edges(&g);
+        let applied = g.apply_delta(
+            &GraphDelta {
+                inserts: vec![(u, v)],
+                deletes: vec![(u, v)],
+            },
+            WeightModel::WeightedCascade,
+            7,
+        );
+        assert!(applied.changed_heads.is_empty(), "{applied:?}");
+        assert_eq!(edges(&g), before);
+    }
+
+    #[test]
+    fn redundant_updates_are_noops() {
+        let mut g = graph();
+        let (u, v, _) = g.iter_edges().next().unwrap();
+        let missing = (0..64u32)
+            .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && !g.has_edge(a, b))
+            .unwrap();
+        let applied = g.apply_delta(
+            &GraphDelta {
+                inserts: vec![(u, v)],  // already present
+                deletes: vec![missing], // never present
+            },
+            WeightModel::WeightedCascade,
+            7,
+        );
+        assert_eq!(applied, AppliedDelta::default());
+    }
+
+    #[test]
+    fn weighted_cascade_rows_stay_normalized() {
+        let mut g = graph();
+        let (u, v) = (0..64u32)
+            .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && !g.has_edge(a, b) && g.in_degree(b) > 0)
+            .unwrap();
+        g.apply_delta(
+            &GraphDelta::inserting(vec![(u, v)]),
+            WeightModel::WeightedCascade,
+            7,
+        );
+        let sum: Weight = g.in_weights(v).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row must renormalize, got {sum}");
+    }
+
+    #[test]
+    fn csr_stays_the_transpose() {
+        let mut g = graph();
+        let (u, v, _) = g.iter_edges().next().unwrap();
+        g.apply_delta(
+            &GraphDelta::deleting(vec![(u, v)]),
+            WeightModel::WeightedCascade,
+            7,
+        );
+        assert!(!g.out_neighbors(u).contains(&v));
+        let rebuilt = Graph::from_csc(g.csc().clone());
+        assert_eq!(rebuilt.csr().neighbors(), g.csr().neighbors());
+    }
+
+    #[test]
+    fn stochastic_insert_weights_are_deterministic_per_edge() {
+        for model in [WeightModel::Trivalency, WeightModel::Random] {
+            let mk = || {
+                let mut g = graph();
+                let (u, v) = (0..64u32)
+                    .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+                    .find(|&(a, b)| a != b && !g.has_edge(a, b))
+                    .unwrap();
+                g.apply_delta(&GraphDelta::inserting(vec![(u, v)]), model, 99);
+                let idx = g.in_neighbors(v).binary_search(&u).unwrap();
+                g.in_weights(v)[idx]
+            };
+            assert_eq!(mk(), mk(), "{model:?} insert weight must be reproducible");
+        }
+    }
+}

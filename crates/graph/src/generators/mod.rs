@@ -11,6 +11,7 @@ mod deterministic;
 mod erdos_renyi;
 mod forest_fire;
 mod rmat;
+mod updates;
 mod watts_strogatz;
 
 pub use barabasi_albert::barabasi_albert;
@@ -18,4 +19,5 @@ pub use deterministic::{complete, cycle, grid, path, star_in, star_out};
 pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
 pub use forest_fire::forest_fire;
 pub use rmat::{rmat, RmatParams};
+pub use updates::{update_stream, UpdateStreamSpec};
 pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,136 @@
+//! Deterministic edge-update stream generator.
+//!
+//! Produces a scripted sequence of [`GraphDelta`] batches against a starting
+//! graph: deletions draw from the edges alive at that point in the stream,
+//! insertions draw from vertex pairs not currently present, and the whole
+//! schedule is a pure function of the seed — the property the streaming
+//! differential suite and the checkpoint replay machinery rely on.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Graph, GraphDelta, VertexId};
+
+/// Shape of a generated update stream.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateStreamSpec {
+    /// Number of batches.
+    pub batches: usize,
+    /// Update records per batch (split between inserts and deletes).
+    pub edges_per_batch: usize,
+    /// Fraction of each batch that is insertions, in `[0, 1]`.
+    pub insert_fraction: f64,
+    /// RNG seed for the schedule.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamSpec {
+    fn default() -> Self {
+        Self {
+            batches: 4,
+            edges_per_batch: 16,
+            insert_fraction: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates `spec.batches` update batches for `graph`. The stream tracks
+/// the evolving edge set, so deletes always name edges that are alive when
+/// their batch applies and inserts always name absent pairs (modulo
+/// intra-batch duplicates, which [`Graph::apply_delta`] tolerates).
+pub fn update_stream(graph: &Graph, spec: &UpdateStreamSpec) -> Vec<GraphDelta> {
+    assert!(
+        (0.0..=1.0).contains(&spec.insert_fraction),
+        "insert_fraction out of range"
+    );
+    let n = graph.num_vertices() as VertexId;
+    assert!(n >= 2, "need at least two vertices to mutate edges");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    // Live edge list + membership set, kept in sync as batches are drawn.
+    let mut alive: Vec<(VertexId, VertexId)> = graph.iter_edges().map(|(u, v, _)| (u, v)).collect();
+    let mut present: std::collections::HashSet<(VertexId, VertexId)> =
+        alive.iter().copied().collect();
+
+    let mut out = Vec::with_capacity(spec.batches);
+    for _ in 0..spec.batches {
+        let inserts_wanted = (spec.edges_per_batch as f64 * spec.insert_fraction).round() as usize;
+        let deletes_wanted = spec.edges_per_batch - inserts_wanted;
+        let mut delta = GraphDelta::default();
+        for _ in 0..deletes_wanted {
+            if alive.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..alive.len());
+            let e = alive.swap_remove(i);
+            present.remove(&e);
+            delta.deletes.push(e);
+        }
+        for _ in 0..inserts_wanted {
+            // Rejection-sample an absent pair; bounded attempts keep the
+            // generator total even on near-complete graphs.
+            for _attempt in 0..64 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && !present.contains(&(u, v)) {
+                    present.insert((u, v));
+                    alive.push((u, v));
+                    delta.inserts.push((u, v));
+                    break;
+                }
+            }
+        }
+        out.push(delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, WeightModel};
+
+    fn graph() -> Graph {
+        generators::rmat(
+            128,
+            640,
+            generators::RmatParams::GRAPH500,
+            WeightModel::WeightedCascade,
+            3,
+        )
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let g = graph();
+        let spec = UpdateStreamSpec {
+            batches: 6,
+            edges_per_batch: 20,
+            insert_fraction: 0.4,
+            seed: 11,
+        };
+        assert_eq!(update_stream(&g, &spec), update_stream(&g, &spec));
+    }
+
+    #[test]
+    fn deletes_name_live_edges_and_inserts_absent_pairs() {
+        let mut g = graph();
+        let spec = UpdateStreamSpec {
+            batches: 5,
+            edges_per_batch: 24,
+            insert_fraction: 0.5,
+            seed: 2,
+        };
+        for delta in update_stream(&g, &spec) {
+            for &(u, v) in &delta.deletes {
+                assert!(g.has_edge(u, v), "delete of a dead edge ({u},{v})");
+            }
+            for &(u, v) in &delta.inserts {
+                assert!(!g.has_edge(u, v), "insert of a live edge ({u},{v})");
+            }
+            let applied = g.apply_delta(&delta, WeightModel::WeightedCascade, 7);
+            assert_eq!(applied.inserted, delta.inserts.len());
+            assert_eq!(applied.deleted, delta.deletes.len());
+        }
+    }
+}

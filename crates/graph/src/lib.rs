@@ -29,6 +29,7 @@ mod adjacency;
 mod builder;
 mod components;
 pub mod datasets;
+mod delta;
 mod edgelist;
 pub mod generators;
 mod graph;
@@ -39,6 +40,7 @@ pub use adjacency::Adjacency;
 pub use builder::GraphBuilder;
 pub use components::{reachable_set, strongly_connected_components, Sccs};
 pub use datasets::{Dataset, DatasetId, DATASETS};
+pub use delta::{AppliedDelta, GraphDelta};
 pub use edgelist::{
     parse_edge_list, parse_edge_list_str, parse_weighted_edge_list, write_edge_list, EdgeListError,
 };

@@ -32,6 +32,7 @@ mod rrrstore;
 mod selection;
 mod source_elim;
 mod spill;
+pub mod streaming;
 
 pub use checkpoint::{
     run_fingerprint, store_digest, CheckpointPhase, Checkpointing, DeviceManifest, EngineManifest,
@@ -54,3 +55,7 @@ pub use selection::{
 };
 pub use source_elim::apply_source_elimination;
 pub use spill::PackedRrrBatch;
+pub use streaming::{
+    run_stream, HostResampler, Resampler, StreamCheckpoint, StreamCheckpointing, StreamRunResult,
+    StreamingImmEngine, UpdateReport,
+};

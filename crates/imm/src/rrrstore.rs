@@ -178,6 +178,61 @@ impl PlainRrrStore {
     }
 }
 
+/// Validates a patch list: ascending unique set ids in range, sorted
+/// contents. Shared by every backend's `patch_sets`.
+fn validate_patches(patches: &[(usize, Vec<VertexId>)], num_sets: usize, n: usize) {
+    debug_assert!(
+        patches.windows(2).all(|w| w[0].0 < w[1].0),
+        "patches must be sorted by ascending set id"
+    );
+    for (i, set) in patches {
+        assert!(*i < num_sets, "patch names set {i} of {num_sets}");
+        validate_set(set, n);
+    }
+}
+
+impl PlainRrrStore {
+    /// Replaces the contents of the named sets in place (ids ascending,
+    /// each content sorted; empty = the set no longer covers anything).
+    /// Everything before the first patched set is untouched; the element
+    /// arena and offsets from that point on are rebuilt in one pass, and
+    /// the coverage histogram absorbs the membership diff.
+    pub fn patch_sets(&mut self, patches: &[(usize, Vec<VertexId>)]) {
+        validate_patches(patches, self.num_sets(), self.n);
+        let Some(&(first, _)) = patches.first() else {
+            return;
+        };
+        for (i, new) in patches {
+            let (s, e) = self.set_bounds(*i);
+            for &v in &self.r[s..e] {
+                self.counts[v as usize] -= 1;
+            }
+            for &v in new {
+                self.counts[v as usize] += 1;
+            }
+        }
+        let num_sets = self.num_sets();
+        let keep = self.offsets[first] as usize;
+        let mut tail: Vec<VertexId> = Vec::with_capacity(self.r.len() - keep);
+        let mut tail_offsets: Vec<u64> = Vec::with_capacity(num_sets - first);
+        let mut p = 0usize;
+        for i in first..num_sets {
+            if p < patches.len() && patches[p].0 == i {
+                tail.extend_from_slice(&patches[p].1);
+                p += 1;
+            } else {
+                let (s, e) = self.set_bounds(i);
+                tail.extend_from_slice(&self.r[s..e]);
+            }
+            tail_offsets.push(keep as u64 + tail.len() as u64);
+        }
+        self.r.truncate(keep);
+        self.r.extend_from_slice(&tail);
+        self.offsets.truncate(first + 1);
+        self.offsets.extend_from_slice(&tail_offsets);
+    }
+}
+
 impl RrrSets for PlainRrrStore {
     fn num_vertices(&self) -> usize {
         self.n
@@ -263,6 +318,47 @@ impl PackedRrrStore {
     /// Bits used per stored vertex id.
     pub fn bits_per_element(&self) -> u32 {
         self.r.bits_per_value()
+    }
+
+    /// Replaces the contents of the named sets (see
+    /// [`PlainRrrStore::patch_sets`]). The packed element stream is
+    /// bit-adjacent, so the stream is truncated at the first patched set
+    /// and re-pushed from there; earlier sets keep their packed words.
+    pub fn patch_sets(&mut self, patches: &[(usize, Vec<VertexId>)]) {
+        validate_patches(patches, self.num_sets(), self.n);
+        let Some(&(first, _)) = patches.first() else {
+            return;
+        };
+        for (i, new) in patches {
+            let (s, e) = self.set_bounds(*i);
+            for idx in s..e {
+                self.counts[self.r.get(idx) as usize] -= 1;
+            }
+            for &v in new {
+                self.counts[v as usize] += 1;
+            }
+        }
+        let num_sets = self.num_sets();
+        let keep = self.offsets[first] as usize;
+        let mut tail: Vec<VertexId> = Vec::with_capacity(self.r.len() - keep);
+        let mut tail_offsets: Vec<u64> = Vec::with_capacity(num_sets - first);
+        let mut p = 0usize;
+        for i in first..num_sets {
+            if p < patches.len() && patches[p].0 == i {
+                tail.extend_from_slice(&patches[p].1);
+                p += 1;
+            } else {
+                let (s, e) = self.set_bounds(i);
+                tail.extend((s..e).map(|idx| self.r.get(idx) as VertexId));
+            }
+            tail_offsets.push(keep as u64 + tail.len() as u64);
+        }
+        self.r.truncate(keep);
+        for &v in &tail {
+            self.r.push(v as u64);
+        }
+        self.offsets.truncate(first + 1);
+        self.offsets.extend_from_slice(&tail_offsets);
     }
 }
 
@@ -369,6 +465,33 @@ struct CompressedBlock {
     payload: BitWriter,
 }
 
+/// Appends one set's sorted ranks to `block`: frame-start offset, 6-bit gap
+/// width, then the first rank at `vbits` and the gaps at the set's width.
+/// Shared by the append path and the per-block patch rebuild so both emit
+/// the identical bit stream.
+fn encode_ranks(block: &mut CompressedBlock, ranks: &[u32], vbits: u32) {
+    block.set_bits.push(block.payload.len_bits() as u64);
+    let gb = if ranks.len() >= 2 {
+        let max_gap = ranks
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64)
+            .max()
+            .unwrap();
+        bits_for(max_gap)
+    } else {
+        0
+    };
+    block.gap_bits.push(gb as u8);
+    if let Some((&first, rest)) = ranks.split_first() {
+        block.payload.push(first as u64, vbits);
+        let mut prev = first;
+        for &r in rest {
+            block.payload.push((r - prev) as u64, gb);
+            prev = r;
+        }
+    }
+}
+
 /// Delta-compressed store with degree-ordered vertex remapping.
 ///
 /// Members of each set are translated through a hub-first permutation
@@ -472,29 +595,76 @@ impl CompressedRrrStore {
         if self.blocks.last().unwrap().set_bits.len() == COMPRESSED_BLOCK_SETS {
             self.blocks.push(CompressedBlock::default());
         }
-        let block = self.blocks.last_mut().unwrap();
-        block.set_bits.push(block.payload.len_bits() as u64);
-        let gb = if ranks.len() >= 2 {
-            let max_gap = ranks
-                .windows(2)
-                .map(|w| (w[1] - w[0]) as u64)
-                .max()
-                .unwrap();
-            bits_for(max_gap)
-        } else {
-            0
-        };
-        block.gap_bits.push(gb as u8);
-        if let Some((&first, rest)) = ranks.split_first() {
-            block.payload.push(first as u64, self.vbits);
-            let mut prev = first;
-            for &r in rest {
-                block.payload.push((r - prev) as u64, gb);
-                prev = r;
-            }
-        }
+        encode_ranks(self.blocks.last_mut().unwrap(), ranks, self.vbits);
         let total = *self.offsets.last().unwrap() + set.len() as u64;
         self.offsets.push(total);
+    }
+
+    /// Replaces the contents of the named sets (ids ascending, contents
+    /// sorted, empty allowed). Only the [`COMPRESSED_BLOCK_SETS`]-set
+    /// blocks containing a patched set are re-encoded — frame offsets are
+    /// block-relative, so untouched blocks keep their bit streams — plus an
+    /// `O(num_sets)` length-shift fixup of the global offsets from the
+    /// first patched set onward. This is the HBMax-style incremental
+    /// maintenance: an update stream that invalidates a minority of sets
+    /// touches a minority of blocks.
+    pub fn patch_sets(&mut self, patches: &[(usize, Vec<VertexId>)]) {
+        validate_patches(patches, self.num_sets(), self.n);
+        let Some(&(first, _)) = patches.first() else {
+            return;
+        };
+        // Capture old lengths (offsets are still pre-patch) and fix C.
+        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut len_delta: Vec<(usize, i64)> = Vec::with_capacity(patches.len());
+        for (i, new) in patches {
+            self.decode_set_into(*i, &mut scratch);
+            for &v in &scratch {
+                self.counts[v as usize] -= 1;
+            }
+            for &v in new {
+                self.counts[v as usize] += 1;
+            }
+            len_delta.push((*i, new.len() as i64 - scratch.len() as i64));
+        }
+        // Re-encode every block that holds a patched set.
+        let num_sets = self.num_sets();
+        let mut p = 0usize;
+        while p < patches.len() {
+            let b = patches[p].0 / COMPRESSED_BLOCK_SETS;
+            let lo = b * COMPRESSED_BLOCK_SETS;
+            let hi = ((b + 1) * COMPRESSED_BLOCK_SETS).min(num_sets);
+            // Decode the whole block with patched contents spliced in.
+            let mut contents: Vec<Vec<VertexId>> = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                if p < patches.len() && patches[p].0 == i {
+                    contents.push(patches[p].1.clone());
+                    p += 1;
+                } else {
+                    self.decode_set_into(i, &mut scratch);
+                    contents.push(scratch.clone());
+                }
+            }
+            let mut fresh = CompressedBlock::default();
+            let mut ranks: Vec<u32> = Vec::new();
+            for set in &contents {
+                ranks.clear();
+                ranks.extend(set.iter().map(|&v| self.remap[v as usize]));
+                ranks.sort_unstable();
+                encode_ranks(&mut fresh, &ranks, self.vbits);
+            }
+            self.blocks[b] = fresh;
+        }
+        // Shift the global offsets past each patched set by its length
+        // change, in one pass.
+        let mut shift: i64 = 0;
+        let mut d = 0usize;
+        for i in first..num_sets {
+            if d < len_delta.len() && len_delta[d].0 == i {
+                shift += len_delta[d].1;
+                d += 1;
+            }
+            self.offsets[i + 1] = (self.offsets[i + 1] as i64 + shift) as u64;
+        }
     }
 
     /// Decodes set `i`'s members (rank order, translated to original ids)
@@ -676,6 +846,17 @@ impl AnyRrrStore {
             AnyRrrStore::Plain(s) => s,
             AnyRrrStore::Packed(s) => s,
             AnyRrrStore::Compressed(s) => s,
+        }
+    }
+
+    /// Replaces the contents of the named sets in place (ids ascending,
+    /// contents sorted, empty allowed), dispatching to the backend's
+    /// patch path; see the per-backend `patch_sets` docs for cost models.
+    pub fn patch_sets(&mut self, patches: &[(usize, Vec<VertexId>)]) {
+        match self {
+            AnyRrrStore::Plain(s) => s.patch_sets(patches),
+            AnyRrrStore::Packed(s) => s.patch_sets(patches),
+            AnyRrrStore::Compressed(s) => s.patch_sets(patches),
         }
     }
 }
@@ -1127,5 +1308,92 @@ mod tests {
             ident.bytes()
         );
         assert_eq!(comp.counts(), plain.counts());
+    }
+
+    /// Patching a store to some content must leave it indistinguishable
+    /// from a store that appended that content directly — members, counts,
+    /// offsets, and (compressed) the encoded bit stream itself.
+    #[test]
+    fn patch_sets_matches_fresh_append_on_every_backend() {
+        use rand::{Rng, SeedableRng};
+        let n = 600usize;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let rand_set = |rng: &mut rand_chacha::ChaCha8Rng| {
+            let len = rng.gen_range(0..12usize);
+            let mut s: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        // Enough sets to span multiple compressed blocks.
+        let old: Vec<Vec<u32>> = (0..COMPRESSED_BLOCK_SETS * 2 + 100)
+            .map(|_| rand_set(&mut rng))
+            .collect();
+        // Patch a scatter of ids, including block 0, a block boundary,
+        // the tail (open) block, and an emptied set.
+        let mut ids = vec![
+            3,
+            COMPRESSED_BLOCK_SETS - 1,
+            COMPRESSED_BLOCK_SETS,
+            old.len() - 1,
+        ];
+        for _ in 0..40 {
+            ids.push(rng.gen_range(0..old.len()));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let patches: Vec<(usize, Vec<u32>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(j, &i)| (i, if j == 0 { vec![] } else { rand_set(&mut rng) }))
+            .collect();
+        let mut target = old.clone();
+        for (i, new) in &patches {
+            target[*i] = new.clone();
+        }
+
+        let make = |packed: bool, compressed: bool| -> AnyRrrStore {
+            if compressed {
+                AnyRrrStore::compressed(n, (0..n as u32).collect())
+            } else {
+                AnyRrrStore::new(n, packed)
+            }
+        };
+        for (packed, compressed) in [(false, false), (true, false), (false, true)] {
+            let mut patched = make(packed, compressed);
+            let mut fresh = make(packed, compressed);
+            for set in &old {
+                patched.append_set(set);
+            }
+            for set in &target {
+                fresh.append_set(set);
+            }
+            patched.patch_sets(&patches);
+            assert_eq!(patched.num_sets(), fresh.num_sets());
+            assert_eq!(patched.total_elements(), fresh.total_elements());
+            assert_eq!(patched.counts(), fresh.counts());
+            for i in 0..patched.num_sets() {
+                assert_eq!(
+                    patched.set_members(i),
+                    fresh.set_members(i),
+                    "set {i} packed={packed} compressed={compressed}"
+                );
+                assert_eq!(patched.set_bounds(i), fresh.set_bounds(i));
+            }
+            if let (Some(a), Some(b)) = (patched.as_compressed(), fresh.as_compressed()) {
+                assert!(
+                    a.payload_words().eq(b.payload_words()),
+                    "patched compressed bit stream diverged from fresh append"
+                );
+            }
+            // Appending after a patch keeps working (open tail block).
+            let extra = rand_set(&mut rng);
+            patched.append_set(&extra);
+            fresh.append_set(&extra);
+            assert_eq!(
+                patched.set_members(patched.num_sets() - 1),
+                fresh.set_members(fresh.num_sets() - 1)
+            );
+        }
     }
 }

@@ -24,6 +24,13 @@
 //!                        vertex remapping (identical seed sets)
 //!   --no-elim            disable source elimination (eIM only)
 //!   --spread-sims <n>    Monte-Carlo spread evaluations [0 = skip]
+//!   --updates <spec>     streaming mode: apply a generated edge-update
+//!                        stream and maintain the RRR universe
+//!                        incrementally. Spec keys (comma-separated):
+//!                        "batches=4,edges=16,insert=0.5,seed=1".
+//!                        Supports --engine cpu (host resampler) and
+//!                        eim (device resampler); composes with
+//!                        --checkpoint / --resume / --ckpt-kill-after.
 //!   --inject-faults <s>  deterministic fault schedule, e.g.
 //!                        "seed=42,kernel=0.05,transfer=0.02,device_fail=0.001,
 //!                         link_flap=0.01,straggler=3@8:24,pressure=0.6@8:24"
@@ -52,13 +59,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
+use eim::core::DeviceResampler;
 use eim::core::{DeviceRecoverySummary, EimEngine, MultiGpuEimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
 use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, MetricsRegistry, RunTrace};
-use eim::graph::{parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
+use eim::graph::{generators, parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
 use eim::imm::{
-    run_fingerprint, run_imm_checkpointed, Checkpointing, CpuEngine, CpuParallelism, EngineError,
-    ImmConfig, ImmEngine, ImmResult, RecoveryPolicy, RecoveryReport, RunCheckpoint,
+    run_fingerprint, run_imm_checkpointed, run_stream, Checkpointing, CpuEngine, CpuParallelism,
+    EngineError, HostResampler, ImmConfig, ImmEngine, ImmResult, RecoveryPolicy, RecoveryReport,
+    Resampler, RunCheckpoint, StreamCheckpointing, StreamingImmEngine, UpdateReport,
 };
 use eim::prelude::*;
 
@@ -78,6 +87,7 @@ struct Args {
     compressed: bool,
     elim: bool,
     spread_sims: usize,
+    updates: Option<generators::UpdateStreamSpec>,
     devices: usize,
     faults: Option<FaultSpec>,
     recovery: RecoveryPolicy,
@@ -98,7 +108,7 @@ fn usage() -> ! {
          [--k n] [--eps f] [--model ic|lt] \
          [--engine eim|gim|curipples|cpu|multigpu] [--devices n] \
          [--scale f] [--seed n] [--device-mem-mb f] [--no-pack] [--compressed] [--no-elim] \
-         [--spread-sims n] [--inject-faults spec] \
+         [--spread-sims n] [--updates spec] [--inject-faults spec] \
          [--recovery abort|retry|degrade] [--max-retries n] \
          [--checkpoint <dir>] [--resume] [--ckpt-kill-after n] [--no-overlap] \
          [--trace <file>] [--trace-event-cap n] [--metrics <file>] [--json]"
@@ -123,6 +133,7 @@ fn parse_args() -> Args {
         compressed: false,
         elim: true,
         spread_sims: 0,
+        updates: None,
         devices: 2,
         faults: None,
         recovery: RecoveryPolicy::abort(),
@@ -164,6 +175,12 @@ fn parse_args() -> Args {
             "--compressed" => a.compressed = true,
             "--no-elim" => a.elim = false,
             "--spread-sims" => a.spread_sims = val().parse().unwrap_or_else(|_| usage()),
+            "--updates" => {
+                a.updates = Some(parse_updates_spec(&val()).unwrap_or_else(|e| {
+                    eprintln!("bad --updates spec: {e}");
+                    usage()
+                }))
+            }
             "--devices" => a.devices = val().parse().unwrap_or_else(|_| usage()),
             "--inject-faults" => {
                 a.faults = Some(FaultSpec::parse(&val()).unwrap_or_else(|e| {
@@ -214,6 +231,33 @@ fn parse_args() -> Args {
         a.recovery = a.recovery.with_max_retries(r);
     }
     a
+}
+
+/// Parses the `--updates` grammar: comma-separated `key=value` pairs over
+/// `batches` (update batches), `edges` (records per batch), `insert`
+/// (insert fraction in `[0, 1]`), and `seed` (stream RNG seed). Omitted
+/// keys take the [`generators::UpdateStreamSpec`] defaults.
+fn parse_updates_spec(s: &str) -> Result<generators::UpdateStreamSpec, String> {
+    let mut spec = generators::UpdateStreamSpec::default();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+        let bad = || format!("bad value for {key}: '{value}'");
+        match key {
+            "batches" => spec.batches = value.parse().map_err(|_| bad())?,
+            "edges" => spec.edges_per_batch = value.parse().map_err(|_| bad())?,
+            "insert" => {
+                spec.insert_fraction = value.parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&spec.insert_fraction) {
+                    return Err(format!("insert fraction {value} outside [0, 1]"));
+                }
+            }
+            "seed" => spec.seed = value.parse().map_err(|_| bad())?,
+            _ => return Err(format!("unknown key '{key}' (batches|edges|insert|seed)")),
+        }
+    }
+    Ok(spec)
 }
 
 fn load_graph(a: &Args) -> Graph {
@@ -363,6 +407,147 @@ fn build_checkpointing(a: &Args, config: &ImmConfig, n: usize, devices: usize) -
     c
 }
 
+/// Runs the update stream to completion on one streaming engine, reporting
+/// failures (including deliberate `--ckpt-kill-after` interrupts, exit 3)
+/// through the shared error path.
+fn drive_stream<R: Resampler>(
+    mut engine: StreamingImmEngine<R>,
+    deltas: &[eim::graph::GraphDelta],
+    ckpt: &StreamCheckpointing,
+    json: bool,
+) -> (Vec<UpdateReport>, eim::imm::StreamRunResult) {
+    let reports =
+        run_stream(&mut engine, deltas, ckpt).unwrap_or_else(|e| report_engine_error(json, e));
+    let last = engine
+        .last_result()
+        .cloned()
+        .expect("run_stream always replays");
+    (reports, last)
+}
+
+/// `--updates` mode: generate the edge-update stream, maintain the RRR
+/// universe incrementally, and report every checkpoint. Exits the process.
+fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSpec) -> ! {
+    let uspec = a.updates.expect("checked by caller");
+    let stats = GraphStats::of(&graph);
+    let deltas = generators::update_stream(&graph, &uspec);
+    let ckpt = StreamCheckpointing {
+        dir: a.checkpoint.clone().map(PathBuf::from),
+        resume: a.resume,
+        kill_after: a.ckpt_kill_after,
+    };
+    let wall = std::time::Instant::now();
+    let (reports, last) = match a.engine.as_str() {
+        "cpu" => drive_stream(
+            StreamingImmEngine::new(
+                graph.clone(),
+                config,
+                WeightModel::WeightedCascade,
+                a.seed,
+                HostResampler::new(config.model, config.seed),
+            ),
+            &deltas,
+            &ckpt,
+            a.json,
+        ),
+        "eim" => {
+            let device = match &a.faults {
+                Some(f) if !f.is_noop() => {
+                    Device::new(dspec).with_fault_plan(Arc::new(FaultPlan::new(f.clone())))
+                }
+                _ => Device::new(dspec),
+            };
+            drive_stream(
+                StreamingImmEngine::new(
+                    graph.clone(),
+                    config,
+                    WeightModel::WeightedCascade,
+                    a.seed,
+                    DeviceResampler::new(device, &graph, config.model, config.seed),
+                ),
+                &deltas,
+                &ckpt,
+                a.json,
+            )
+        }
+        _ => {
+            eprintln!("--updates supports --engine cpu or eim");
+            std::process::exit(2);
+        }
+    };
+    let wall_s = wall.elapsed().as_secs_f64();
+    if a.json {
+        let checkpoints: Vec<serde_json::Value> = reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "batch": r.batch,
+                    "changed_heads": r.changed_heads,
+                    "resampled_sets": r.resampled_slots.len(),
+                    "fresh_sets": r.fresh_slots,
+                    "decoded_sets": r.decoded_sets,
+                    "slots": r.slots,
+                    "resampled_fraction": r.resampled_fraction(),
+                    "seeds": r.result.seeds.clone(),
+                    "coverage": r.result.coverage,
+                    "rrr_sets": r.result.num_sets,
+                })
+            })
+            .collect();
+        let out = serde_json::json!({
+            "mode": "streaming",
+            "engine": a.engine.clone(),
+            "model": a.model.to_string(),
+            "k": a.k,
+            "epsilon": a.eps,
+            "graph": serde_json::json!({ "vertices": stats.vertices, "edges": stats.edges }),
+            "updates": serde_json::json!({
+                "batches": uspec.batches,
+                "edges_per_batch": uspec.edges_per_batch,
+                "insert_fraction": uspec.insert_fraction,
+                "seed": uspec.seed,
+                "applied": reports.len(),
+            }),
+            "checkpoints": serde_json::json!(checkpoints),
+            "seeds": last.seeds,
+            "coverage": last.coverage,
+            "rrr_sets": last.num_sets,
+            "theta": last.theta,
+            "wall_seconds": wall_s,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!(
+            "graph: {} vertices, {} edges | engine: {} (streaming) | model: {} | k = {}, eps = {}",
+            stats.vertices, stats.edges, a.engine, a.model, a.k, a.eps
+        );
+        println!(
+            "update stream: {} batches x {} edges, insert fraction {:.2}, seed {}",
+            uspec.batches, uspec.edges_per_batch, uspec.insert_fraction, uspec.seed
+        );
+        for r in &reports {
+            println!(
+                "batch {}: {} changed rows -> {} / {} sets resampled ({:.1}%), {} fresh | seeds: {:?}",
+                r.batch,
+                r.changed_heads,
+                r.resampled_slots.len(),
+                r.slots - r.fresh_slots,
+                100.0 * r.resampled_fraction(),
+                r.fresh_slots,
+                r.result.seeds
+            );
+        }
+        println!(
+            "final seeds: {:?}\ncoverage: {:.2}% of {} RRR sets",
+            last.seeds,
+            last.coverage * 100.0,
+            last.num_sets
+        );
+        println!("time: {wall_s:.2}s wall");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let a = parse_args();
     let graph = load_graph(&a);
@@ -380,6 +565,9 @@ fn main() {
         Some(mb) => DeviceSpec::rtx_a6000_with_mem((mb * 1024.0 * 1024.0) as usize),
         None => DeviceSpec::rtx_a6000(),
     };
+    if a.updates.is_some() {
+        run_streaming_mode(&a, graph, config, spec);
+    }
     // Recording is cheap at CLI scale: collect telemetry whenever the run
     // will report it (a trace file or the --json summary). A cap bounds the
     // buffer on long runs; summary counters stay exact either way.

@@ -13,8 +13,9 @@ use eim::core::MultiGpuEimEngine;
 use eim::gpusim::{DeviceSpec, FaultSpec, RunTrace};
 use eim::graph::{generators, Graph, WeightModel};
 use eim::imm::{
-    run_fingerprint, run_imm_checkpointed, run_imm_recovering, Checkpointing, EngineError,
-    ImmConfig, ImmEngine as _, RecoveryPolicy, RunCheckpoint,
+    run_fingerprint, run_imm_checkpointed, run_imm_recovering, run_stream, Checkpointing,
+    EngineError, HostResampler, ImmConfig, ImmEngine as _, RecoveryPolicy, RunCheckpoint,
+    StreamCheckpoint, StreamCheckpointing, StreamingImmEngine,
 };
 
 fn graph() -> Graph {
@@ -224,6 +225,131 @@ fn straggler_run_matches_clean_and_costs_time() {
         e.elapsed_us(),
         clean_time
     );
+}
+
+/// A streaming run killed mid-update-stream and resumed from its checkpoint
+/// finishes with bit-identical seeds and store bytes. The checkpoint's delta
+/// cursor decides where the resume picks up, and its store digest gates the
+/// replayed state — both must survive the JSON round trip.
+#[test]
+fn streaming_kill_and_resume_reproduce_the_clean_run() {
+    let g = graph();
+    let c = config(false).with_epsilon(0.3);
+    let deltas = generators::update_stream(
+        &g,
+        &generators::UpdateStreamSpec {
+            batches: 3,
+            edges_per_batch: 10,
+            insert_fraction: 0.5,
+            seed: 41,
+        },
+    );
+    let fresh = || {
+        StreamingImmEngine::new(
+            g.clone(),
+            c,
+            WeightModel::WeightedCascade,
+            7,
+            HostResampler::new(c.model, c.seed),
+        )
+    };
+
+    let mut clean_engine = fresh();
+    let clean = run_stream(&mut clean_engine, &deltas, &StreamCheckpointing::disabled()).unwrap();
+    assert_eq!(clean.len(), deltas.len());
+
+    // Kill after the second checkpoint: the initial run and batch 1 are
+    // committed, batches 2..3 are still pending — a genuine mid-stream kill.
+    let dir = temp_dir("stream");
+    let killed = run_stream(
+        &mut fresh(),
+        &deltas,
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: false,
+            kill_after: Some(2),
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            killed,
+            EngineError::Interrupted {
+                checkpoints_written: 2
+            }
+        ),
+        "{killed}"
+    );
+    let cp = StreamCheckpoint::load(&dir).unwrap();
+    assert_eq!(cp.delta_cursor, 1, "one batch was applied before the kill");
+
+    let mut resumed_engine = fresh();
+    let resumed = run_stream(
+        &mut resumed_engine,
+        &deltas,
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: true,
+            kill_after: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.len(), deltas.len() - 1, "resume skips batch 1");
+    for (r, c_) in resumed.iter().zip(&clean[1..]) {
+        assert_eq!(r.batch, c_.batch);
+        assert_eq!(r.result, c_.result, "batch {}: resume diverged", r.batch);
+        assert_eq!(r.resampled_slots, c_.resampled_slots, "batch {}", r.batch);
+    }
+    assert_eq!(resumed_engine.store_digest(), clean_engine.store_digest());
+    assert_eq!(resumed_engine.delta_cursor(), clean_engine.delta_cursor());
+
+    // A tampered store digest must be refused: the digest field is what
+    // proves the deterministic replay reconstructed the checkpointed state.
+    let bad = StreamCheckpoint {
+        store_digest: cp.store_digest ^ 1,
+        ..cp
+    };
+    bad.save(&dir).unwrap();
+    let err = run_stream(
+        &mut fresh(),
+        &deltas,
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: true,
+            kill_after: None,
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, EngineError::CheckpointMismatch { .. }),
+        "{err}"
+    );
+
+    // And a mismatched run config must be refused by the fingerprint.
+    cp.save(&dir).unwrap();
+    let c2 = c.with_k(5);
+    let mut other = StreamingImmEngine::new(
+        g.clone(),
+        c2,
+        WeightModel::WeightedCascade,
+        7,
+        HostResampler::new(c2.model, c2.seed),
+    );
+    let err = run_stream(
+        &mut other,
+        &deltas,
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: true,
+            kill_after: None,
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, EngineError::CheckpointMismatch { .. }),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---- the same contract through the binary ----
