@@ -131,6 +131,82 @@ impl Adjacency {
         &mut self.weights
     }
 
+    /// Replaces the given rows (ascending by row id, content satisfying the
+    /// usual row invariants) in one bulk pass: offsets are re-run in O(n)
+    /// and the neighbor/weight arenas are rebuilt with span copies of the
+    /// untouched stretches — O(m) memcpy, but no per-row reallocation and
+    /// no re-validation of unchanged rows. [`crate::Graph::apply_delta`]
+    /// uses this to patch both directions of a graph under edge updates.
+    pub(crate) fn splice_rows(&mut self, rows: Vec<(VertexId, Vec<VertexId>, Vec<Weight>)>) {
+        let n = self.num_rows();
+        debug_assert!(
+            rows.windows(2).all(|p| p[0].0 < p[1].0),
+            "spliced rows must be ascending by row id"
+        );
+        let grow: i64 = rows
+            .iter()
+            .map(|(v, nb, w)| {
+                debug_assert!((*v as usize) < n, "row id out of range");
+                debug_assert_eq!(nb.len(), w.len(), "neighbor/weight length mismatch");
+                debug_assert!(
+                    nb.windows(2).all(|p| p[0] < p[1]),
+                    "row neighbors must be strictly ascending"
+                );
+                debug_assert!(
+                    nb.last().is_none_or(|&u| (u as usize) < n),
+                    "neighbor id out of range"
+                );
+                nb.len() as i64 - self.degree(*v) as i64
+            })
+            .sum();
+        let new_m = (self.num_edges() as i64 + grow) as usize;
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut next = 0usize;
+        for v in 0..n {
+            let len = if next < rows.len() && rows[next].0 as usize == v {
+                next += 1;
+                rows[next - 1].1.len() as u64
+            } else {
+                self.offsets[v + 1] - self.offsets[v]
+            };
+            offsets.push(offsets[v] + len);
+        }
+
+        let mut neighbors = Vec::with_capacity(new_m);
+        let mut weights = Vec::with_capacity(new_m);
+        let mut read = 0usize;
+        for (v, nb, w) in &rows {
+            let start = self.offsets[*v as usize] as usize;
+            neighbors.extend_from_slice(&self.neighbors[read..start]);
+            weights.extend_from_slice(&self.weights[read..start]);
+            neighbors.extend_from_slice(nb);
+            weights.extend_from_slice(w);
+            read = self.offsets[*v as usize + 1] as usize;
+        }
+        neighbors.extend_from_slice(&self.neighbors[read..]);
+        weights.extend_from_slice(&self.weights[read..]);
+        debug_assert_eq!(neighbors.len(), new_m);
+
+        self.offsets = offsets;
+        self.neighbors = neighbors;
+        self.weights = weights;
+    }
+
+    /// Overwrites the weight of the existing edge `(v, u)` in row `v`.
+    ///
+    /// # Panics
+    /// Panics if the edge is not present.
+    pub(crate) fn update_weight(&mut self, v: VertexId, u: VertexId, w: Weight) {
+        let start = self.offsets[v as usize] as usize;
+        let idx = self
+            .row(v)
+            .binary_search(&u)
+            .expect("update_weight: edge not present");
+        self.weights[start + idx] = w;
+    }
+
     /// True if the edge `(v, u)` is stored in row `v` (binary search).
     pub fn contains(&self, v: VertexId, u: VertexId) -> bool {
         self.row(v).binary_search(&u).is_ok()

@@ -1,18 +1,24 @@
 //! Edge-update batches for streaming graphs.
 //!
 //! A [`GraphDelta`] is one batch of edge insertions and deletions applied
-//! atomically to a [`Graph`]. [`Graph::apply_delta`] patches the CSC rows of
-//! the affected heads (the vertices whose in-rows change), reassigns weights
-//! under the graph's [`WeightModel`], and rebuilds the CSR side by
-//! transposition so both directions stay in sync.
+//! atomically to a [`Graph`]. [`Graph::apply_delta`] recomposes the CSC
+//! rows of the affected heads (the vertices whose in-rows change),
+//! reassigns weights under the graph's [`WeightModel`], and patches both
+//! directions in place: each arena is respliced in one bulk pass (span
+//! copies of the untouched stretches — O(n + m) memcpy per batch, but no
+//! per-row reallocation), and the CSR side is derived incrementally from
+//! the row diffs — only the out-rows of tails that gained or lost an edge
+//! are respliced, and surviving mirrored entries have weight changes
+//! written through — rather than re-transposing the whole edge set.
 //!
 //! Batch semantics are *net effect*: within one batch deletes land before
 //! inserts, deleting a missing edge or inserting a present one is a no-op,
-//! and a delete+insert of the same edge self-heals (the row converges back
-//! to its prior content and is not reported as changed). The returned
-//! [`AppliedDelta::changed_heads`] is therefore exactly the set of vertices
-//! whose in-rows differ from before — the invalidation frontier a streaming
-//! IMM engine needs.
+//! and a delete+insert of an already-present edge nets out to "still
+//! present" — the edge survives with its weight intact, the row converges
+//! back to its prior content, and nothing is reported as changed. The
+//! returned [`AppliedDelta::changed_heads`] is therefore exactly the set of
+//! vertices whose in-rows differ from before — the invalidation frontier a
+//! streaming IMM engine needs.
 //!
 //! Weight assignment for a changed row follows the model's semantics rather
 //! than replaying the build-time RNG stream (which was positional over the
@@ -20,7 +26,8 @@
 //!
 //! * [`WeightModel::WeightedCascade`]: the whole changed row is rewritten to
 //!   `1/d^-_v` — the in-degree changed, so every weight in the row changes.
-//! * [`WeightModel::Uniform`]: inserted edges get `p`; survivors keep `p`.
+//! * [`WeightModel::Uniform`]: inserted edges get `p`; survivors (which
+//!   include same-batch delete+reinserts of live edges) keep their weights.
 //! * [`WeightModel::Trivalency`] / [`WeightModel::Random`]: inserted edges
 //!   draw from the model's distribution through a per-edge deterministic
 //!   stream seeded from `(weight_seed, u, v)`, so the same insert always
@@ -28,10 +35,12 @@
 //! * [`WeightModel::Preserve`]: surviving edges keep their weights; inserted
 //!   edges default to `1/d^-_v` (the weighted-cascade convention).
 
+use std::collections::BTreeMap;
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::{Adjacency, Graph, VertexId, Weight, WeightModel};
+use crate::{Graph, VertexId, Weight, WeightModel};
 
 /// One atomic batch of edge updates. Edges are `(u, v)` pairs meaning
 /// `u -> v`; duplicates within a batch are tolerated (sets, not multisets).
@@ -158,16 +167,27 @@ impl Graph {
         let mut deleted = 0usize;
         // New content for every changed row, ready for the splice pass.
         let mut new_rows: Vec<(VertexId, Vec<VertexId>, Vec<Weight>)> = Vec::new();
+        // Incremental CSR patch, collected from the per-head row diffs:
+        // per tail, the mirrored entries lost and gained, plus surviving
+        // mirrored entries whose weight changed (weighted-cascade renorm).
+        let mut csr_removed: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+        let mut csr_added: BTreeMap<VertexId, Vec<(VertexId, Weight)>> = BTreeMap::new();
+        let mut csr_reweighted: Vec<(VertexId, VertexId, Weight)> = Vec::new();
 
         for &head in &touched {
             let old_nbrs = csc.row(head);
             let old_weights = csc.row_weights(head);
-            // Deletes first, then inserts (net-effect semantics).
+            // Deletes first, then inserts (net-effect semantics). An edge
+            // both deleted and re-inserted in one batch nets out to "still
+            // present": it survives the filter here with its weight, exactly
+            // like an edge the batch never named.
             let mut row: Vec<(VertexId, Weight)> = old_nbrs
                 .iter()
                 .copied()
                 .zip(old_weights.iter().copied())
-                .filter(|&(u, _)| !delta.deletes.contains(&(u, head)))
+                .filter(|&(u, _)| {
+                    !delta.deletes.contains(&(u, head)) || delta.inserts.contains(&(u, head))
+                })
                 .collect();
             for &(u, v) in &delta.inserts {
                 if v == head && !row.iter().any(|&(w, _)| w == u) {
@@ -177,8 +197,8 @@ impl Graph {
             row.sort_unstable_by_key(|&(u, _)| u);
             let new_deg = row.len();
             for slot in row.iter_mut() {
-                let present_before = old_nbrs.binary_search(&slot.0).is_ok();
-                if !present_before || matches!(model, WeightModel::WeightedCascade) {
+                let survivor = old_nbrs.binary_search(&slot.0).is_ok();
+                if !survivor || matches!(model, WeightModel::WeightedCascade) {
                     slot.1 = inserted_weight(model, weight_seed, slot.0, head, new_deg);
                 }
             }
@@ -186,12 +206,31 @@ impl Graph {
             if nbrs.as_slice() == old_nbrs && weights.as_slice() == old_weights {
                 continue; // self-healed or fully redundant: structural no-op
             }
-            let before: std::collections::BTreeSet<_> = old_nbrs.iter().copied().collect();
-            inserted += nbrs.iter().filter(|u| !before.contains(u)).count();
-            deleted += old_nbrs
-                .iter()
-                .filter(|u| nbrs.binary_search(u).is_err())
-                .count();
+            // Merge-walk old against new: counts and the CSR patch in one
+            // pass. Both sides are ascending.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old_nbrs.len() || j < nbrs.len() {
+                match (old_nbrs.get(i).copied(), nbrs.get(j).copied()) {
+                    (Some(a), Some(b)) if a == b => {
+                        if old_weights[i] != weights[j] {
+                            csr_reweighted.push((a, head, weights[j]));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(a), b) if b.is_none_or(|b| a < b) => {
+                        deleted += 1;
+                        csr_removed.entry(a).or_default().push(head);
+                        i += 1;
+                    }
+                    (_, Some(b)) => {
+                        inserted += 1;
+                        csr_added.entry(b).or_default().push((head, weights[j]));
+                        j += 1;
+                    }
+                    _ => unreachable!("loop guard keeps one side non-empty"),
+                }
+            }
             changed_heads.push(head);
             new_rows.push((head, nbrs, weights));
         }
@@ -200,23 +239,53 @@ impl Graph {
             return AppliedDelta::default();
         }
 
-        // Splice the changed rows into a fresh CSC in one pass, then
-        // re-derive the CSR side so the two stay transposes of each other.
-        let mut rows: Vec<(Vec<VertexId>, Vec<Weight>)> = Vec::with_capacity(n);
-        let mut next = 0usize;
-        for v in 0..n as VertexId {
-            if next < new_rows.len() && new_rows[next].0 == v {
-                let (_, nbrs, weights) = std::mem::take(&mut new_rows[next]);
-                rows.push((nbrs, weights));
-                next += 1;
-            } else {
-                rows.push((
-                    self.csc().row(v).to_vec(),
-                    self.csc().row_weights(v).to_vec(),
-                ));
-            }
+        // Patch both directions without a full rebuild: splice the changed
+        // in-rows into the CSC arena, then patch only the out-rows of tails
+        // that gained or lost a mirrored entry and write surviving weight
+        // changes through — no counting-sort transposition of the edge set.
+        self.csc_mut().splice_rows(new_rows);
+        let mut tails: Vec<VertexId> = csr_removed
+            .keys()
+            .chain(csr_added.keys())
+            .copied()
+            .collect();
+        tails.sort_unstable();
+        tails.dedup();
+        let csr_rows: Vec<(VertexId, Vec<VertexId>, Vec<Weight>)> = tails
+            .into_iter()
+            .map(|tail| {
+                let old = self.csr().row(tail);
+                let old_w = self.csr().row_weights(tail);
+                // Heads were walked ascending, so these are ascending too.
+                let removed = csr_removed.get(&tail).map_or(&[][..], Vec::as_slice);
+                let added = csr_added.get(&tail).map_or(&[][..], Vec::as_slice);
+                let cap = old.len() + added.len() - removed.len();
+                let mut nbrs = Vec::with_capacity(cap);
+                let mut weights = Vec::with_capacity(cap);
+                let mut a = 0usize;
+                for (idx, &h) in old.iter().enumerate() {
+                    while a < added.len() && added[a].0 < h {
+                        nbrs.push(added[a].0);
+                        weights.push(added[a].1);
+                        a += 1;
+                    }
+                    if removed.binary_search(&h).is_ok() {
+                        continue;
+                    }
+                    nbrs.push(h);
+                    weights.push(old_w[idx]);
+                }
+                for &(h, w) in &added[a..] {
+                    nbrs.push(h);
+                    weights.push(w);
+                }
+                (tail, nbrs, weights)
+            })
+            .collect();
+        self.csr_mut().splice_rows(csr_rows);
+        for (tail, head, w) in csr_reweighted {
+            self.csr_mut().update_weight(tail, head, w);
         }
-        *self = Graph::from_csc(Adjacency::from_rows(rows));
 
         AppliedDelta {
             changed_heads,
@@ -274,19 +343,71 @@ mod tests {
 
     #[test]
     fn self_healing_batch_reports_no_changes() {
-        let mut g = graph();
-        let (u, v, _) = g.iter_edges().next().unwrap();
-        let before = edges(&g);
-        let applied = g.apply_delta(
-            &GraphDelta {
-                inserts: vec![(u, v)],
-                deletes: vec![(u, v)],
-            },
+        // Under every model: a delete+reinsert of a live edge must keep the
+        // edge's weight, so the row converges bit for bit and the batch is
+        // a structural no-op.
+        for model in [
             WeightModel::WeightedCascade,
-            7,
-        );
-        assert!(applied.changed_heads.is_empty(), "{applied:?}");
-        assert_eq!(edges(&g), before);
+            WeightModel::Uniform(0.1),
+            WeightModel::Trivalency,
+            WeightModel::Random,
+            WeightModel::Preserve,
+        ] {
+            let mut g = graph();
+            let (u, v, _) = g.iter_edges().next().unwrap();
+            let before: Vec<_> = g.iter_edges().collect();
+            let applied = g.apply_delta(
+                &GraphDelta {
+                    inserts: vec![(u, v)],
+                    deletes: vec![(u, v)],
+                },
+                model,
+                7,
+            );
+            assert!(applied.changed_heads.is_empty(), "{model:?}: {applied:?}");
+            assert_eq!(g.iter_edges().collect::<Vec<_>>(), before, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn reinserted_edge_keeps_its_weight_alongside_real_changes() {
+        // Regression: the delete filter used to drop the old weight and the
+        // re-insert pushed a 0.0 placeholder the assignment loop skipped,
+        // silently killing the edge under every weight-preserving model.
+        for model in [
+            WeightModel::Uniform(0.05),
+            WeightModel::Trivalency,
+            WeightModel::Random,
+            WeightModel::Preserve,
+        ] {
+            let mut g = graph();
+            let (u, v, w) = g.iter_edges().next().unwrap();
+            let tail = (0..64u32)
+                .find(|&a| a != v && a != u && !g.has_edge(a, v))
+                .unwrap();
+            // Delete+reinsert (u, v) while genuinely growing the row.
+            let applied = g.apply_delta(
+                &GraphDelta {
+                    inserts: vec![(u, v), (tail, v)],
+                    deletes: vec![(u, v)],
+                },
+                model,
+                7,
+            );
+            assert_eq!(applied.changed_heads, vec![v], "{model:?}");
+            assert_eq!((applied.inserted, applied.deleted), (1, 0), "{model:?}");
+            let idx = g.in_neighbors(v).binary_search(&u).unwrap();
+            assert_eq!(
+                g.in_weights(v)[idx],
+                w,
+                "{model:?}: reinserted edge must keep its weight"
+            );
+            let idx = g.in_neighbors(v).binary_search(&tail).unwrap();
+            assert!(
+                g.in_weights(v)[idx] > 0.0,
+                "{model:?}: fresh edge must get a live weight"
+            );
+        }
     }
 
     #[test]
@@ -326,16 +447,68 @@ mod tests {
 
     #[test]
     fn csr_stays_the_transpose() {
+        // Mixed insert+delete batches, with and without whole-row weight
+        // renormalization: the incrementally patched CSR must equal a full
+        // re-transposition exactly — offsets, neighbors, and weights.
+        for model in [WeightModel::WeightedCascade, WeightModel::Random] {
+            let mut g = graph();
+            let (u, v, _) = g.iter_edges().next().unwrap();
+            let (a, b) = (0..64u32)
+                .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+                .find(|&(a, b)| a != b && !g.has_edge(a, b))
+                .unwrap();
+            g.apply_delta(
+                &GraphDelta {
+                    inserts: vec![(a, b)],
+                    deletes: vec![(u, v)],
+                },
+                model,
+                7,
+            );
+            assert!(!g.out_neighbors(u).contains(&v));
+            assert!(g.out_neighbors(a).contains(&b));
+            let rebuilt = Graph::from_csc(g.csc().clone());
+            assert_eq!(rebuilt.csr(), g.csr(), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn random_update_stream_matches_a_naive_edge_model() {
+        // Differential for the in-place splice: a generated stream applied
+        // through apply_delta must track a naive edge-set model batch by
+        // batch, with the CSR side staying the exact transpose throughout.
         let mut g = graph();
-        let (u, v, _) = g.iter_edges().next().unwrap();
-        g.apply_delta(
-            &GraphDelta::deleting(vec![(u, v)]),
-            WeightModel::WeightedCascade,
-            7,
+        let deltas = generators::update_stream(
+            &g,
+            &generators::UpdateStreamSpec {
+                batches: 4,
+                edges_per_batch: 16,
+                insert_fraction: 0.5,
+                seed: 9,
+            },
         );
-        assert!(!g.out_neighbors(u).contains(&v));
-        let rebuilt = Graph::from_csc(g.csc().clone());
-        assert_eq!(rebuilt.csr().neighbors(), g.csr().neighbors());
+        let mut model: std::collections::BTreeSet<(VertexId, VertexId)> =
+            edges(&g).into_iter().collect();
+        for (b, delta) in deltas.iter().enumerate() {
+            g.apply_delta(delta, WeightModel::WeightedCascade, 7);
+            for e in &delta.deletes {
+                if !delta.inserts.contains(e) {
+                    model.remove(e);
+                }
+            }
+            for &e in &delta.inserts {
+                model.insert(e);
+            }
+            assert_eq!(
+                edges(&g)
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>(),
+                model,
+                "batch {b}"
+            );
+            let rebuilt = Graph::from_csc(g.csc().clone());
+            assert_eq!(rebuilt.csr(), g.csr(), "batch {b}");
+        }
     }
 
     #[test]

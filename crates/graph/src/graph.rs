@@ -90,6 +90,19 @@ impl Graph {
         &self.csr
     }
 
+    /// Mutable CSC access for in-place patching; [`Graph::apply_delta`] is
+    /// responsible for keeping the CSR side the exact transpose.
+    #[inline]
+    pub(crate) fn csc_mut(&mut self) -> &mut Adjacency {
+        &mut self.csc
+    }
+
+    /// Mutable CSR access for in-place patching (see [`Graph::csc_mut`]).
+    #[inline]
+    pub(crate) fn csr_mut(&mut self) -> &mut Adjacency {
+        &mut self.csr
+    }
+
     /// True if edge `(u, v)` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.csc.contains(v, u)

@@ -193,6 +193,18 @@ fn remove_sorted(v: &mut Vec<u32>, slot: u32) {
     }
 }
 
+/// Discriminant of a weight model, with any model parameters folded in, so
+/// the fingerprint separates every distinct update-weight semantics.
+fn weight_model_tag(model: WeightModel) -> u64 {
+    match model {
+        WeightModel::WeightedCascade => 1,
+        WeightModel::Uniform(p) => 2 ^ (p as f64).to_bits().rotate_left(16),
+        WeightModel::Trivalency => 3,
+        WeightModel::Random => 4,
+        WeightModel::Preserve => 5,
+    }
+}
+
 /// Incremental IMM over an edge-update stream. See the module docs for the
 /// invalidation model; construction wires a graph, a config, the weight
 /// model driving update-time weight assignment, and a [`Resampler`].
@@ -285,11 +297,15 @@ impl<R: Resampler> StreamingImmEngine<R> {
         store_digest(&self.store)
     }
 
-    /// Fingerprint binding config, initial-graph size, resampler, and
-    /// weight stream — what a streaming checkpoint must match to resume.
+    /// Fingerprint binding config, initial-graph size, resampler, weight
+    /// model, and weight stream — what a streaming checkpoint must match to
+    /// resume. The weight model matters even at cursor zero: resuming under
+    /// a different one would silently change update-weight semantics for
+    /// every batch applied after the resume.
     pub fn fingerprint(&self) -> u64 {
         let base = run_fingerprint(&self.config, self.graph.num_vertices(), "streaming", 0);
         let mut h = base ^ self.weight_seed.rotate_left(17);
+        h ^= weight_model_tag(self.weight_model).wrapping_mul(0x0000_0100_0000_01b3);
         for b in self.resampler.name().bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -694,6 +710,16 @@ pub fn run_stream<R: Resampler>(
                 found: cp.fingerprint,
             });
         }
+        // A checkpoint from a longer stream cannot resume against this one:
+        // the cursor would point past the provided batches. The digest
+        // check alone does not catch this when the missing trailing batches
+        // were structural no-ops.
+        if cp.delta_cursor as usize > deltas.len() {
+            return Err(EngineError::CheckpointMismatch {
+                expected: deltas.len() as u64,
+                found: cp.delta_cursor,
+            });
+        }
         engine.replay()?;
         for delta in deltas.iter().take(cp.delta_cursor as usize) {
             engine.apply_update(delta)?;
@@ -824,6 +850,30 @@ mod tests {
                 report.resampled_slots.len() < s.slots(),
                 "incremental must redraw a strict subset"
             );
+        }
+    }
+
+    #[test]
+    fn fingerprint_binds_weight_model() {
+        let g = graph();
+        let c = config();
+        let fp = |wm: WeightModel| {
+            StreamingImmEngine::new(g.clone(), c, wm, 7, HostResampler::new(c.model, c.seed))
+                .fingerprint()
+        };
+        let models = [
+            WeightModel::WeightedCascade,
+            WeightModel::Uniform(0.1),
+            WeightModel::Uniform(0.2),
+            WeightModel::Trivalency,
+            WeightModel::Random,
+            WeightModel::Preserve,
+        ];
+        let fps: Vec<u64> = models.iter().map(|&m| fp(m)).collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{:?} vs {:?}", models[i], models[j]);
+            }
         }
     }
 

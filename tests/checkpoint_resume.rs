@@ -352,6 +352,68 @@ fn streaming_kill_and_resume_reproduce_the_clean_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Resuming against a shorter update stream than the checkpoint's cursor is
+/// a clean [`EngineError::CheckpointMismatch`], not a slice panic. The store
+/// digest cannot be relied on to catch this: the missing trailing batches
+/// may have been structural no-ops, leaving the digests equal.
+#[test]
+fn streaming_resume_rejects_a_shorter_stream() {
+    let g = graph();
+    let c = config(false).with_epsilon(0.3);
+    let deltas = generators::update_stream(
+        &g,
+        &generators::UpdateStreamSpec {
+            batches: 3,
+            edges_per_batch: 10,
+            insert_fraction: 0.5,
+            seed: 47,
+        },
+    );
+    let fresh = || {
+        StreamingImmEngine::new(
+            g.clone(),
+            c,
+            WeightModel::WeightedCascade,
+            7,
+            HostResampler::new(c.model, c.seed),
+        )
+    };
+    let dir = temp_dir("stream-short");
+    run_stream(
+        &mut fresh(),
+        &deltas,
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: false,
+            kill_after: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(StreamCheckpoint::load(&dir).unwrap().delta_cursor, 3);
+
+    let err = run_stream(
+        &mut fresh(),
+        &deltas[..1],
+        &StreamCheckpointing {
+            dir: Some(dir.clone()),
+            resume: true,
+            kill_after: None,
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::CheckpointMismatch {
+                expected: 1,
+                found: 3
+            }
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---- the same contract through the binary ----
 
 fn eim_cli() -> Command {

@@ -400,6 +400,70 @@ fn empty_and_self_healing_deltas_are_noops() {
     }
 }
 
+/// Regression for the delete+reinsert weight bug: a batch that deletes and
+/// re-inserts a live edge alongside a real structural change must keep the
+/// surviving weight under every weight model, agree with the membership-only
+/// invalidation prediction, and track the cold recompute. Only
+/// WeightedCascade (the model every other test hardcodes) rewrote whole rows
+/// and thus masked the zeroed placeholder weight.
+#[test]
+fn reinsert_batches_match_recompute_under_every_weight_model() {
+    let g0 = test_graph(83);
+    let c = base_config(DiffusionModel::IndependentCascade);
+    let (u, v, w0) = g0.iter_edges().next().unwrap();
+    let n = g0.num_vertices() as VertexId;
+    let absent = (0..n)
+        .flat_map(|a| (0..n).map(move |b| (a, b)))
+        .find(|&(a, b)| a != b && !g0.has_edge(a, b))
+        .unwrap();
+    let deltas = [
+        // Delete+reinsert (u, v) while inserting a genuinely new edge.
+        GraphDelta {
+            inserts: vec![(u, v), absent],
+            deletes: vec![(u, v)],
+        },
+        // Same self-heal while deleting the edge the first batch added.
+        GraphDelta {
+            inserts: vec![(u, v)],
+            deletes: vec![(u, v), absent],
+        },
+    ];
+    for wm in [
+        WeightModel::WeightedCascade,
+        WeightModel::Uniform(0.1),
+        WeightModel::Trivalency,
+        WeightModel::Random,
+        WeightModel::Preserve,
+    ] {
+        let mut s = StreamingImmEngine::new(
+            g0.clone(),
+            c,
+            wm,
+            WEIGHT_SEED,
+            HostResampler::new(c.model, c.seed),
+        );
+        s.replay().unwrap();
+        let mut cold_graph = g0.clone();
+        for (b, delta) in deltas.iter().enumerate() {
+            let predicted = s.predict_invalidated(delta);
+            let report = s.apply_update(delta).unwrap();
+            assert_eq!(report.resampled_slots, predicted, "{wm:?} batch {b}");
+            cold_graph.apply_delta(delta, wm, WEIGHT_SEED);
+            assert_eq!(
+                report.result.seeds,
+                cold_cpu(&cold_graph, c),
+                "{wm:?} batch {b}"
+            );
+            let idx = s.graph().in_neighbors(v).binary_search(&u).unwrap();
+            let w = s.graph().in_weights(v)[idx];
+            assert!(w > 0.0, "{wm:?} batch {b}: reinserted edge silently died");
+            if !matches!(wm, WeightModel::WeightedCascade) {
+                assert_eq!(w, w0, "{wm:?} batch {b}: surviving weight must be kept");
+            }
+        }
+    }
+}
+
 /// Strategy: a random update stream over `n` vertices — random batch count
 /// and sizes, arbitrary insert/delete mixes, duplicate records, and (by
 /// construction of small vertex ranges) frequent self-healing pairs.
