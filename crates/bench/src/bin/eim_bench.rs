@@ -27,7 +27,24 @@
 //!   --seed <n>         base RNG seed for plan generation (default 190)
 //!   --devices <n>      simulated devices per run (default 4)
 //!   --json <file>      write the soak summary as JSON
+//!   --metrics <file>   write the aggregated device/recovery counters of
+//!                      the whole soak in Prometheus text format
+//!
+//! eim-bench updates [OPTIONS]
+//!
+//! Options:
+//!   --json <file>      write the streaming-vs-recompute report as JSON
+//!   --smoke            CI-sized workload
+//!   --seed <n>         base RNG seed (default 190)
+//!   --metrics <file>   write the per-batch invalidation counters
+//!                      (`eim_stream_*`, phase `stream-update`) in
+//!                      Prometheus text format
 //! ```
+//!
+//! All `--metrics` files are written atomically (tmp-then-rename), and every
+//! JSON report root embeds a `provenance` header (schema version, toolchain,
+//! dataset, seed, `git describe`) so checked-in `BENCH_*.json` lineage is
+//! self-describing.
 //!
 //! `perf` measures the host wall-clock hot paths on fixed seeds: RRR-set
 //! sampling (`sample_batch`), greedy seed selection (`select_seeds`), the
@@ -57,7 +74,10 @@ use std::time::Instant;
 use eim_core::sampler::sample_batch;
 use eim_core::{EimEngine, MultiGpuEimEngine, PlainDeviceGraph, ScanStrategy};
 use eim_diffusion::DiffusionModel;
-use eim_gpusim::{Device, DeviceSpec, FaultSpec, MetricsRegistry, MetricsSink, RunTrace};
+use eim_gpusim::{
+    provenance, write_metrics_file, Device, DeviceSpec, FaultSpec, MetricsRegistry, MetricsSink,
+    RunTrace,
+};
 use eim_graph::{generators, Dataset, WeightModel};
 use eim_imm::{
     frequency_remap, run_imm, run_imm_recovering, select_seeds, select_seeds_reference,
@@ -115,8 +135,8 @@ fn usage_and_exit(code: i32) -> ! {
     println!(
         "eim-bench perf  [--json FILE] [--baseline FILE] [--smoke] [--seed N] [--no-overlap] \
          [--metrics FILE] [--digest FILE]\n\
-         eim-bench chaos [--plans N] [--seed N] [--devices N] [--json FILE]\n\
-         eim-bench updates [--json FILE] [--smoke] [--seed N]"
+         eim-bench chaos [--plans N] [--seed N] [--devices N] [--json FILE] [--metrics FILE]\n\
+         eim-bench updates [--json FILE] [--smoke] [--seed N] [--metrics FILE]"
     );
     std::process::exit(code);
 }
@@ -125,6 +145,7 @@ struct UpdatesArgs {
     json: Option<PathBuf>,
     smoke: bool,
     seed: u64,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_updates_args() -> UpdatesArgs {
@@ -132,6 +153,7 @@ fn parse_updates_args() -> UpdatesArgs {
         json: None,
         smoke: false,
         seed: 190,
+        metrics: None,
     };
     let mut it = std::env::args().skip(2);
     while let Some(arg) = it.next() {
@@ -143,6 +165,7 @@ fn parse_updates_args() -> UpdatesArgs {
             "--json" => args.json = Some(PathBuf::from(value("--json"))),
             "--smoke" => args.smoke = true,
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option {other}");
@@ -189,6 +212,14 @@ fn run_updates(args: UpdatesArgs) -> ! {
         g0.num_edges(),
     );
 
+    let registry = MetricsRegistry::new();
+    let stream_sink = if args.metrics.is_some() {
+        registry.set_phase("stream-update");
+        registry.sink().with_engine("streaming")
+    } else {
+        MetricsSink::disabled()
+    };
+
     let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
     let mut engine = StreamingImmEngine::new(
         g0.clone(),
@@ -233,6 +264,22 @@ fn run_updates(args: UpdatesArgs) -> ! {
         patch_total += patch_ms;
         recompute_total += recompute_ms;
         fraction_sum += fraction;
+        stream_sink.counter_add("eim_stream_batches_total", &[], 1);
+        stream_sink.counter_add(
+            "eim_stream_changed_heads_total",
+            &[],
+            report.changed_heads as u64,
+        );
+        stream_sink.counter_add(
+            "eim_stream_invalidated_slots_total",
+            &[],
+            report.resampled_slots.len() as u64,
+        );
+        stream_sink.counter_add(
+            "eim_stream_fresh_sets_total",
+            &[],
+            report.fresh_slots as u64,
+        );
         let mut row = Map::new();
         row.insert("batch", Value::from(report.batch));
         row.insert("changed_heads", Value::from(report.changed_heads));
@@ -253,8 +300,19 @@ fn run_updates(args: UpdatesArgs) -> ! {
         100.0 * fraction_mean
     );
 
+    if let Some(path) = &args.metrics {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        write_metrics_file(&registry, path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+
     let mut root = Map::new();
     root.insert("schema", Value::from("eim-bench-updates-v1"));
+    root.insert("provenance", provenance(Some("WV"), Some(args.seed)));
     root.insert(
         "mode",
         Value::from(if args.smoke { "smoke" } else { "full" }),
@@ -293,6 +351,7 @@ struct ChaosArgs {
     seed: u64,
     devices: usize,
     json: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_chaos_args() -> ChaosArgs {
@@ -301,6 +360,7 @@ fn parse_chaos_args() -> ChaosArgs {
         seed: 190,
         devices: 4,
         json: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(2);
     while let Some(arg) = it.next() {
@@ -313,6 +373,7 @@ fn parse_chaos_args() -> ChaosArgs {
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
             "--devices" => args.devices = value("--devices").parse().expect("devices"),
             "--json" => args.json = Some(PathBuf::from(value("--json"))),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics"))),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option {other}");
@@ -824,7 +885,21 @@ fn run_chaos(args: ChaosArgs) -> ! {
         .with_epsilon(0.3)
         .with_seed(args.seed);
     let spec_dev = DeviceSpec::rtx_a6000_with_mem(256 << 20);
+    let registry = MetricsRegistry::new();
+    // The soak's aggregate trace: device kernels/transfers and recovery
+    // actions from every fault plan land in one registry, written out at
+    // the end when --metrics asks for it. The clean run stays untraced so
+    // the counters describe only the faulted work.
+    let trace = if args.metrics.is_some() {
+        RunTrace::disabled().with_metrics(registry.sink().with_engine("multigpu"))
+    } else {
+        RunTrace::disabled()
+    };
     let make_engine = || MultiGpuEimEngine::new(&g, cfg, spec_dev, args.devices).expect("fits");
+    let make_soak_engine = || {
+        MultiGpuEimEngine::with_telemetry(&g, cfg, spec_dev, args.devices, &trace, true)
+            .expect("fits")
+    };
 
     let (clean_seeds, clean_sets, clean_time) = {
         let mut e = make_engine();
@@ -842,11 +917,11 @@ fn run_chaos(args: ChaosArgs) -> ! {
     for i in 0..args.plans {
         let spec_str = random_fault_spec(&mut rng);
         let spec = FaultSpec::parse(&spec_str).expect("generated specs parse");
-        let mut e = make_engine().with_faults(&spec);
+        let mut e = make_soak_engine().with_faults(&spec);
         let mut entry = Map::new();
         entry.insert("plan", Value::from(i));
         entry.insert("spec", Value::from(spec_str.clone()));
-        match run_imm_recovering(&mut e, &cfg, &policy, &RunTrace::disabled()) {
+        match run_imm_recovering(&mut e, &cfg, &policy, &trace) {
             Ok(r) => {
                 let overhead = e.elapsed_us() / clean_time;
                 let seeds_ok = r.seeds == clean_seeds && r.num_sets == clean_sets;
@@ -912,9 +987,20 @@ fn run_chaos(args: ChaosArgs) -> ! {
          max overhead {max_overhead:.2}x"
     );
 
+    if let Some(path) = &args.metrics {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output dir");
+            }
+        }
+        write_metrics_file(&registry, path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+
     if let Some(path) = &args.json {
         let mut root = Map::new();
         root.insert("schema", Value::from("eim-bench-chaos-v1"));
+        root.insert("provenance", provenance(None, Some(args.seed)));
         root.insert("seed", Value::from(args.seed));
         root.insert("devices", Value::from(args.devices as u64));
         root.insert(
@@ -977,6 +1063,7 @@ fn main() {
         "schema".to_string(),
         Value::from("eim-bench-perf-v2".to_string()),
     );
+    root.insert("provenance".to_string(), provenance(None, Some(args.seed)));
     root.insert(
         "mode".to_string(),
         Value::from(if args.smoke { "smoke" } else { "full" }),
@@ -1020,7 +1107,7 @@ fn main() {
                 std::fs::create_dir_all(parent).expect("create output dir");
             }
         }
-        std::fs::write(path, registry.render_prometheus()).expect("write metrics");
+        write_metrics_file(&registry, path).expect("write metrics");
         println!("wrote {}", path.display());
     }
 

@@ -1,18 +1,31 @@
 //! `figures` — renders the paper's figures as self-contained HTML/SVG from
-//! the CSVs that `reproduce` writes.
+//! the CSVs that `reproduce` writes, and the repo's own benchmark lineage
+//! as trajectory charts.
 //!
 //! ```text
 //! figures [--in results] [--out results/figures]
+//! figures --bench-dir . [--snapshot run.jsonl] [--out results/figures]
 //! ```
 //!
-//! Produces: `fig3.html` (scan-scaling lines), `fig5.html` (elimination
-//! speedup scatter), `fig6.html` (diverging memory-change bars),
-//! `fig7.html` / `fig8.html` (speedup dot plots, log axis). Each page
-//! carries a hover tooltip layer and a data-table view.
+//! Default mode produces: `fig3.html` (scan-scaling lines), `fig5.html`
+//! (elimination speedup scatter), `fig6.html` (diverging memory-change
+//! bars), `fig7.html` / `fig8.html` (speedup dot plots, log axis). Each
+//! page carries a hover tooltip layer and a data-table view.
+//!
+//! `--bench-dir` switches to the self-documenting bench charts: it reads
+//! every checked-in `BENCH_*.json` (the PR 3 → 6 → 8 → 9 lineage), renders
+//! `bench_trajectory.html` — per-bench speedup curves across PRs, the
+//! compressed-store OOM-onset bars, and the streaming patch-vs-recompute
+//! panel — and prints the same trajectories as terminal sparklines. With
+//! `--snapshot <run.jsonl>` (a `--snapshot-stream` capture) it adds a
+//! per-kernel occupancy heatmap over the run's snapshot intervals.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use serde_json::Value;
 
 // ---------------------------------------------------------------- CSV in --
 
@@ -519,19 +532,469 @@ fn speedup_dotplot(dir: &Path, out: &Path, name: &str, title: &str) {
     println!("wrote {}", out.join(format!("{name}.html")).display());
 }
 
+// ----------------------------------------------- bench trajectory --------
+
+const SPARK_BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One-line unicode sparkline scaled to the series' own max.
+fn spark(vals: &[f64]) -> String {
+    let max = vals.iter().cloned().fold(0.0f64, f64::max);
+    vals.iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                '·'
+            } else {
+                SPARK_BARS[((v / max) * 7.0).round().min(7.0) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Loads every `BENCH_*.json` in `dir`, labelled by the part between
+/// `BENCH_` and `.json`, in PR-lineage order (numeric `prN` first, then
+/// the rest lexicographically).
+fn load_bench_lineage(dir: &Path) -> Vec<(String, Value)> {
+    let mut files: Vec<(u64, String, Value)> = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read bench dir {}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(label) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(text) = fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<Value>(&text) else {
+            eprintln!("skipping {name}: not valid JSON");
+            continue;
+        };
+        let rank = label
+            .strip_prefix("pr")
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(u64::MAX);
+        files.push((rank, label.to_string(), value));
+    }
+    files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    files.into_iter().map(|(_, l, v)| (l, v)).collect()
+}
+
+/// Per-bench speedup curves across the PR lineage (log y; each point is
+/// that PR's before→after speedup for one bench).
+fn speedup_curves_svg(perf: &[(String, &Value)], sparks: &mut String) -> String {
+    let mut series: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+    for (i, (_, v)) in perf.iter().enumerate() {
+        if let Some(sp) = v.get("speedup").and_then(Value::as_object) {
+            for (bench, s) in sp.iter() {
+                if let Some(s) = s.as_f64() {
+                    series.entry(bench.clone()).or_default().push((i, s));
+                }
+            }
+        }
+    }
+    if series.is_empty() {
+        return String::from("<p class=\"sub\">(no perf lineage with speedups found)</p>");
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for pts in series.values() {
+        for &(_, s) in pts {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+    }
+    let (l0, l1) = ((lo.log10() - 0.15).min(-0.1), (hi.log10() + 0.15).max(0.1));
+    let n = perf.len().max(2);
+    let px = |i: usize| ML + i as f64 / (n - 1) as f64 * (W - ML - MR);
+    let py = |s: f64| MT + (l1 - s.log10()) / (l1 - l0) * (H - MT - MB);
+    let mut svg =
+        format!("<svg viewBox=\"0 0 {W} {H}\" role=\"img\" aria-label=\"speedup per PR\">");
+    for d in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        if d.log10() < l0 || d.log10() > l1 {
+            continue;
+        }
+        let y = py(d);
+        let _ = write!(
+            svg,
+            "<g class=\"grid\"><line x1=\"{ML}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/></g>\
+             <text class=\"label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{d}x</text>",
+            W - MR,
+            ML - 8.0,
+            y + 4.0
+        );
+    }
+    for (i, (label, _)) in perf.iter().enumerate() {
+        let _ = write!(
+            svg,
+            "<text class=\"label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{label}</text>",
+            px(i),
+            H - MB + 18.0
+        );
+    }
+    let palette = ["--series-1", "--series-2", "--div-pos", "--text-muted"];
+    for (si, (bench, pts)) in series.iter().enumerate() {
+        let var = palette[si % palette.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(i, s)| format!("{:.1},{:.1}", px(i), py(s)))
+            .collect();
+        let _ = write!(
+            svg,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"var({var})\" stroke-width=\"2\"/>",
+            path.join(" ")
+        );
+        for &(i, s) in pts {
+            let _ = write!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"var({var})\" \
+                 data-tip=\"{bench} @ {}: {s:.2}x\"/>",
+                px(i),
+                py(s),
+                perf[i].0
+            );
+        }
+        if let Some(&(i, s)) = pts.last() {
+            let _ = write!(
+                svg,
+                "<text class=\"dlabel\" x=\"{:.1}\" y=\"{:.1}\">{bench}</text>",
+                px(i) + 10.0,
+                py(s) + 4.0
+            );
+        }
+        let vals: Vec<f64> = pts.iter().map(|&(_, s)| s).collect();
+        let labels: Vec<&str> = pts.iter().map(|&(i, _)| perf[i].0.as_str()).collect();
+        let _ = writeln!(
+            sparks,
+            "speedup {bench:<20} {}  ({})",
+            spark(&vals),
+            labels
+                .iter()
+                .zip(&vals)
+                .map(|(l, v)| format!("{l} {v:.2}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// OOM-onset bars: how many RRR sets fit a fixed device budget, plain vs
+/// delta-compressed, for every lineage file that ran `rrr_capacity`.
+fn oom_onset_svg(lineage: &[(String, Value)], sparks: &mut String) -> String {
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for (label, v) in lineage {
+        let Some(cap) = v.get("benches").and_then(|b| b.get("rrr_capacity")) else {
+            continue;
+        };
+        let (Some(plain), Some(comp)) = (
+            cap.get("plain_sets").and_then(Value::as_f64),
+            cap.get("compressed_sets").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        rows.push((
+            label.clone(),
+            plain,
+            comp,
+            cap.get("onset_ratio")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            cap.get("compression_ratio")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        ));
+    }
+    if rows.is_empty() {
+        return String::from("<p class=\"sub\">(no rrr_capacity lineage found)</p>");
+    }
+    let max = rows.iter().map(|r| r.2.max(r.1)).fold(1.0f64, f64::max);
+    let row_h = 56.0;
+    let h = MT + MB + row_h * rows.len() as f64;
+    let bw = |v: f64| v / max * (W - ML - MR - 40.0);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {h}\" role=\"img\" aria-label=\"OOM onset, plain vs compressed\">"
+    );
+    for (i, (label, plain, comp, onset, ratio)) in rows.iter().enumerate() {
+        let y = MT + row_h * i as f64;
+        let _ = write!(
+            svg,
+            "<text class=\"label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{label}</text>\
+             <rect x=\"{ML}\" y=\"{:.1}\" width=\"{:.1}\" height=\"16\" fill=\"var(--series-1)\" \
+             data-tip=\"{label}: plain layout OOMs after {plain:.0} sets\"/>\
+             <rect x=\"{ML}\" y=\"{:.1}\" width=\"{:.1}\" height=\"16\" fill=\"var(--series-2)\" \
+             data-tip=\"{label}: compressed layout OOMs after {comp:.0} sets ({onset:.2}x later, \
+             ratio {ratio:.2}x)\"/>\
+             <text class=\"dlabel\" x=\"{:.1}\" y=\"{:.1}\">{onset:.2}x later</text>",
+            ML - 8.0,
+            y + 24.0,
+            y,
+            bw(*plain),
+            y + 20.0,
+            bw(*comp),
+            ML + bw(*comp) + 8.0,
+            y + 33.0
+        );
+        let _ = writeln!(
+            sparks,
+            "oom-onset {label:<18} {}  (plain {plain:.0} -> compressed {comp:.0} sets, \
+             {onset:.2}x later)",
+            spark(&[*plain, *comp])
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Streaming panel: per-batch patch-vs-recompute wall times and the
+/// invalidation fraction, from the `eim-bench updates` lineage files.
+fn updates_svg(lineage: &[(String, Value)], sparks: &mut String) -> String {
+    let Some((label, v)) = lineage
+        .iter()
+        .find(|(_, v)| v.get("schema").and_then(Value::as_str) == Some("eim-bench-updates-v1"))
+    else {
+        return String::from("<p class=\"sub\">(no updates lineage found)</p>");
+    };
+    let Some(batches) = v.get("checkpoints").and_then(Value::as_array) else {
+        return String::from("<p class=\"sub\">(updates lineage has no checkpoints)</p>");
+    };
+    let rows: Vec<(u64, f64, f64, f64)> = batches
+        .iter()
+        .map(|b| {
+            (
+                b.get("batch").and_then(Value::as_u64).unwrap_or(0),
+                b.get("patch_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                b.get("recompute_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                b.get("resampled_fraction")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+            )
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::from("<p class=\"sub\">(updates lineage has no batches)</p>");
+    }
+    let speedup = v
+        .get("patch_speedup")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let max_ms = rows.iter().map(|r| r.1.max(r.2)).fold(1e-9f64, f64::max);
+    let group_w = (W - ML - MR) / rows.len() as f64;
+    let bh = |ms: f64| ms / max_ms * (H - MT - MB);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" role=\"img\" \
+         aria-label=\"patch vs recompute per update batch\">"
+    );
+    for (i, (batch, patch, recompute, fraction)) in rows.iter().enumerate() {
+        let x = ML + group_w * i as f64;
+        let (hp, hr) = (bh(*patch), bh(*recompute));
+        let _ = write!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{hp:.1}\" \
+             fill=\"var(--series-2)\" data-tip=\"batch {batch}: patch {patch:.2} ms \
+             ({:.1}% resampled)\"/>\
+             <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{hr:.1}\" \
+             fill=\"var(--series-1)\" data-tip=\"batch {batch}: cold recompute \
+             {recompute:.2} ms\"/>\
+             <text class=\"label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">b{batch}</text>",
+            x + group_w * 0.12,
+            H - MB - hp,
+            group_w * 0.32,
+            100.0 * fraction,
+            x + group_w * 0.52,
+            H - MB - hr,
+            group_w * 0.32,
+            x + group_w * 0.5,
+            H - MB + 18.0
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text class=\"dlabel\" x=\"{ML}\" y=\"{:.1}\">{label}: patch beats recompute \
+         {speedup:.2}x overall</text>",
+        MT + 14.0
+    );
+    svg.push_str("</svg>");
+    let _ = writeln!(
+        sparks,
+        "updates {label:<20} {}  (resampled fraction per batch; overall {speedup:.2}x)",
+        spark(&rows.iter().map(|r| r.3).collect::<Vec<_>>())
+    );
+    svg
+}
+
+/// Per-kernel occupancy heatmap over a snapshot stream's intervals. Each
+/// record's kernel deltas carry the interval's busy/capacity cycles, so a
+/// cell is the occupancy of that kernel during that snapshot window.
+fn occupancy_heatmap_svg(path: &Path, sparks: &mut String) -> String {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read snapshot {}: {e}", path.display());
+            return String::new();
+        }
+    };
+    // kernel key -> (record index -> occupancy %)
+    let mut cells: BTreeMap<String, BTreeMap<usize, f64>> = BTreeMap::new();
+    let mut ticks: Vec<u64> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(rec) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        if rec.get("schema").is_some() {
+            continue; // header
+        }
+        let col = ticks.len();
+        ticks.push(rec.get("ts_us").and_then(Value::as_u64).unwrap_or(0));
+        let Some(kernels) = rec.get("kernels").and_then(Value::as_object) else {
+            continue;
+        };
+        for (key, k) in kernels.iter() {
+            let busy = k
+                .get("occ_busy_cycles")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let cap = k
+                .get("occ_capacity_cycles")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if cap > 0.0 {
+                cells
+                    .entry(key.clone())
+                    .or_default()
+                    .insert(col, 100.0 * busy / cap);
+            }
+        }
+    }
+    if cells.is_empty() {
+        return String::from("<p class=\"sub\">(snapshot stream has no kernel intervals)</p>");
+    }
+    let cols = ticks.len();
+    let cell_w = ((W - ML - MR - 140.0) / cols as f64).min(48.0);
+    let row_h = 22.0;
+    let h = MT + MB + row_h * cells.len() as f64;
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {h:.0}\" role=\"img\" \
+         aria-label=\"kernel occupancy per snapshot interval\">"
+    );
+    for (i, (key, row)) in cells.iter().enumerate() {
+        let y = MT + row_h * i as f64;
+        // Keys are "engine|device|kernel"; keep the device so multi-GPU
+        // rows of the same kernel stay distinguishable.
+        let mut parts = key.splitn(3, '|');
+        let (_, dev, kname) = (parts.next(), parts.next(), parts.next());
+        let short = match (dev, kname) {
+            (Some(d), Some(k)) => format!("d{d} {k}"),
+            _ => key.clone(),
+        };
+        let _ = write!(
+            svg,
+            "<text class=\"label\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{short}</text>",
+            ML + 132.0,
+            y + row_h - 7.0
+        );
+        for (col, occ) in row {
+            let x = ML + 140.0 + cell_w * *col as f64;
+            let _ = write!(
+                svg,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"var(--series-1)\" fill-opacity=\"{:.3}\" \
+                 data-tip=\"{key} @ t={} µs: {occ:.1}% occupancy\"/>",
+                cell_w - 2.0,
+                row_h - 2.0,
+                (occ / 100.0).clamp(0.04, 1.0),
+                ticks[*col]
+            );
+        }
+        let vals: Vec<f64> = (0..cols)
+            .map(|c| row.get(&c).copied().unwrap_or(0.0))
+            .collect();
+        let _ = writeln!(sparks, "occupancy {short:<18} {}", spark(&vals));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// The `--bench-dir` entry point: one self-contained page with every bench
+/// trajectory, plus the terminal sparkline digest on stdout.
+fn bench_charts(bench_dir: &Path, snapshot: Option<&Path>, out: &Path) {
+    let lineage = load_bench_lineage(bench_dir);
+    if lineage.is_empty() {
+        eprintln!("no BENCH_*.json found in {}", bench_dir.display());
+        return;
+    }
+    let perf: Vec<(String, &Value)> = lineage
+        .iter()
+        .filter(|(_, v)| {
+            v.get("schema")
+                .and_then(Value::as_str)
+                .is_some_and(|s| s.starts_with("eim-bench-perf"))
+                && v.get("speedup").is_some()
+        })
+        .map(|(l, v)| (l.clone(), v))
+        .collect();
+    let mut sparks = String::new();
+    let mut body = String::new();
+    body.push_str("<h1>Speedup trajectory across PRs</h1>\n");
+    body.push_str(&speedup_curves_svg(&perf, &mut sparks));
+    body.push_str("\n<h1>Compressed-store OOM onset</h1>\n");
+    body.push_str(&oom_onset_svg(&lineage, &mut sparks));
+    body.push_str("\n<h1>Streaming updates: patch vs recompute</h1>\n");
+    body.push_str(&updates_svg(&lineage, &mut sparks));
+    if let Some(snap) = snapshot {
+        body.push_str("\n<h1>Kernel occupancy per snapshot interval</h1>\n");
+        body.push_str(&occupancy_heatmap_svg(snap, &mut sparks));
+    }
+    let files: Vec<&str> = lineage.iter().map(|(l, _)| l.as_str()).collect();
+    let html = page(
+        "eIM bench trajectory",
+        &format!(
+            "Self-documenting charts from the checked-in BENCH_*.json lineage ({}).",
+            files.join(", ")
+        ),
+        &legend_html(&[
+            ("--series-1", "plain / recompute"),
+            ("--series-2", "compressed / patch"),
+        ]),
+        &body,
+        "",
+    );
+    let path = out.join("bench_trajectory.html");
+    fs::write(&path, html).expect("write bench trajectory");
+    println!("wrote {}", path.display());
+    print!("{sparks}");
+}
+
 fn main() {
     let mut dir = PathBuf::from("results");
     let mut out: Option<PathBuf> = None;
+    let mut bench_dir: Option<PathBuf> = None;
+    let mut snapshot: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--in" => dir = PathBuf::from(args.next().expect("--in value")),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out value"))),
+            "--bench-dir" => {
+                bench_dir = Some(PathBuf::from(args.next().expect("--bench-dir value")))
+            }
+            "--snapshot" => snapshot = Some(PathBuf::from(args.next().expect("--snapshot value"))),
             other => panic!("unknown option {other}"),
         }
     }
     let out = out.unwrap_or_else(|| dir.join("figures"));
     fs::create_dir_all(&out).expect("create output dir");
+    if let Some(bench_dir) = bench_dir {
+        bench_charts(&bench_dir, snapshot.as_deref(), &out);
+        return;
+    }
     fig3(&dir, &out);
     fig5(&dir, &out);
     fig6(&dir, &out);

@@ -352,6 +352,12 @@ impl ImmEngine for EimEngine<'_> {
                 (c.compression_ratio() * 100.0) as u64,
             );
         }
+        // Residency high-water for the live dashboard: bytes the RRR store
+        // holds at selection time, compressed or plain.
+        self.device
+            .run_trace()
+            .metrics()
+            .gauge_max("eim_rrr_store_bytes", self.store.bytes() as u64);
         // `select_on_device` models its launches analytically rather than
         // through `Device::launch`, so record the kernel work here — one
         // event per greedy iteration, so the Figure 3 warp-vs-thread

@@ -53,8 +53,9 @@ pub use transfer::TransferDirection;
 // Telemetry types appear in `Device`'s API; re-export so downstream crates
 // can attach a recorder without a direct `eim-trace` dependency.
 pub use eim_trace::{
-    ArgValue, KernelHw, KernelProfile, MetricsRegistry, MetricsSink, ProfileKey, RunTrace,
-    SimClock, TraceSummary,
+    provenance, write_metrics_file, ArgValue, KernelHw, KernelProfile, MetricsRegistry,
+    MetricsSink, ProfileKey, RunTrace, SimClock, SnapshotAccumulator, SnapshotStreamWriter,
+    TraceSummary, SNAPSHOT_SCHEMA,
 };
 
 /// Lanes per warp — fixed at 32 across every NVIDIA generation and baked

@@ -272,8 +272,12 @@ fn extend_with_recovery<E: ImmEngine>(
     trace: &RunTrace,
     report: &mut RecoveryReport,
 ) -> Result<(), EngineError> {
+    let metrics = trace.metrics();
+    metrics.set_phase("sample");
     if !policy.allows_retry() {
-        return engine.extend_to(target);
+        let r = engine.extend_to(target);
+        metrics.tick_stream(engine.elapsed_us());
+        return r;
     }
     let mut batch = target.saturating_sub(engine.logical_sets()).max(1);
     let mut attempts: u32 = 0;
@@ -283,7 +287,11 @@ fn extend_with_recovery<E: ImmEngine>(
             return Ok(());
         }
         let step_target = (ckpt.logical_sets + batch).min(target);
-        match engine.extend_to(step_target) {
+        let step = engine.extend_to(step_target);
+        // One snapshot-stream tick per sampling round, on the engine's own
+        // simulated timeline — the deterministic heartbeat of the stream.
+        metrics.tick_stream(engine.elapsed_us());
+        match step {
             Ok(()) => attempts = 0,
             Err(EngineError::Fault(fault)) => {
                 // Engines commit per-batch, so a faulted call may still have
@@ -293,13 +301,14 @@ fn extend_with_recovery<E: ImmEngine>(
                     // The retry budget is spent. A fail-stopped device never
                     // answers a retry: give the engine one chance to evict
                     // the dead and re-shard the pending work onto survivors
-                    // before the round is declared unrecoverable.
+                    // before the round is declared unrecoverable. Set the
+                    // recover phase first so the engine-internal eviction
+                    // counters (eim_device_failures_total) carry it too.
+                    metrics.set_phase("recover");
                     if let Some(eviction) = engine.evict_lost_devices()? {
                         let pending = target.saturating_sub(engine.logical_sets()) as u64;
                         report.redistributed_sets += pending;
-                        trace
-                            .metrics()
-                            .counter_add("eim_redistributed_sets_total", &[], pending);
+                        metrics.counter_add("eim_redistributed_sets_total", &[], pending);
                         trace.record_recovery(
                             "recover:evict_device",
                             engine.elapsed_us(),
@@ -312,6 +321,8 @@ fn extend_with_recovery<E: ImmEngine>(
                                 ("redistributed_sets", ArgValue::U64(pending)),
                             ],
                         );
+                        metrics.tick_stream(engine.elapsed_us());
+                        metrics.set_phase("sample");
                         attempts = 0;
                         continue;
                     }
@@ -321,6 +332,7 @@ fn extend_with_recovery<E: ImmEngine>(
                 report.retries += 1;
                 let backoff = policy.backoff_us * (1u64 << (attempts - 1).min(16)) as f64;
                 engine.advance_time(backoff);
+                metrics.set_phase("recover");
                 trace.record_recovery(
                     "recover:retry",
                     engine.elapsed_us(),
@@ -330,6 +342,7 @@ fn extend_with_recovery<E: ImmEngine>(
                         ("backoff_us", ArgValue::F64(backoff)),
                     ],
                 );
+                metrics.set_phase("sample");
             }
             Err(oom @ EngineError::OutOfMemory { .. }) => {
                 if batch <= policy.min_batch {
@@ -338,11 +351,13 @@ fn extend_with_recovery<E: ImmEngine>(
                 batch = (batch / 2).max(policy.min_batch);
                 attempts = 0;
                 report.batch_splits += 1;
+                metrics.set_phase("recover");
                 trace.record_recovery(
                     "recover:batch_split",
                     engine.elapsed_us(),
                     vec![("batch", ArgValue::U64(batch as u64))],
                 );
+                metrics.set_phase("sample");
             }
             Err(other) => return Err(other),
         }
@@ -394,6 +409,7 @@ fn write_checkpoint<E: ImmEngine>(
     };
     cp.save(dir).map_err(|_| EngineError::CheckpointIo)?;
     *written_this_run += 1;
+    trace.metrics().set_phase("recover");
     trace
         .metrics()
         .counter_add("eim_checkpoints_written_total", &[], 1);
@@ -493,12 +509,14 @@ pub fn run_imm_checkpointed<E: ImmEngine>(
                 estimation_sets = sets;
             }
         }
+        trace.metrics().set_phase("recover");
         trace.metrics().counter_add("eim_resumes_total", &[], 1);
         trace.record_recovery(
             "recover:resume",
             engine.elapsed_us(),
             vec![("logical_sets", ArgValue::U64(cp.logical_sets as u64))],
         );
+        trace.metrics().tick_stream(engine.elapsed_us());
     }
 
     if !resumed_past_estimation {
@@ -507,7 +525,9 @@ pub fn run_imm_checkpointed<E: ImmEngine>(
             let theta_i = (lp / x).ceil().max(1.0) as usize;
             extend_with_recovery(engine, theta_i, policy, trace, &mut report)?;
             let short = engine.logical_sets() < theta_i;
+            trace.metrics().set_phase("select");
             let sel = engine.select(k);
+            trace.metrics().tick_stream(engine.elapsed_us());
             last_coverage = sel.coverage_fraction();
             if n_f * last_coverage >= (1.0 + eps_p) * x {
                 lower_bound = (n_f * last_coverage / (1.0 + eps_p)).max(1.0);
@@ -568,13 +588,16 @@ pub fn run_imm_checkpointed<E: ImmEngine>(
         last_coverage,
     )?;
 
+    trace.metrics().set_phase("select");
     let sel = engine.select(k);
     let t3 = engine.elapsed_us();
     trace.record_phase("selection", t2, t3 - t2);
+    trace.metrics().tick_stream(t3);
 
     report.merge(&engine.recovery_report());
     // Re-export the merged recovery tallies through the metrics registry so
     // Prometheus scrapes see them next to the fault/recovery event counters.
+    trace.metrics().set_phase("recover");
     trace.metrics().record_recovery_report(
         report.retries as u64,
         report.batch_splits as u64,

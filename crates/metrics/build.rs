@@ -1,0 +1,15 @@
+fn main() {
+    // Capture the compiler version at build time so runtime provenance
+    // headers can name the toolchain without shelling out.
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "rustc (unknown)".into());
+    println!("cargo:rustc-env=EIM_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -25,6 +25,13 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, PoisonError};
 
+pub mod snapshot;
+
+pub use snapshot::{
+    cumulative_value, fnv64, provenance, write_metrics_file, FlatHistogram, FlatKernel,
+    FlatSnapshot, SnapshotAccumulator, SnapshotStreamWriter, SNAPSHOT_SCHEMA,
+};
+
 /// Bucket boundaries for bandwidth-utilisation histograms (achieved
 /// throughput as a fraction of the modelled PCIe peak). `+Inf` is implicit.
 pub const UTILIZATION_BUCKETS: &[f64] = &[0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99, 1.0];
@@ -193,6 +200,10 @@ struct State {
     gauges: BTreeMap<Key, Gauge>,
     histograms: BTreeMap<Key, Histogram>,
     kernels: BTreeMap<ProfileKey, KernelProfile>,
+    /// Current run phase, stamped as a `phase` label on flow counters and
+    /// histograms recorded while set. Empty = no label (the pre-phase
+    /// behaviour, so existing series names are unchanged).
+    phase: &'static str,
 }
 
 /// The shared instrument store. Cheap to clone (an `Arc`); one registry per
@@ -200,6 +211,10 @@ struct State {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<State>>,
+    /// Optional live snapshot stream. A separate lock so stream I/O never
+    /// extends the instrument critical section; lock order is always stream
+    /// → state.
+    stream: Arc<Mutex<Option<SnapshotStreamWriter>>>,
 }
 
 impl MetricsRegistry {
@@ -239,6 +254,77 @@ impl MetricsRegistry {
             && st.gauges.is_empty()
             && st.histograms.is_empty()
             && st.kernels.is_empty()
+    }
+
+    /// Sets the run phase (`sample` / `select` / `transfer` / `recover` /
+    /// `stream-update`, or `""` for none). Subsequent flow counters and
+    /// histogram observations carry it as a `phase` label. Kernel profiles
+    /// and the memory stock counters (alloc/free/peak) deliberately stay
+    /// phase-free: profiles must keep aggregating per (device, kernel) to
+    /// reconcile against trace spans, and the derived in-use gauge must see
+    /// every alloc matched with its free under one label set.
+    pub fn set_phase(&self, phase: &'static str) {
+        self.lock().phase = phase;
+    }
+
+    /// The current phase label.
+    pub fn phase(&self) -> &'static str {
+        self.lock().phase
+    }
+
+    /// Cumulative snapshot of the registry as a deterministic JSON value —
+    /// the reference state the snapshot stream must reconcile to.
+    pub fn snapshot_value(&self) -> serde_json::Value {
+        let st = self.lock();
+        snapshot::cumulative_value(&snapshot::flatten(&st))
+    }
+
+    fn lock_stream(&self) -> std::sync::MutexGuard<'_, Option<SnapshotStreamWriter>> {
+        self.stream.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attaches an interval-delta snapshot stream: the header line is
+    /// written immediately; delta records follow as
+    /// [`tick_snapshot_stream`](Self::tick_snapshot_stream) observes the
+    /// simulated clock crossing `interval_us` boundaries.
+    pub fn start_snapshot_stream(
+        &self,
+        out: Box<dyn std::io::Write + Send>,
+        interval_us: u64,
+        provenance: serde_json::Value,
+    ) -> std::io::Result<()> {
+        let w = SnapshotStreamWriter::new(out, interval_us, provenance)?;
+        *self.lock_stream() = Some(w);
+        Ok(())
+    }
+
+    /// Whether a snapshot stream is attached.
+    pub fn has_snapshot_stream(&self) -> bool {
+        self.lock_stream().is_some()
+    }
+
+    /// Offers the simulated clock (µs) to the stream writer; emits one delta
+    /// record when an interval boundary has been crossed since the last
+    /// emission. No-op without a stream. I/O errors are swallowed here (the
+    /// driver cannot act on them mid-run) and resurface on
+    /// [`finish_snapshot_stream`](Self::finish_snapshot_stream).
+    pub fn tick_snapshot_stream(&self, now_us: f64) {
+        let mut stream = self.lock_stream();
+        if let Some(w) = stream.as_mut() {
+            let st = self.lock();
+            let _ = w.tick(&st, now_us);
+        }
+    }
+
+    /// Writes the closing record (remaining deltas + cumulative FNV digest)
+    /// and seals the stream.
+    pub fn finish_snapshot_stream(&self, now_us: f64) -> std::io::Result<()> {
+        let mut stream = self.lock_stream();
+        if let Some(w) = stream.as_mut() {
+            let st = self.lock();
+            w.finish(&st, now_us)?;
+        }
+        Ok(())
     }
 }
 
@@ -368,6 +454,10 @@ fn counter_help(name: &str) -> &'static str {
         "eim_straggler_delay_us_total" => "Extra simulated microseconds from straggler windows.",
         "eim_checkpoints_written_total" => "Run checkpoints persisted to disk.",
         "eim_resumes_total" => "Runs reconstructed from a persisted checkpoint.",
+        "eim_stream_batches_total" => "Streaming edge-update batches applied.",
+        "eim_stream_invalidated_slots_total" => "RRR slots invalidated by edge updates.",
+        "eim_stream_fresh_sets_total" => "Fresh RRR sets sampled after invalidation.",
+        "eim_stream_changed_heads_total" => "Adjacency heads patched in place by updates.",
         _ => "Simulated counter.",
     }
 }
@@ -665,14 +755,40 @@ impl MetricsSink {
         l
     }
 
-    /// Adds `v` to the counter `name{extra, engine, device}`.
+    fn labels_phased(&self, extra: &[(&'static str, &str)], phase: &'static str) -> Labels {
+        let mut l = self.labels(extra);
+        if !phase.is_empty() {
+            l.push(("phase", phase.to_string()));
+            l.sort_by(|a, b| a.0.cmp(b.0));
+        }
+        l
+    }
+
+    /// Forwards to [`MetricsRegistry::set_phase`]; no-op when disabled.
+    pub fn set_phase(&self, phase: &'static str) {
+        if let Some(reg) = &self.registry {
+            reg.set_phase(phase);
+        }
+    }
+
+    /// Offers the simulated clock to the registry's snapshot stream (see
+    /// [`MetricsRegistry::tick_snapshot_stream`]); no-op when disabled.
+    pub fn tick_stream(&self, now_us: f64) {
+        if let Some(reg) = &self.registry {
+            reg.tick_snapshot_stream(now_us);
+        }
+    }
+
+    /// Adds `v` to the counter `name{extra, engine, device}` (plus the
+    /// current `phase` label when one is set).
     pub fn counter_add(&self, name: &'static str, extra: &[(&'static str, &str)], v: u64) {
         let Some(reg) = &self.registry else { return };
+        let mut st = reg.lock();
         let key = Key {
             name,
-            labels: self.labels(extra),
+            labels: self.labels_phased(extra, st.phase),
         };
-        *reg.lock().counters.entry(key).or_insert(0) += v;
+        *st.counters.entry(key).or_insert(0) += v;
     }
 
     /// Raises the high-water gauge `name{engine, device}` to at least `v`.
@@ -727,8 +843,8 @@ impl MetricsSink {
     ) {
         let Some(reg) = &self.registry else { return };
         let extra = [("dir", direction), ("mode", mode)];
-        let labels = self.labels(&extra);
         let mut st = reg.lock();
+        let labels = self.labels_phased(&extra, st.phase);
         *st.counters
             .entry(Key {
                 name: "eim_transfers_total",

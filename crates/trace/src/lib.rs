@@ -30,7 +30,8 @@ use std::sync::{Arc, Mutex};
 use serde_json::{json, Value};
 
 pub use eim_metrics::{
-    KernelHw, KernelProfile, MetricsRegistry, MetricsSink, ProfileKey, UTILIZATION_BUCKETS,
+    provenance, write_metrics_file, KernelHw, KernelProfile, MetricsRegistry, MetricsSink,
+    ProfileKey, SnapshotAccumulator, SnapshotStreamWriter, SNAPSHOT_SCHEMA, UTILIZATION_BUCKETS,
 };
 
 /// Simulated-time clock, in microseconds.

@@ -4,6 +4,9 @@
 //! eim --input graph.txt [OPTIONS]
 //! eim --dataset EE --scale 0.01 [OPTIONS]    # synthetic stand-in
 //! eim profile --dataset EE [OPTIONS]         # nvprof-style kernel table
+//! eim top --replay run.jsonl [--follow] [--once] [--plain] [--check]
+//!                                            # live dashboard over a
+//!                                            # --snapshot-stream file
 //!
 //! Input (exactly one):
 //!   --input <file>       SNAP edge list (src dst per line, # comments)
@@ -49,7 +52,13 @@
 //!   --trace-event-cap <n> retain at most n trace events per category;
 //!                        drops are counted in the summary's dropped_events
 //!   --metrics <file>     write simulated hardware counters in Prometheus
-//!                        text exposition format
+//!                        text exposition format (atomic tmp-then-rename)
+//!   --snapshot-stream <file>  write phase-scoped interval-delta metrics
+//!                        snapshots as JSONL, keyed to the simulated clock
+//!                        (consume with `eim top`); deterministic across
+//!                        identical runs and exactly reconciling to the
+//!                        final registry
+//!   --snapshot-interval-us <n>  simulated µs per snapshot interval [1000]
 //!   --json               machine-readable output (includes a "metrics" block)
 //! ```
 
@@ -62,7 +71,10 @@ use eim::baselines::{CuRipplesEngine, GimEngine, HostSpec};
 use eim::core::DeviceResampler;
 use eim::core::{DeviceRecoverySummary, EimEngine, MultiGpuEimEngine, ScanStrategy};
 use eim::diffusion::estimate_spread;
-use eim::gpusim::{Device, DeviceSpec, FaultPlan, FaultSpec, MetricsRegistry, RunTrace};
+use eim::gpusim::{
+    provenance, write_metrics_file, Device, DeviceSpec, FaultPlan, FaultSpec, MetricsRegistry,
+    RunTrace,
+};
 use eim::graph::{generators, parse_edge_list, parse_weighted_edge_list, Dataset, GraphStats};
 use eim::imm::{
     run_fingerprint, run_imm_checkpointed, run_stream, Checkpointing, CpuEngine, CpuParallelism,
@@ -99,6 +111,8 @@ struct Args {
     trace: Option<String>,
     trace_event_cap: Option<usize>,
     metrics: Option<String>,
+    snapshot_stream: Option<String>,
+    snapshot_interval_us: u64,
     json: bool,
 }
 
@@ -111,7 +125,9 @@ fn usage() -> ! {
          [--spread-sims n] [--updates spec] [--inject-faults spec] \
          [--recovery abort|retry|degrade] [--max-retries n] \
          [--checkpoint <dir>] [--resume] [--ckpt-kill-after n] [--no-overlap] \
-         [--trace <file>] [--trace-event-cap n] [--metrics <file>] [--json]"
+         [--trace <file>] [--trace-event-cap n] [--metrics <file>] \
+         [--snapshot-stream <file>] [--snapshot-interval-us n] [--json]\n\
+       eim top --replay <file.jsonl> [--follow] [--once] [--plain] [--check]"
     );
     std::process::exit(2);
 }
@@ -145,6 +161,8 @@ fn parse_args() -> Args {
         trace: None,
         trace_event_cap: None,
         metrics: None,
+        snapshot_stream: None,
+        snapshot_interval_us: 1000,
         json: false,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -208,6 +226,10 @@ fn parse_args() -> Args {
                 a.trace_event_cap = Some(val().parse().unwrap_or_else(|_| usage()))
             }
             "--metrics" => a.metrics = Some(val()),
+            "--snapshot-stream" => a.snapshot_stream = Some(val()),
+            "--snapshot-interval-us" => {
+                a.snapshot_interval_us = val().parse().unwrap_or_else(|_| usage())
+            }
             "--json" => a.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -407,6 +429,41 @@ fn build_checkpointing(a: &Args, config: &ImmConfig, n: usize, devices: usize) -
     c
 }
 
+/// Attaches the `--snapshot-stream` JSONL writer to `registry`, when the
+/// flag was given. The header (schema + provenance) is written immediately
+/// so `eim top --follow` can identify the stream before the first delta.
+fn attach_snapshot_stream(a: &Args, registry: &MetricsRegistry) {
+    let Some(path) = &a.snapshot_stream else {
+        return;
+    };
+    let dataset = a
+        .dataset
+        .clone()
+        .or_else(|| a.input.clone())
+        .or_else(|| a.weighted.clone());
+    let file = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create snapshot stream {path}: {e}");
+        std::process::exit(1);
+    });
+    let out = Box::new(std::io::BufWriter::new(file));
+    if let Err(e) = registry.start_snapshot_stream(
+        out,
+        a.snapshot_interval_us,
+        provenance(dataset.as_deref(), Some(a.seed)),
+    ) {
+        eprintln!("cannot start snapshot stream {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Writes the Prometheus dump atomically, exiting on failure.
+fn write_metrics_or_die(registry: &MetricsRegistry, path: &str) {
+    if let Err(e) = write_metrics_file(registry, Path::new(path)) {
+        eprintln!("cannot write metrics {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Runs the update stream to completion on one streaming engine, reporting
 /// failures (including deliberate `--ckpt-kill-after` interrupts, exit 3)
 /// through the shared error path.
@@ -436,6 +493,21 @@ fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSp
         resume: a.resume,
         kill_after: a.ckpt_kill_after,
     };
+    // Streaming runs carry the same observability surface as batch runs:
+    // device activity lands in the registry live (under the transfer phase),
+    // and per-batch invalidation tallies are folded in afterwards under
+    // stream-update.
+    let registry = MetricsRegistry::new();
+    let want_metrics = a.metrics.is_some() || a.snapshot_stream.is_some() || a.json;
+    let trace = if want_metrics {
+        RunTrace::disabled().with_metrics(registry.sink().with_engine(&a.engine))
+    } else {
+        RunTrace::disabled()
+    };
+    attach_snapshot_stream(a, &registry);
+    if want_metrics {
+        registry.set_phase("transfer");
+    }
     let wall = std::time::Instant::now();
     let (reports, last) = match a.engine.as_str() {
         "cpu" => drive_stream(
@@ -451,11 +523,12 @@ fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSp
             a.json,
         ),
         "eim" => {
+            let base = Device::with_run_trace(dspec, trace.clone());
             let device = match &a.faults {
                 Some(f) if !f.is_noop() => {
-                    Device::new(dspec).with_fault_plan(Arc::new(FaultPlan::new(f.clone())))
+                    base.with_fault_plan(Arc::new(FaultPlan::new(f.clone())))
                 }
-                _ => Device::new(dspec),
+                _ => base,
             };
             drive_stream(
                 StreamingImmEngine::new(
@@ -476,6 +549,39 @@ fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSp
         }
     };
     let wall_s = wall.elapsed().as_secs_f64();
+    if want_metrics {
+        // Per-batch invalidation counters under the stream-update phase.
+        // `run_stream` applies every batch internally, so the tallies are
+        // folded in afterwards on a batch-indexed clock (one snapshot
+        // interval per batch) — deterministic, and `eim top` reads the
+        // invalidation trajectory batch by batch.
+        let sink = registry.sink().with_engine(&a.engine);
+        registry.set_phase("stream-update");
+        for (i, r) in reports.iter().enumerate() {
+            sink.counter_add("eim_stream_batches_total", &[], 1);
+            sink.counter_add(
+                "eim_stream_changed_heads_total",
+                &[],
+                r.changed_heads as u64,
+            );
+            sink.counter_add(
+                "eim_stream_invalidated_slots_total",
+                &[],
+                r.resampled_slots.len() as u64,
+            );
+            sink.counter_add("eim_stream_fresh_sets_total", &[], r.fresh_slots as u64);
+            registry.tick_snapshot_stream(((i + 1) as u64 * a.snapshot_interval_us) as f64);
+        }
+        if let Err(e) = registry
+            .finish_snapshot_stream((reports.len() + 1) as f64 * a.snapshot_interval_us as f64)
+        {
+            eprintln!("cannot finish snapshot stream: {e}");
+            std::process::exit(1);
+        }
+        if let Some(path) = &a.metrics {
+            write_metrics_or_die(&registry, path);
+        }
+    }
     if a.json {
         let checkpoints: Vec<serde_json::Value> = reports
             .iter()
@@ -514,6 +620,7 @@ fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSp
             "rrr_sets": last.num_sets,
             "theta": last.theta,
             "wall_seconds": wall_s,
+            "metrics": registry.to_json(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
     } else {
@@ -549,6 +656,11 @@ fn run_streaming_mode(a: &Args, graph: Graph, config: ImmConfig, dspec: DeviceSp
 }
 
 fn main() {
+    // `top` is a self-contained consumer — it never loads a graph.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("top") {
+        std::process::exit(eim::top::run_from_args(&argv[1..]));
+    }
     let a = parse_args();
     let graph = load_graph(&a);
     let stats = GraphStats::of(&graph);
@@ -579,11 +691,18 @@ fn main() {
     // Hardware counters ride the same recorders; a disabled trace with an
     // attached sink still collects exact metrics (profile/metrics-only runs).
     let registry = MetricsRegistry::new();
-    let trace = if a.profile || a.metrics.is_some() || a.json {
+    let want_metrics = a.profile || a.metrics.is_some() || a.snapshot_stream.is_some() || a.json;
+    let trace = if want_metrics {
         trace.with_metrics(registry.sink().with_engine(&a.engine))
     } else {
         trace
     };
+    attach_snapshot_stream(&a, &registry);
+    if want_metrics {
+        // Engine construction uploads the graph; attribute that traffic to
+        // the transfer phase. The IMM driver takes over at the first round.
+        registry.set_phase("transfer");
+    }
     let wall = std::time::Instant::now();
 
     let run_err = |e: EngineError| -> ! { report_engine_error(a.json, e) };
@@ -658,10 +777,19 @@ fn main() {
                 CpuEngine::new(&graph, config, CpuParallelism::Rayon).with_trace(trace.clone());
             let r = run_imm_checkpointed(&mut e, &config, &policy, &trace, &ckpt)
                 .unwrap_or_else(|e| run_err(e));
-            (r, None, None)
+            let us = e.elapsed_us();
+            // The CPU engine's analytic clock still keys the stream; only
+            // the human-readable summary hides it.
+            (r, Some(us), None)
         }
         _ => usage(),
     };
+    let cpu_engine = a.engine == "cpu";
+    if let Err(e) = registry.finish_snapshot_stream(sim_us.unwrap_or(0.0)) {
+        eprintln!("cannot finish snapshot stream: {e}");
+        std::process::exit(1);
+    }
+    let sim_us = if cpu_engine { None } else { sim_us };
     let wall_s = wall.elapsed().as_secs_f64();
     let spread = (a.spread_sims > 0).then(|| {
         estimate_spread(
@@ -695,10 +823,7 @@ fn main() {
     }
 
     if let Some(path) = &a.metrics {
-        if let Err(e) = std::fs::write(path, registry.render_prometheus()) {
-            eprintln!("cannot write metrics {path}: {e}");
-            std::process::exit(1);
-        }
+        write_metrics_or_die(&registry, path);
     }
 
     if a.json {

@@ -32,6 +32,8 @@
 //! assert_eq!(result.seeds.len(), 5);
 //! ```
 
+pub mod top;
+
 pub use eim_baselines as baselines;
 pub use eim_bitpack as bitpack;
 pub use eim_core as core;
